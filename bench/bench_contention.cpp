@@ -1,0 +1,93 @@
+// E12 — contention and the missing F_prog parameter.
+//
+// The paper (§2) deliberately drops the full abstract MAC layer's second
+// timing parameter F_prog (time to receive SOMETHING when neighbors are
+// broadcasting) and notes that refining the upper bounds in the
+// two-parameter model is future work. This experiment shows what F_prog
+// would capture: under a receiver-contention scheduler (one decodable
+// frame per receiver per tick), the effective ack bound grows with local
+// density, so "O(F_ack)" hides a density factor.
+//
+//   * two-phase on cliques: decision time grows linearly with n under
+//     contention — the 2*F_ack bound holds only against the density-scaled
+//     F_ack (here F_ack ~ n);
+//   * wPAXOS on grids (bounded degree): contention costs only a constant,
+//     because neighborhoods never exceed degree 4.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "net/topologies.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace amac;
+
+  std::printf(
+      "E12: receiver contention (the F_prog phenomenon the paper defers).\n"
+      "Base per-frame delay 1 tick; one decodable frame per receiver per "
+      "tick.\n\n");
+
+  util::Table table({"algorithm", "topology", "n", "max degree",
+                     "declared F_ack", "decided at", "time/F_ack", "ok"});
+
+  bool all_expected = true;
+  std::vector<double> clique_times;
+
+  for (const std::size_t n : {8u, 16u, 32u, 64u}) {
+    const auto g = net::make_clique(n);
+    const auto inputs = harness::inputs_alternating(n);
+    const mac::Time bound = n + 2;  // degree + slack
+    mac::ContentionScheduler sched(1, bound, 7);
+    const auto outcome = harness::run_consensus(
+        g, harness::two_phase_factory(inputs), sched, inputs, 1'000'000);
+    if (!outcome.verdict.ok()) all_expected = false;
+    const double units = static_cast<double>(outcome.verdict.last_decision) /
+                         static_cast<double>(bound);
+    if (units > 2.0) all_expected = false;  // Theorem 4.1 vs declared bound
+    clique_times.push_back(
+        static_cast<double>(outcome.verdict.last_decision));
+    table.row()
+        .cell("two-phase")
+        .cell("clique")
+        .cell(n)
+        .cell(n - 1)
+        .cell(static_cast<std::uint64_t>(bound))
+        .cell(static_cast<std::uint64_t>(outcome.verdict.last_decision))
+        .cell(units)
+        .cell(outcome.verdict.ok());
+  }
+
+  for (const std::size_t side : {4u, 6u, 8u}) {
+    const auto g = net::make_grid(side, side);
+    const std::size_t n = g.node_count();
+    const auto inputs = harness::inputs_alternating(n);
+    const auto ids = harness::identity_ids(n);
+    const mac::Time bound = 8;  // degree <= 4 plus slack
+    mac::ContentionScheduler sched(1, bound, 7);
+    const auto outcome = harness::run_consensus(
+        g, harness::wpaxos_factory(inputs, ids), sched, inputs, 10'000'000);
+    if (!outcome.verdict.ok()) all_expected = false;
+    table.row()
+        .cell("wPAXOS")
+        .cell("grid")
+        .cell(n)
+        .cell(4)
+        .cell(static_cast<std::uint64_t>(bound))
+        .cell(static_cast<std::uint64_t>(outcome.verdict.last_decision))
+        .cell(static_cast<double>(outcome.verdict.last_decision) / bound)
+        .cell(outcome.verdict.ok());
+  }
+
+  table.print();
+  const bool linear_growth =
+      clique_times.size() == 4 && clique_times[3] > 3.0 * clique_times[0];
+  std::printf(
+      "\nexpected shape: clique decision times grow with n (density is a\n"
+      "hidden time cost the F_ack-only analysis folds into the bound:\n"
+      "%s), while bounded-degree grids pay only a constant. Every run\n"
+      "stays within 2x its declared F_ack (Theorem 4.1 is\n"
+      "scheduler-independent). shape holds: %s\n",
+      linear_growth ? "observed" : "NOT observed",
+      (all_expected && linear_growth) ? "YES" : "NO");
+  return (all_expected && linear_growth) ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+// E9: substrate micro-benchmarks (google-benchmark): engine event
+// throughput, serde round-trips, graph algorithms, wPAXOS end-to-end.
+#include <benchmark/benchmark.h>
+
+#include "core/wpaxos/wpaxos.hpp"
+#include "harness/experiment.hpp"
+#include "net/topologies.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace {
+
+using namespace amac;
+
+/// Minimal traffic generator: broadcasts `rounds` one-byte messages.
+class Pinger final : public mac::Process {
+ public:
+  explicit Pinger(std::size_t rounds) : rounds_(rounds) {}
+
+  void on_start(mac::Context& ctx) override { send(ctx); }
+  void on_receive(const mac::Packet&, mac::Context&) override {}
+  void on_ack(mac::Context& ctx) override {
+    if (sent_ < rounds_) send(ctx);
+  }
+  std::unique_ptr<mac::Process> clone() const override {
+    return std::make_unique<Pinger>(*this);
+  }
+  void digest(util::Hasher& h) const override { h.mix_u64(sent_); }
+
+ private:
+  void send(mac::Context& ctx) {
+    ++sent_;
+    ctx.broadcast(util::Buffer{1});
+  }
+  std::size_t rounds_;
+  std::size_t sent_ = 0;
+};
+
+void BM_EngineSyncRounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = net::make_ring(n);
+  const mac::ProcessFactory factory = [](NodeId) {
+    return std::make_unique<Pinger>(50);
+  };
+  std::uint64_t deliveries = 0;
+  for (auto _ : state) {
+    mac::SynchronousScheduler sched(1);
+    mac::Network net(g, factory, sched);
+    net.run(mac::StopWhen::kQuiescent, 1000);
+    deliveries = net.stats().deliveries;
+    benchmark::DoNotOptimize(deliveries);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(deliveries));
+  state.SetLabel("deliveries/iter=" + std::to_string(deliveries));
+}
+BENCHMARK(BM_EngineSyncRounds)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EngineRandomScheduler(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = net::make_ring(n);
+  const mac::ProcessFactory factory = [](NodeId) {
+    return std::make_unique<Pinger>(50);
+  };
+  for (auto _ : state) {
+    mac::UniformRandomScheduler sched(8, 42);
+    mac::Network net(g, factory, sched);
+    net.run(mac::StopWhen::kQuiescent, 100000);
+    benchmark::DoNotOptimize(net.stats().deliveries);
+  }
+}
+BENCHMARK(BM_EngineRandomScheduler)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SerdeVarintRoundTrip(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<std::uint64_t> values(1024);
+  for (auto& v : values) v = rng();
+  for (auto _ : state) {
+    util::Writer w;
+    for (const auto v : values) w.put_uvarint(v);
+    util::Reader r(w.buffer());
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) sum += r.get_uvarint();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_SerdeVarintRoundTrip);
+
+void BM_WPaxosEnvelopeRoundTrip(benchmark::State& state) {
+  using namespace core::wpaxos;
+  Envelope e;
+  e.leader = LeaderMsg{123456};
+  e.change = ChangeMsg{98765, 123};
+  e.search = SearchMsg{777, 12};
+  e.proposer = ProposerMsg{ProposerMsg::Kind::kPropose, {42, 999}, 1};
+  AcceptorResponse r;
+  r.pn = {42, 999};
+  r.count = 500;
+  r.prev = Proposal{{41, 998}, 0};
+  r.dest = 55;
+  e.response = r;
+  for (auto _ : state) {
+    const auto buf = e.encode();
+    const auto back = Envelope::decode(buf);
+    benchmark::DoNotOptimize(back.response->count);
+  }
+}
+BENCHMARK(BM_WPaxosEnvelopeRoundTrip);
+
+void BM_GraphDiameter(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  const auto g = net::make_random_geometric(n, 0.15, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.diameter());
+  }
+}
+BENCHMARK(BM_GraphDiameter)->Arg(64)->Arg(256);
+
+void BM_WPaxosGridEndToEnd(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = net::make_grid(side, side);
+  const std::size_t n = g.node_count();
+  const auto inputs = harness::inputs_alternating(n);
+  const auto ids = harness::identity_ids(n);
+  for (auto _ : state) {
+    mac::UniformRandomScheduler sched(4, 7);
+    const auto outcome = harness::run_consensus(
+        g, harness::wpaxos_factory(inputs, ids), sched, inputs, 1000000);
+    AMAC_ASSERT(outcome.verdict.ok());
+    benchmark::DoNotOptimize(outcome.verdict.last_decision);
+  }
+}
+BENCHMARK(BM_WPaxosGridEndToEnd)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

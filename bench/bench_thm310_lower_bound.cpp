@@ -1,0 +1,65 @@
+// E4 — Theorem 3.10: every consensus algorithm needs >= floor(D/2) * F_ack
+// time. We run both of our multihop algorithms on lines under the max-delay
+// synchronous adversary and report measured decision time against the
+// bound: the ratio must be >= 1 everywhere (and for wPAXOS stay within a
+// constant, since wPAXOS is O(D * F_ack)-optimal).
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "net/topologies.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace amac;
+
+  std::printf(
+      "E4 / Theorem 3.10: decision time >= floor(D/2) * F_ack on lines\n"
+      "under the max-delay synchronous adversary.\n\n");
+
+  util::Table table({"D", "F_ack", "bound", "wPAXOS time", "wPAXOS/bound",
+                     "flooding time", "flooding/bound"});
+
+  bool all_expected = true;
+  double max_wpaxos_ratio = 0;
+  for (const std::size_t nodes : {5u, 9u, 17u, 33u}) {
+    for (const mac::Time fack : {1u, 2u, 8u}) {
+      const auto g = net::make_line(nodes);
+      const auto d = g.diameter();
+      const mac::Time bound = (d / 2) * fack;
+      const auto inputs = harness::inputs_split(nodes);
+
+      mac::SynchronousScheduler s1(fack);
+      const auto wpaxos = harness::run_consensus(
+          g, harness::wpaxos_factory(inputs, harness::identity_ids(nodes)),
+          s1, inputs, 100'000'000);
+      mac::SynchronousScheduler s2(fack);
+      const auto flood = harness::run_consensus(
+          g, harness::flooding_factory(inputs), s2, inputs, 100'000'000);
+
+      if (!wpaxos.verdict.ok() || !flood.verdict.ok()) all_expected = false;
+      const double wr = static_cast<double>(wpaxos.verdict.last_decision) /
+                        static_cast<double>(bound);
+      const double fr = static_cast<double>(flood.verdict.last_decision) /
+                        static_cast<double>(bound);
+      max_wpaxos_ratio = std::max(max_wpaxos_ratio, wr);
+      if (wr < 1.0 || fr < 1.0) all_expected = false;
+
+      table.row()
+          .cell(d)
+          .cell(static_cast<std::uint64_t>(fack))
+          .cell(static_cast<std::uint64_t>(bound))
+          .cell(static_cast<std::uint64_t>(wpaxos.verdict.last_decision))
+          .cell(wr)
+          .cell(static_cast<std::uint64_t>(flood.verdict.last_decision))
+          .cell(fr);
+    }
+  }
+
+  table.print();
+  std::printf(
+      "\nexpected shape: every ratio >= 1 (the bound binds all algorithms);\n"
+      "wPAXOS ratios stay within a constant of the bound (O(D*F_ack)\n"
+      "optimality; max observed %.2f). shape holds: %s\n",
+      max_wpaxos_ratio, all_expected ? "YES" : "NO");
+  return all_expected ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// A guided tour of the paper's three impossibility results, each staged as
+// a concrete runnable scenario. Companion reading: paper §3 / DESIGN.md.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "net/paper_networks.hpp"
+#include "net/topologies.hpp"
+#include "verify/flp.hpp"
+
+int main() {
+  using namespace amac;
+
+  std::printf("=== Impossibility tour ===\n\n");
+
+  // ---- Stop 1: Theorem 3.2 — one crash kills determinism. -------------
+  std::printf(
+      "Stop 1 (Theorem 3.2). Two radios, one holding 0 and one holding 1,\n"
+      "running the (correct, crash-free) two-phase algorithm. We search\n"
+      "ALL valid-step schedules:\n");
+  {
+    const auto g = net::make_clique(2);
+    verify::FlpExplorer no_crash(g, harness::two_phase_factory({0, 1}), 0);
+    const auto r0 = no_crash.explore();
+    std::printf(
+        "  crash budget 0: %zu states; decides-0 reachable: %s, decides-1\n"
+        "  reachable: %s (bivalent start!), violations: none\n",
+        r0.distinct_states, r0.reaches_decision_0 ? "yes" : "no",
+        r0.reaches_decision_1 ? "yes" : "no");
+    verify::FlpExplorer one_crash(g, harness::two_phase_factory({0, 1}), 1);
+    const auto r1 = one_crash.explore();
+    std::printf(
+        "  crash budget 1: %zu states; violation reachable: %s — witness "
+        "schedule:\n   ",
+        r1.distinct_states, r1.violation_found() ? "YES" : "no");
+    for (const auto& step : r1.witness) {
+      std::printf(" %s", step.describe().c_str());
+    }
+    std::printf("\n  (the survivor waits forever on its crashed witness)\n\n");
+  }
+
+  // ---- Stop 2: Theorem 3.3 — anonymity. --------------------------------
+  std::printf(
+      "Stop 2 (Theorem 3.3 / Figure 1). An anonymous algorithm that knows\n"
+      "n and D, on two networks it cannot tell apart:\n");
+  {
+    const auto nets = net::make_figure1(8, 2);
+    // Network B sanity run.
+    const auto b_inputs = harness::inputs_all(nets.size, 1);
+    mac::SynchronousScheduler b_sched(1);
+    const auto b = harness::run_consensus(
+        nets.b, harness::anonymous_factory(b_inputs, nets.diameter), b_sched,
+        b_inputs, 10'000);
+    std::printf("  Network B (n'=%zu, D=%u): %s\n", nets.size, nets.diameter,
+                b.verdict.summary().c_str());
+    // Network A with the alpha_A scheduler.
+    std::vector<mac::Value> a_inputs(nets.size, 0);
+    for (std::size_t l = 0; l < nets.layout.size(); ++l) {
+      a_inputs[nets.a_node(1, l)] = 1;
+    }
+    mac::HoldbackScheduler a_sched(
+        std::make_unique<mac::SynchronousScheduler>(1), 12);
+    a_sched.hold_sender(nets.q);
+    const auto a = harness::run_consensus(
+        nets.a, harness::anonymous_factory(a_inputs, nets.diameter), a_sched,
+        a_inputs, 10'000);
+    std::printf(
+        "  Network A (same n', same D, bridge q silenced): %s\n"
+        "  Each gadget believed it WAS Network B and decided its own "
+        "value.\n\n",
+        a.verdict.summary().c_str());
+  }
+
+  // ---- Stop 3: Theorem 3.9 — knowledge of n. ---------------------------
+  std::printf(
+      "Stop 3 (Theorem 3.9 / Figure 2). Unique ids, knows D — but not n:\n");
+  {
+    const auto fig = net::make_figure2(6);
+    const std::size_t n = fig.kd.node_count();
+    std::vector<mac::Value> inputs(n, 0);
+    for (const NodeId u : fig.l2) inputs[u] = 1;
+    mac::HoldbackScheduler sched(
+        std::make_unique<mac::SynchronousScheduler>(1), 16);
+    sched.hold_sender(fig.bridge_line.front());
+    const auto kd = harness::run_consensus(
+        fig.kd,
+        harness::stability_factory(inputs, fig.diameter,
+                                   harness::identity_ids(n)),
+        sched, inputs, 100'000);
+    std::printf(
+        "  K_D (two lines + silenced hub, diameter still %u): %s\n"
+        "  Each line matched its standalone execution step for step and\n"
+        "  decided alone.\n\n",
+        fig.diameter, kd.verdict.summary().c_str());
+  }
+
+  std::printf(
+      "Matching upper bounds close the story: two-phase needs only unique\n"
+      "ids (single hop, Theorem 4.1); wPAXOS needs ids + n (multihop,\n"
+      "Theorem 4.6). Nothing less suffices — that is what the three stops\n"
+      "just demonstrated.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Partition anomaly: why "how many devices are out there?" is not optional.
+//
+// A deployment postmortem, staged on the paper's Figure 2 network. Two
+// identical sensor lines were installed in two buildings; a planned
+// backbone node connects every sensor of both lines. The firmware uses
+// StabilityConsensus: flood (id, value) pairs and decide once nothing new
+// has been heard for D+1 phases. It knows the network diameter D and has
+// unique serial numbers — but was never told the device count n.
+//
+// While the backbone node's transmissions are delayed (a legal schedule:
+// F_ack is finite but unknown), each building's line is byte-for-byte
+// indistinguishable from a standalone deployment, goes quiet, and decides
+// its own value. Agreement breaks — and Theorem 3.9 says no firmware
+// without knowledge of n can avoid this. wPAXOS (which uses n) runs on the
+// same network and schedule for contrast: it simply waits the partition
+// out, because no majority is reachable until the backbone wakes up.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "net/paper_networks.hpp"
+
+int main() {
+  using namespace amac;
+
+  const std::uint32_t diameter = 6;
+  const auto fig = net::make_figure2(diameter);
+  const std::size_t n = fig.kd.node_count();
+
+  std::printf("K_%u network: two lines of %zu sensors + a %u-node backbone "
+              "line, diameter %u, n=%zu\n",
+              diameter, fig.l1.size(), diameter, diameter, n);
+
+  // Measure how long a standalone line takes to decide, so we know how long
+  // the adversary must delay the backbone.
+  mac::Time standalone_t = 0;
+  for (const mac::Value b : {0, 1}) {
+    const std::size_t ld_n = fig.ld.node_count();
+    const auto inputs = harness::inputs_all(ld_n, b);
+    mac::SynchronousScheduler sched(1);
+    const auto outcome = harness::run_consensus(
+        fig.ld,
+        harness::stability_factory(inputs, diameter,
+                                   harness::identity_ids(ld_n)),
+        sched, inputs, 100'000);
+    standalone_t = std::max(standalone_t, outcome.verdict.last_decision);
+  }
+  std::printf("a standalone line decides by t=%llu; the backbone will be "
+              "silent until t=%llu\n\n",
+              static_cast<unsigned long long>(standalone_t),
+              static_cast<unsigned long long>(standalone_t + 3));
+
+  // Building 1 proposes 0, building 2 proposes 1, backbone proposes 0.
+  std::vector<mac::Value> inputs(n, 0);
+  for (const NodeId u : fig.l2) inputs[u] = 1;
+
+  const auto make_holdback = [&] {
+    auto sched = std::make_unique<mac::HoldbackScheduler>(
+        std::make_unique<mac::SynchronousScheduler>(1), standalone_t + 3);
+    sched->hold_sender(fig.bridge_line.front());
+    return sched;
+  };
+
+  // --- The doomed firmware (no n).
+  {
+    auto sched = make_holdback();
+    mac::Network net(fig.kd,
+                     harness::stability_factory(inputs, diameter,
+                                                harness::identity_ids(n)),
+                     *sched);
+    net.run(mac::StopWhen::kAllDecided, 1'000'000);
+    const auto verdict = verify::check_consensus(net, inputs);
+    std::printf("StabilityConsensus (knows D, NOT n): %s\n",
+                verdict.summary().c_str());
+    std::printf("  building 1 decided %d at t=%llu; building 2 decided %d "
+                "at t=%llu  <-- split brain\n",
+                net.decision(fig.l1[0]).value,
+                static_cast<unsigned long long>(net.decision(fig.l1[0]).time),
+                net.decision(fig.l2[0]).value,
+                static_cast<unsigned long long>(
+                    net.decision(fig.l2[0]).time));
+  }
+
+  // --- The fix (knows n): wPAXOS cannot count a majority of n while the
+  // backbone is silent, so it just takes longer.
+  {
+    auto sched = make_holdback();
+    mac::Network net(fig.kd,
+                     harness::wpaxos_factory(inputs,
+                                             harness::identity_ids(n)),
+                     *sched);
+    net.run(mac::StopWhen::kAllDecided, 10'000'000);
+    const auto verdict = verify::check_consensus(net, inputs);
+    std::printf("wPAXOS (knows n): %s\n", verdict.summary().c_str());
+  }
+
+  std::printf(
+      "\nTheorem 3.9: with unique ids and knowledge of D but not n, every\n"
+      "deterministic algorithm has a network + schedule that splits it.\n");
+  return 0;
+}

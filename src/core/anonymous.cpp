@@ -1,0 +1,51 @@
+#include "core/anonymous.hpp"
+
+namespace amac::core {
+
+AnonymousMinFlood::AnonymousMinFlood(std::uint32_t diameter,
+                                     mac::Value initial_value)
+    : diameter_(diameter), min_(initial_value) {
+  AMAC_EXPECTS(initial_value == 0 || initial_value == 1);
+}
+
+void AnonymousMinFlood::on_start(mac::Context& ctx) {
+  util::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(min_));
+  ctx.broadcast(std::move(w).take());
+}
+
+void AnonymousMinFlood::on_receive(const mac::Packet& packet,
+                                   mac::Context& ctx) {
+  (void)ctx;
+  // Anonymity: packet.sender is deliberately ignored.
+  util::Reader r(packet.payload);
+  const mac::Value v = r.get_u8();
+  AMAC_ENSURES(r.exhausted());
+  min_ = std::min(min_, v);
+}
+
+void AnonymousMinFlood::on_ack(mac::Context& ctx) {
+  if (decided_) return;
+  ++phase_;
+  if (phase_ >= diameter_ + 1) {
+    decided_ = true;
+    ctx.decide(min_);
+    return;
+  }
+  util::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(min_));
+  ctx.broadcast(std::move(w).take());
+}
+
+std::unique_ptr<mac::Process> AnonymousMinFlood::clone() const {
+  return std::make_unique<AnonymousMinFlood>(*this);
+}
+
+void AnonymousMinFlood::digest(util::Hasher& h) const {
+  h.mix_u64(diameter_);
+  h.mix_i64(min_);
+  h.mix_u64(phase_);
+  h.mix_bool(decided_);
+}
+
+}  // namespace amac::core

@@ -1,0 +1,46 @@
+// AnonymousMinFlood — the natural anonymous consensus candidate that
+// Theorem 3.3 kills.
+//
+// Anonymous (no id is ever read or sent), knows n and D — exactly the
+// knowledge Theorem 3.3 allows. Under the synchronous scheduler it is a
+// correct consensus algorithm on ANY connected graph of diameter <= D:
+// phases are paced by broadcast acks; each phase floods the running
+// minimum; after D+1 acked phases the minimum has crossed every shortest
+// path, and the node decides it.
+//
+// The bench_thm33_anonymity experiment runs it on the Figure 1 pair: on
+// Network B (synchronous scheduler) it terminates correctly, and on
+// Network A (the alpha_A hold-back scheduler) the two gadgets decide their
+// own values — an agreement violation, exactly the paper's argument. The
+// per-step state digests of a gadget node u and its three copies S_u are
+// also compared, verifying Lemma 3.6 empirically.
+#pragma once
+
+#include <cstdint>
+
+#include "mac/process.hpp"
+
+namespace amac::core {
+
+class AnonymousMinFlood final : public mac::Process {
+ public:
+  /// Knowledge: diameter bound and initial value — NO id.
+  AnonymousMinFlood(std::uint32_t diameter, mac::Value initial_value);
+
+  void on_start(mac::Context& ctx) override;
+  void on_receive(const mac::Packet& packet, mac::Context& ctx) override;
+  void on_ack(mac::Context& ctx) override;
+  [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
+  void digest(util::Hasher& h) const override;
+
+  [[nodiscard]] std::uint32_t phase() const { return phase_; }
+  [[nodiscard]] mac::Value current_min() const { return min_; }
+
+ private:
+  std::uint32_t diameter_;
+  mac::Value min_;
+  std::uint32_t phase_ = 0;  ///< completed (acked) phases
+  bool decided_ = false;
+};
+
+}  // namespace amac::core

@@ -1,0 +1,181 @@
+#include "core/benor.hpp"
+
+namespace amac::core {
+
+util::Buffer BenOr::WireMsg::encode() const {
+  util::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_uvarint(round);
+  w.put_u8(static_cast<std::uint8_t>(value));
+  return std::move(w).take();
+}
+
+BenOr::WireMsg BenOr::WireMsg::decode(const util::Buffer& buf) {
+  util::Reader r(buf);
+  WireMsg m;
+  m.type = static_cast<Type>(r.get_u8());
+  m.round = static_cast<std::uint32_t>(r.get_uvarint());
+  m.value = r.get_u8();
+  AMAC_ENSURES(r.exhausted());
+  return m;
+}
+
+BenOr::BenOr(std::size_t n, std::size_t f, mac::Value initial_value,
+             std::uint64_t coin_seed)
+    : n_(n), f_(f), x_(initial_value), coin_(coin_seed) {
+  AMAC_EXPECTS(n >= 1);
+  AMAC_EXPECTS(2 * f < n);
+  AMAC_EXPECTS(initial_value == 0 || initial_value == 1);
+}
+
+std::map<NodeId, mac::Value>& BenOr::bucket(std::uint32_t r, Step s) {
+  return inbox_[{r, static_cast<std::uint8_t>(s)}];
+}
+
+void BenOr::on_start(mac::Context& ctx) {
+  begin_step(Step::kReport, ctx);
+}
+
+void BenOr::begin_step(Step step, mac::Context& ctx) {
+  step_ = step;
+  step_broadcast_done_ = false;
+  // The node's own message is part of its collection from the start; the
+  // radio catches up when free. kNoNode keys "self" (real senders are
+  // engine indices).
+  bucket(round_, step_)[kNoNode] =
+      step == Step::kReport ? x_ : proposal_;
+  try_advance(ctx);
+}
+
+void BenOr::decide_and_flood(mac::Value v, mac::Context& ctx) {
+  if (!decided_) {
+    decided_ = true;
+    decision_ = v;
+    // Relay once even if we learned it from a (possibly crashed) decider:
+    // this makes the decision flood self-propagating despite non-atomic
+    // broadcasts.
+    flood_pending_ = true;
+    ctx.decide(v);
+  }
+  try_advance(ctx);
+}
+
+void BenOr::on_receive(const mac::Packet& packet, mac::Context& ctx) {
+  const auto m = WireMsg::decode(packet.payload);
+  switch (m.type) {
+    case WireMsg::Type::kDecide:
+      decide_and_flood(m.value, ctx);
+      return;
+    case WireMsg::Type::kReport:
+      bucket(m.round, Step::kReport)[packet.sender] = m.value;
+      break;
+    case WireMsg::Type::kPropose:
+      bucket(m.round, Step::kPropose)[packet.sender] = m.value;
+      break;
+  }
+  try_advance(ctx);
+}
+
+void BenOr::on_ack(mac::Context& ctx) { try_advance(ctx); }
+
+void BenOr::try_advance(mac::Context& ctx) {
+  if (decided_) {
+    if (flood_pending_ && !flood_sent_ && !ctx.busy()) {
+      flood_pending_ = false;
+      flood_sent_ = true;
+      ctx.broadcast(
+          WireMsg{WireMsg::Type::kDecide, round_, decision_}.encode());
+    }
+    return;
+  }
+
+  for (;;) {
+    // Hand the current step's message to the radio as soon as it is free.
+    if (!step_broadcast_done_ && !ctx.busy()) {
+      const auto type = step_ == Step::kReport ? WireMsg::Type::kReport
+                                               : WireMsg::Type::kPropose;
+      const auto value = step_ == Step::kReport ? x_ : proposal_;
+      ctx.broadcast(WireMsg{type, round_, value}.encode());
+      step_broadcast_done_ = true;
+    }
+    if (!step_broadcast_done_) return;  // radio busy; resume on ack
+
+    auto& collected = bucket(round_, step_);
+    if (collected.size() < n_ - f_) return;  // keep collecting
+
+    std::size_t count0 = 0;
+    std::size_t count1 = 0;
+    for (const auto& [sender, v] : collected) {
+      if (v == 0) ++count0;
+      if (v == 1) ++count1;
+    }
+
+    if (step_ == Step::kReport) {
+      // Strict majority of n (not of the collected subset): at most one
+      // value can qualify, which is the round's safety anchor.
+      if (2 * count0 > n_) {
+        proposal_ = 0;
+      } else if (2 * count1 > n_) {
+        proposal_ = 1;
+      } else {
+        proposal_ = kNoValue;
+      }
+      step_ = Step::kPropose;
+      step_broadcast_done_ = false;
+      bucket(round_, Step::kPropose)[kNoNode] = proposal_;
+      continue;
+    }
+
+    // PROPOSE step complete.
+    if (count0 >= f_ + 1) {
+      decide_and_flood(0, ctx);
+      return;
+    }
+    if (count1 >= f_ + 1) {
+      decide_and_flood(1, ctx);
+      return;
+    }
+    if (count0 >= 1) {
+      x_ = 0;
+    } else if (count1 >= 1) {
+      x_ = 1;
+    } else {
+      x_ = static_cast<mac::Value>(coin_.uniform(0, 1));
+      ++coin_flips_;
+    }
+    // Old rounds can no longer influence anything: drop their buffers.
+    inbox_.erase({round_, static_cast<std::uint8_t>(Step::kReport)});
+    inbox_.erase({round_, static_cast<std::uint8_t>(Step::kPropose)});
+    ++round_;
+    step_ = Step::kReport;
+    step_broadcast_done_ = false;
+    bucket(round_, Step::kReport)[kNoNode] = x_;
+  }
+}
+
+std::unique_ptr<mac::Process> BenOr::clone() const {
+  return std::make_unique<BenOr>(*this);
+}
+
+void BenOr::digest(util::Hasher& h) const {
+  h.mix_u64(n_);
+  h.mix_u64(f_);
+  h.mix_i64(x_);
+  h.mix_u64(round_);
+  h.mix_u8(static_cast<std::uint8_t>(step_));
+  h.mix_i64(proposal_);
+  h.mix_bool(step_broadcast_done_);
+  h.mix_bool(decided_);
+  h.mix_i64(decision_);
+  h.mix_u64(coin_flips_);
+  for (const auto& [key, senders] : inbox_) {
+    h.mix_u64(key.first);
+    h.mix_u8(key.second);
+    for (const auto& [sender, v] : senders) {
+      h.mix_u64(sender);
+      h.mix_i64(v);
+    }
+  }
+}
+
+}  // namespace amac::core

@@ -1,0 +1,97 @@
+// Randomized crash-tolerant consensus — the paper's future work #3.
+//
+// Theorem 3.2 kills every DETERMINISTIC 1-crash-tolerant consensus
+// algorithm in this model; the paper's conclusion points at randomization
+// as the classical way out. This is Ben-Or's algorithm (1983) adapted to
+// the abstract MAC layer's acknowledged single-hop broadcast: it tolerates
+// f < n/2 crash failures, is always safe, and terminates with probability 1
+// (each node carries a seeded coin, so simulated runs are reproducible).
+//
+// Round r (two steps, paced by collecting n-f messages per step):
+//   REPORT:  broadcast <R, r, x>; collect n-f round-r reports (self incl.);
+//            if some value w holds a strict majority OF n, propose w,
+//            else propose ? (at most one such w exists, which is what
+//            makes two conflicting proposals in a round impossible).
+//   PROPOSE: broadcast <P, r, proposal>; collect n-f round-r proposals;
+//            - >= f+1 proposals for w != ?  ->  decide w;
+//            - >= 1 proposal for w != ?     ->  x := w;
+//            - otherwise                    ->  x := coin flip.
+// A decider broadcasts <D, w> once; every receiver decides immediately
+// (quorum intersection makes a conflicting decision impossible, and the
+// decide flood unblocks nodes whose round-peers already halted).
+//
+// Knowledge: n and f. Ids are NOT needed (senders are distinguished by the
+// MAC layer); this does not contradict Theorem 3.3, which concerns
+// deterministic multihop algorithms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "mac/process.hpp"
+#include "util/rng.hpp"
+
+namespace amac::core {
+
+class BenOr final : public mac::Process {
+ public:
+  /// Requires f < n/2 (majority quorums must be available).
+  BenOr(std::size_t n, std::size_t f, mac::Value initial_value,
+        std::uint64_t coin_seed);
+
+  void on_start(mac::Context& ctx) override;
+  void on_receive(const mac::Packet& packet, mac::Context& ctx) override;
+  void on_ack(mac::Context& ctx) override;
+  [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
+  void digest(util::Hasher& h) const override;
+
+  [[nodiscard]] std::uint32_t round() const { return round_; }
+  [[nodiscard]] bool has_decided() const { return decided_; }
+  [[nodiscard]] std::uint64_t coin_flips() const { return coin_flips_; }
+
+ private:
+  enum class Step : std::uint8_t { kReport = 0, kPropose = 1 };
+  /// The "?" proposal (no majority seen).
+  static constexpr mac::Value kNoValue = 2;
+
+  struct WireMsg {
+    enum class Type : std::uint8_t { kReport = 0, kPropose = 1, kDecide = 2 };
+    Type type = Type::kReport;
+    std::uint32_t round = 0;
+    mac::Value value = 0;
+
+    [[nodiscard]] util::Buffer encode() const;
+    [[nodiscard]] static WireMsg decode(const util::Buffer& buf);
+  };
+
+  void try_advance(mac::Context& ctx);
+  void begin_step(Step step, mac::Context& ctx);
+  void decide_and_flood(mac::Value v, mac::Context& ctx);
+
+  /// Messages collected for (round, step): sender -> value. Self-messages
+  /// are recorded directly at broadcast time.
+  [[nodiscard]] std::map<NodeId, mac::Value>& bucket(std::uint32_t r,
+                                                     Step s);
+
+  std::size_t n_;
+  std::size_t f_;
+  mac::Value x_;  ///< current estimate
+  util::Rng coin_;
+
+  std::uint32_t round_ = 1;
+  Step step_ = Step::kReport;
+  mac::Value proposal_ = kNoValue;  ///< this round's PROPOSE value
+  bool step_broadcast_done_ = false;
+  bool decided_ = false;
+  mac::Value decision_ = -1;
+  bool flood_pending_ = false;
+  bool flood_sent_ = false;
+  std::uint64_t coin_flips_ = 0;
+
+  std::map<std::pair<std::uint32_t, std::uint8_t>,
+           std::map<NodeId, mac::Value>>
+      inbox_;
+};
+
+}  // namespace amac::core

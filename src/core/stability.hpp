@@ -1,0 +1,58 @@
+// StabilityConsensus — the natural no-knowledge-of-n candidate that
+// Theorem 3.9 kills.
+//
+// Has unique ids and knows D but NOT n (the knowledge Theorem 3.9 allows).
+// Gather-and-stabilize: flood (id, value) pairs (constant pairs per
+// message), and decide the smallest known id's value after D+1 consecutive
+// acked phases in which nothing new was learned and nothing is left to
+// forward. Under the synchronous scheduler on a standalone line L_D this
+// is correct: quiet phases can only start after the far end's pair has
+// crossed the line.
+//
+// bench_thm39_no_n runs it on Figure 2: standalone L_D (correct) vs the two
+// L_D copies embedded in K_D under the semi-synchronous scheduler, where
+// both copies run the exact standalone execution (the bridge endpoint w's
+// messages are held back) and decide their own values — agreement violation
+// inside a network whose diameter is still D, so knowing D does not help.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "mac/process.hpp"
+
+namespace amac::core {
+
+class StabilityConsensus final : public mac::Process {
+ public:
+  /// Knowledge: own unique id, diameter bound, initial value. No n.
+  StabilityConsensus(std::uint64_t id, std::uint32_t diameter,
+                     mac::Value initial_value,
+                     std::size_t pairs_per_message = 2);
+
+  void on_start(mac::Context& ctx) override;
+  void on_receive(const mac::Packet& packet, mac::Context& ctx) override;
+  void on_ack(mac::Context& ctx) override;
+  [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
+  void digest(util::Hasher& h) const override;
+
+  [[nodiscard]] std::size_t known_count() const { return known_.size(); }
+  [[nodiscard]] std::uint32_t quiet_phases() const { return quiet_; }
+
+ private:
+  void send_batch(mac::Context& ctx);
+
+  std::uint64_t id_;
+  std::uint32_t diameter_;
+  mac::Value value_;
+  std::size_t pairs_per_message_;
+
+  std::map<std::uint64_t, mac::Value> known_;
+  std::deque<std::pair<std::uint64_t, mac::Value>> outbox_;
+  std::uint32_t quiet_ = 0;
+  bool learned_this_phase_ = false;
+  bool decided_ = false;
+};
+
+}  // namespace amac::core

@@ -1,0 +1,139 @@
+#include "core/two_phase.hpp"
+
+namespace amac::core {
+
+util::Buffer TwoPhaseMessage::encode() const {
+  util::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(phase));
+  w.put_uvarint(id);
+  if (phase == Phase::kOne) {
+    w.put_u8(static_cast<std::uint8_t>(value));
+  } else {
+    w.put_u8(static_cast<std::uint8_t>(status));
+    if (status == Status::kDecided) w.put_u8(static_cast<std::uint8_t>(value));
+  }
+  return std::move(w).take();
+}
+
+TwoPhaseMessage TwoPhaseMessage::decode(const util::Buffer& buf) {
+  util::Reader r(buf);
+  TwoPhaseMessage m;
+  m.phase = static_cast<Phase>(r.get_u8());
+  m.id = r.get_uvarint();
+  if (m.phase == Phase::kOne) {
+    m.value = r.get_u8();
+  } else {
+    m.status = static_cast<Status>(r.get_u8());
+    if (m.status == Status::kDecided) m.value = r.get_u8();
+  }
+  AMAC_ENSURES(r.exhausted());
+  return m;
+}
+
+TwoPhaseConsensus::TwoPhaseConsensus(std::uint64_t id,
+                                     mac::Value initial_value,
+                                     bool literal_r2_check)
+    : id_(id), value_(initial_value), literal_r2_check_(literal_r2_check) {
+  AMAC_EXPECTS(initial_value == 0 || initial_value == 1);
+}
+
+void TwoPhaseConsensus::on_start(mac::Context& ctx) {
+  AMAC_EXPECTS(stage_ == Stage::kInit);
+  stage_ = Stage::kPhase1;
+  ids_seen_.insert(id_);
+  ctx.broadcast(
+      TwoPhaseMessage{TwoPhaseMessage::Phase::kOne, id_, value_, {}}.encode());
+}
+
+void TwoPhaseConsensus::handle(const TwoPhaseMessage& m, bool into_r2) {
+  ids_seen_.insert(m.id);
+  if (m.phase == TwoPhaseMessage::Phase::kOne) {
+    if (m.value != value_) saw_opposite_p1_ = true;
+    return;
+  }
+  phase2_seen_.insert(m.id);
+  if (m.status == TwoPhaseMessage::Status::kBivalent) saw_bivalent_p2_ = true;
+  if (m.status == TwoPhaseMessage::Status::kDecided && m.value == 0) {
+    saw_decided0_any_ = true;
+    if (into_r2) saw_decided0_r2_ = true;
+  }
+}
+
+void TwoPhaseConsensus::on_receive(const mac::Packet& packet,
+                                   mac::Context& ctx) {
+  if (stage_ == Stage::kDone) return;
+  const auto m = TwoPhaseMessage::decode(packet.payload);
+  const bool into_r2 = stage_ == Stage::kPhase2 ||
+                       stage_ == Stage::kAwaitWitnesses;
+  handle(m, into_r2);
+  if (stage_ == Stage::kAwaitWitnesses) try_finish_witness_wait(ctx);
+}
+
+void TwoPhaseConsensus::on_ack(mac::Context& ctx) {
+  switch (stage_) {
+    case Stage::kPhase1: {
+      status_ = (saw_opposite_p1_ || saw_bivalent_p2_)
+                    ? TwoPhaseMessage::Status::kBivalent
+                    : TwoPhaseMessage::Status::kDecided;
+      stage_ = Stage::kPhase2;
+      TwoPhaseMessage m{TwoPhaseMessage::Phase::kTwo, id_, value_, status_};
+      // The node's own phase-2 message is in R2 by construction (line 15).
+      handle(m, /*into_r2=*/true);
+      ctx.broadcast(m.encode());
+      return;
+    }
+    case Stage::kPhase2: {
+      if (status_ == TwoPhaseMessage::Status::kDecided) {
+        stage_ = Stage::kDone;
+        ctx.decide(value_);
+        return;
+      }
+      // Line 19: W := every unique id heard from so far.
+      witnesses_ = ids_seen_;
+      stage_ = Stage::kAwaitWitnesses;
+      try_finish_witness_wait(ctx);
+      return;
+    }
+    case Stage::kInit:
+    case Stage::kAwaitWitnesses:
+    case Stage::kDone:
+      return;  // spurious ack (e.g. a discarded duplicate); nothing to do
+  }
+}
+
+bool TwoPhaseConsensus::witnesses_complete() const {
+  for (const auto id : witnesses_) {
+    if (!phase2_seen_.contains(id)) return false;
+  }
+  return true;
+}
+
+void TwoPhaseConsensus::try_finish_witness_wait(mac::Context& ctx) {
+  AMAC_EXPECTS(stage_ == Stage::kAwaitWitnesses);
+  if (!witnesses_complete()) return;
+  stage_ = Stage::kDone;
+  const bool saw0 = literal_r2_check_ ? saw_decided0_r2_ : saw_decided0_any_;
+  ctx.decide(saw0 ? 0 : 1);
+}
+
+std::unique_ptr<mac::Process> TwoPhaseConsensus::clone() const {
+  return std::make_unique<TwoPhaseConsensus>(*this);
+}
+
+void TwoPhaseConsensus::digest(util::Hasher& h) const {
+  h.mix_u64(id_);
+  h.mix_i64(value_);
+  h.mix_u8(static_cast<std::uint8_t>(stage_));
+  h.mix_u8(static_cast<std::uint8_t>(status_));
+  h.mix_u64(ids_seen_.size());
+  for (const auto id : ids_seen_) h.mix_u64(id);
+  h.mix_u64(phase2_seen_.size());
+  for (const auto id : phase2_seen_) h.mix_u64(id);
+  h.mix_bool(saw_opposite_p1_);
+  h.mix_bool(saw_bivalent_p2_);
+  h.mix_bool(saw_decided0_any_);
+  h.mix_u64(witnesses_.size());
+  for (const auto id : witnesses_) h.mix_u64(id);
+}
+
+}  // namespace amac::core

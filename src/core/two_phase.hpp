@@ -1,0 +1,96 @@
+// Two-Phase Consensus (paper §4.1, Algorithm 1).
+//
+// Solves binary consensus in SINGLE HOP networks in O(F_ack) time — two
+// acknowledged broadcasts plus a bounded wait — assuming unique ids but NO
+// knowledge of n or of the participants (the separation from the plain
+// asynchronous broadcast model, where this is impossible [Abboud et al.]).
+//
+// Operation (node u, initial value v):
+//   Phase 1: broadcast <phase1, id_u, v>; on ack, set
+//     status := bivalent   if a <phase1, *, 1-v> or a bivalent <phase2> was
+//                          seen, else
+//     status := decided(v).
+//   Phase 2: broadcast <phase2, id_u, status>; on ack,
+//     - decided(v) status: decide v;
+//     - bivalent status: form witness set W = every id heard from so far,
+//       wait for a phase-2 message from every member of W, then decide 0 if
+//       any decided(0) status was seen, else the default 1.
+//
+// Implementation note (documented deviation): Algorithm 1's line 23 checks
+// only R2 (messages received after the phase-2 broadcast started) for
+// decided(0) statuses, but a decided(0) phase-2 message can legally arrive
+// before the receiver's phase-1 ack and land only in R1, in which case the
+// literal rule decides 1 against u's decided 0. The correctness proof
+// (Theorem 4.1, case 1) reasons about "seeing" u's phase-2 message with no
+// R1/R2 restriction, so we check all received messages. Constructing
+// `TwoPhaseConsensus` with `literal_r2_check = true` reproduces the literal
+// pseudocode; the test suite exhibits the 2-node schedule on which the
+// literal variant violates agreement and the fixed variant does not.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "mac/process.hpp"
+
+namespace amac::core {
+
+/// Wire format of Algorithm 1's messages.
+struct TwoPhaseMessage {
+  enum class Phase : std::uint8_t { kOne = 1, kTwo = 2 };
+  enum class Status : std::uint8_t { kNone = 0, kBivalent, kDecided };
+
+  Phase phase = Phase::kOne;
+  std::uint64_t id = 0;
+  mac::Value value = 0;      ///< phase 1: initial value; phase 2 decided: v
+  Status status = Status::kNone;  ///< phase 2 only
+
+  [[nodiscard]] util::Buffer encode() const;
+  [[nodiscard]] static TwoPhaseMessage decode(const util::Buffer& buf);
+};
+
+class TwoPhaseConsensus final : public mac::Process {
+ public:
+  /// Knowledge: own unique id and initial value. No n, no participants.
+  TwoPhaseConsensus(std::uint64_t id, mac::Value initial_value,
+                    bool literal_r2_check = false);
+
+  void on_start(mac::Context& ctx) override;
+  void on_receive(const mac::Packet& packet, mac::Context& ctx) override;
+  void on_ack(mac::Context& ctx) override;
+  [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
+  void digest(util::Hasher& h) const override;
+
+  /// Observable for tests: the status chosen after the phase-1 ack.
+  [[nodiscard]] TwoPhaseMessage::Status status() const { return status_; }
+
+ private:
+  enum class Stage : std::uint8_t {
+    kInit,
+    kPhase1,           ///< phase-1 broadcast outstanding
+    kPhase2,           ///< phase-2 broadcast outstanding
+    kAwaitWitnesses,   ///< bivalent, waiting for W's phase-2 messages
+    kDone,
+  };
+
+  void handle(const TwoPhaseMessage& m, bool into_r2);
+  void try_finish_witness_wait(mac::Context& ctx);
+  [[nodiscard]] bool witnesses_complete() const;
+
+  std::uint64_t id_;
+  mac::Value value_;
+  bool literal_r2_check_;
+
+  Stage stage_ = Stage::kInit;
+  TwoPhaseMessage::Status status_ = TwoPhaseMessage::Status::kNone;
+
+  std::set<std::uint64_t> ids_seen_;      ///< senders of all messages seen
+  std::set<std::uint64_t> phase2_seen_;   ///< ids with a phase-2 seen (any R)
+  bool saw_opposite_p1_ = false;          ///< <phase1, *, 1-v> seen
+  bool saw_bivalent_p2_ = false;          ///< bivalent <phase2> seen
+  bool saw_decided0_any_ = false;         ///< decided(0) seen anywhere
+  bool saw_decided0_r2_ = false;          ///< decided(0) seen after phase 2
+  std::set<std::uint64_t> witnesses_;     ///< W, fixed at the phase-2 ack
+};
+
+}  // namespace amac::core

@@ -1,0 +1,88 @@
+// Shared experiment plumbing for the bench binaries and integration tests:
+// input patterns, id assignments, process factories for every algorithm in
+// the library, and a one-call consensus runner.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/anonymous.hpp"
+#include "core/benor.hpp"
+#include "core/flooding.hpp"
+#include "core/stability.hpp"
+#include "core/two_phase.hpp"
+#include "core/wpaxos/wpaxos.hpp"
+#include "mac/engine.hpp"
+#include "mac/schedulers.hpp"
+#include "util/rng.hpp"
+#include "verify/checker.hpp"
+
+namespace amac::harness {
+
+// ---- initial value patterns -------------------------------------------
+
+[[nodiscard]] std::vector<mac::Value> inputs_all(std::size_t n, mac::Value v);
+/// 0,1,0,1,... (worst case for agreement pressure).
+[[nodiscard]] std::vector<mac::Value> inputs_alternating(std::size_t n);
+/// First half 0, second half 1 (worst case for partition arguments).
+[[nodiscard]] std::vector<mac::Value> inputs_split(std::size_t n);
+[[nodiscard]] std::vector<mac::Value> inputs_random(std::size_t n,
+                                                    util::Rng& rng);
+/// Arbitrary-domain inputs in [0, limit) — for the general-value consensus
+/// supported by wPAXOS and the flooding baseline (binary is the paper's
+/// scope; PAXOS generalizes for free at an O(b)-bits message cost).
+[[nodiscard]] std::vector<mac::Value> inputs_multivalued(std::size_t n,
+                                                         mac::Value limit,
+                                                         util::Rng& rng);
+
+// ---- id assignments ----------------------------------------------------
+
+/// ids[index] == index.
+[[nodiscard]] std::vector<std::uint64_t> identity_ids(std::size_t n);
+/// A random permutation of 0..n-1: moves the eventual wPAXOS leader (the
+/// max id) to a random position in the topology.
+[[nodiscard]] std::vector<std::uint64_t> permuted_ids(std::size_t n,
+                                                      util::Rng& rng);
+
+// ---- process factories -------------------------------------------------
+
+[[nodiscard]] mac::ProcessFactory two_phase_factory(
+    std::vector<mac::Value> inputs, bool literal_r2_check = false);
+
+[[nodiscard]] mac::ProcessFactory flooding_factory(
+    std::vector<mac::Value> inputs, std::size_t pairs_per_message = 2);
+
+[[nodiscard]] mac::ProcessFactory wpaxos_factory(
+    std::vector<mac::Value> inputs, std::vector<std::uint64_t> ids,
+    core::wpaxos::WPaxosConfig config = {});
+
+[[nodiscard]] mac::ProcessFactory anonymous_factory(
+    std::vector<mac::Value> inputs, std::uint32_t diameter);
+
+[[nodiscard]] mac::ProcessFactory stability_factory(
+    std::vector<mac::Value> inputs, std::uint32_t diameter,
+    std::vector<std::uint64_t> ids, std::size_t pairs_per_message = 2);
+
+/// Ben-Or randomized consensus (crash-tolerant, f < n/2); per-node coin
+/// seeds are derived from `seed`.
+[[nodiscard]] mac::ProcessFactory benor_factory(std::vector<mac::Value> inputs,
+                                                std::size_t f,
+                                                std::uint64_t seed);
+
+// ---- runner -------------------------------------------------------------
+
+struct Outcome {
+  verify::ConsensusVerdict verdict;
+  mac::EngineStats stats;
+  mac::Time end_time = 0;
+};
+
+/// Builds a network, runs it to all-decided (or max_time), and checks the
+/// consensus properties against `inputs`.
+[[nodiscard]] Outcome run_consensus(const net::Graph& graph,
+                                    const mac::ProcessFactory& factory,
+                                    mac::Scheduler& scheduler,
+                                    const std::vector<mac::Value>& inputs,
+                                    mac::Time max_time);
+
+}  // namespace amac::harness

@@ -1,0 +1,177 @@
+// The timed abstract-MAC-layer engine: a deterministic discrete-event
+// simulator implementing the model of paper §2.
+//
+// Semantics implemented here, mapped to the paper's guarantees:
+//   * broadcast(m) by u at time t: the scheduler picks receive delays for
+//     every neighbor and an ack delay, receives within [t+1, t+ack] and the
+//     ack at t+ack (same-tick receives are processed before acks), so every
+//     non-faulty neighbor receives m in the interval between the broadcast
+//     and the ack — the defining abstract MAC layer guarantee;
+//   * additional broadcasts while one is outstanding are discarded;
+//   * broadcast is not atomic: a node crashing mid-broadcast (CrashPlan)
+//     cancels the deliveries scheduled after the crash tick while earlier
+//     ones still happen — some neighbors receive, some never do;
+//   * local computation takes zero time: callbacks run at the event's tick.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "mac/process.hpp"
+#include "mac/scheduler.hpp"
+#include "net/graph.hpp"
+
+namespace amac::mac {
+
+/// A scheduled crash: `node` halts at tick `when` (before any event at a
+/// strictly later tick; deliveries at `when` itself still occur).
+struct CrashPlan {
+  NodeId node = kNoNode;
+  Time when = 0;
+};
+
+/// A node's decision record.
+struct Decision {
+  bool decided = false;
+  Value value = -1;
+  Time time = 0;
+};
+
+/// Aggregate accounting across a run.
+struct EngineStats {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t dropped_busy = 0;  ///< broadcasts discarded while busy
+  std::uint64_t deliveries = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t payload_bytes = 0;
+  std::size_t max_payload_bytes = 0;
+};
+
+/// When `run` should stop (besides the time horizon).
+enum class StopWhen {
+  kAllDecided,  ///< every non-crashed node has decided
+  kQuiescent,   ///< no events left
+};
+
+struct RunResult {
+  bool condition_met = false;  ///< stop condition reached within the horizon
+  Time end_time = 0;           ///< virtual time when the run stopped
+};
+
+/// One simulated network: topology + processes + scheduler.
+class Network {
+ public:
+  /// Builds a process per node via `factory`. The scheduler is borrowed and
+  /// must outlive the network. `unreliable_overlay`, if given, is a second
+  /// edge set (disjoint from `graph`'s) on which deliveries are
+  /// best-effort, decided per broadcast by Scheduler::schedule_unreliable —
+  /// the dual-graph abstract MAC layer model the paper leaves as future
+  /// work. Acks never wait for overlay deliveries beyond the reliable ack
+  /// delay; overlay receives still land within the broadcast window.
+  Network(const net::Graph& graph, const ProcessFactory& factory,
+          Scheduler& scheduler,
+          const net::Graph* unreliable_overlay = nullptr);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a crash before running. Multiple crashes are allowed (the
+  /// paper's impossibility needs one; the engine does not restrict).
+  void schedule_crash(const CrashPlan& plan);
+
+  /// Invoked after every processed event; used by invariant monitors
+  /// (e.g. the Lemma 4.2 response-count conservation check).
+  void set_post_event_hook(std::function<void(Network&)> hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
+  /// Runs until the stop condition, the event queue drains, or virtual time
+  /// would exceed `max_time`.
+  RunResult run(StopWhen until, Time max_time);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] const Decision& decision(NodeId u) const;
+  [[nodiscard]] bool crashed(NodeId u) const;
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] const net::Graph& graph() const { return *graph_; }
+
+  /// The process at u (for tests and invariant monitors).
+  [[nodiscard]] Process& process(NodeId u);
+  [[nodiscard]] const Process& process(NodeId u) const;
+
+  /// Count of in-flight (scheduled, not yet delivered/cancelled) payload
+  /// copies from `sender`'s current broadcast (monitor support).
+  [[nodiscard]] std::size_t in_flight_from(NodeId sender) const;
+
+  /// Visits every in-flight copy as (sender, receiver-not-yet-delivered,
+  /// payload). Used by the Lemma 4.2 response-count conservation monitor,
+  /// whose invariant Q(p, s) sums over exactly these messages.
+  void for_each_in_flight(
+      const std::function<void(NodeId, NodeId, const util::Buffer&)>& fn)
+      const;
+
+  /// True once every non-crashed node decided.
+  [[nodiscard]] bool all_alive_decided() const;
+
+ private:
+  enum class EventKind : std::uint8_t { kDeliver = 0, kAck = 1, kCrash = 2 };
+
+  struct Event {
+    Time t = 0;
+    EventKind kind = EventKind::kDeliver;
+    std::uint64_t seq = 0;  ///< FIFO tie-break within a tick
+    NodeId node = kNoNode;  ///< receiver (deliver), sender (ack), crashee
+    NodeId sender = kNoNode;               ///< deliver only
+    std::uint64_t broadcast_id = 0;        ///< deliver/ack: which broadcast
+    std::shared_ptr<const util::Buffer> payload;  ///< deliver only
+    bool reliable = true;                  ///< deliver: edge class
+
+    [[nodiscard]] bool operator>(const Event& o) const {
+      if (t != o.t) return t > o.t;
+      if (kind != o.kind) return kind > o.kind;
+      return seq > o.seq;
+    }
+  };
+
+  struct NodeState {
+    std::unique_ptr<Process> process;
+    bool busy = false;
+    bool crashed = false;
+    Time crash_time = kForever;
+    std::uint64_t current_broadcast = 0;  ///< id of outstanding broadcast
+    Decision decision;
+  };
+
+  /// Bookkeeping for one broadcast's undelivered copies.
+  struct Flight {
+    NodeId sender = kNoNode;
+    std::shared_ptr<const util::Buffer> payload;
+    std::vector<NodeId> pending;          ///< receivers not yet delivered
+    std::size_t undrained_events = 0;     ///< deliver events not yet popped
+  };
+
+  class NodeContext;  // Context implementation bound to one node
+
+  void start_broadcast(NodeId u, util::Buffer payload);
+  void process_event(const Event& e);
+
+  const net::Graph* graph_;
+  const net::Graph* overlay_ = nullptr;  ///< unreliable edges (optional)
+  Scheduler* scheduler_;
+  std::vector<NodeState> nodes_;
+  std::map<std::uint64_t, Flight> flights_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_broadcast_id_ = 1;
+  Time now_ = 0;
+  std::size_t undecided_alive_ = 0;
+  EngineStats stats_;
+  std::function<void(Network&)> post_event_hook_;
+  bool started_ = false;
+};
+
+}  // namespace amac::mac

@@ -1,0 +1,57 @@
+// The message scheduler interface — the model's source of non-determinism.
+//
+// Paper §2: the scheduler may deliver a broadcast's copies to neighbors in
+// any order and at any times, and must deliver the ack after all copies, at
+// most F_ack after the broadcast. All of the paper's lower-bound proofs are
+// statements about specific adversarial schedulers; this interface lets each
+// proof's adversary be instantiated as an object (see schedulers.hpp).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "mac/types.hpp"
+
+namespace amac::mac {
+
+/// The scheduler's answer for one broadcast: when each neighbor receives the
+/// message and when the sender is acked, as delays from the broadcast time.
+/// Contract: ack_delay >= 1, and 1 <= delay <= ack_delay for every receive
+/// (receives happen within the [broadcast, ack] interval; the engine orders
+/// same-tick receives before acks).
+struct BroadcastSchedule {
+  Time ack_delay = 1;
+  std::vector<std::pair<NodeId, Time>> receive_delays;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Schedules the broadcast `sender` starts at `now` toward `neighbors`.
+  /// Must return one receive entry per neighbor.
+  [[nodiscard]] virtual BroadcastSchedule schedule(
+      NodeId sender, Time now, const std::vector<NodeId>& neighbors) = 0;
+
+  /// Best-effort deliveries over the unreliable overlay (dual-graph model):
+  /// returns the subset of `overlay_neighbors` that actually receive this
+  /// broadcast, with delays in [1, ack_delay]. The scheduler may deliver
+  /// all, some, or none — that is the model's entire guarantee. Default:
+  /// nothing is delivered.
+  [[nodiscard]] virtual std::vector<std::pair<NodeId, Time>>
+  schedule_unreliable(NodeId sender, Time now,
+                      const std::vector<NodeId>& overlay_neighbors,
+                      Time ack_delay) {
+    (void)sender;
+    (void)now;
+    (void)overlay_neighbors;
+    (void)ack_delay;
+    return {};
+  }
+
+  /// The F_ack bound this scheduler guarantees: no ack is delayed by more
+  /// than this. Unknown to processes; used by experiments to normalize time.
+  [[nodiscard]] virtual Time fack() const = 0;
+};
+
+}  // namespace amac::mac

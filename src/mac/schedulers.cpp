@@ -1,0 +1,140 @@
+#include "mac/schedulers.hpp"
+
+#include "util/hash.hpp"
+
+namespace amac::mac {
+
+BroadcastSchedule SynchronousScheduler::schedule(
+    NodeId /*sender*/, Time /*now*/, const std::vector<NodeId>& neighbors) {
+  BroadcastSchedule s;
+  s.ack_delay = round_;
+  s.receive_delays.reserve(neighbors.size());
+  for (const NodeId v : neighbors) s.receive_delays.emplace_back(v, round_);
+  return s;
+}
+
+BroadcastSchedule MaxDelayScheduler::schedule(
+    NodeId /*sender*/, Time /*now*/, const std::vector<NodeId>& neighbors) {
+  BroadcastSchedule s;
+  s.ack_delay = fack_;
+  s.receive_delays.reserve(neighbors.size());
+  for (const NodeId v : neighbors) s.receive_delays.emplace_back(v, fack_);
+  return s;
+}
+
+BroadcastSchedule UniformRandomScheduler::schedule(
+    NodeId /*sender*/, Time /*now*/, const std::vector<NodeId>& neighbors) {
+  BroadcastSchedule s;
+  s.ack_delay = rng_.uniform(1, fack_);
+  s.receive_delays.reserve(neighbors.size());
+  for (const NodeId v : neighbors) {
+    s.receive_delays.emplace_back(v, rng_.uniform(1, s.ack_delay));
+  }
+  return s;
+}
+
+Time SkewedScheduler::edge_delay(NodeId from, NodeId to) const {
+  util::Hasher h;
+  h.mix_u64(seed_);
+  h.mix_u64(from);
+  h.mix_u64(to);
+  return 1 + h.digest() % fack_;
+}
+
+BroadcastSchedule SkewedScheduler::schedule(
+    NodeId sender, Time /*now*/, const std::vector<NodeId>& neighbors) {
+  BroadcastSchedule s;
+  s.ack_delay = 1;
+  s.receive_delays.reserve(neighbors.size());
+  for (const NodeId v : neighbors) {
+    const Time d = edge_delay(sender, v);
+    s.receive_delays.emplace_back(v, d);
+    s.ack_delay = std::max(s.ack_delay, d);
+  }
+  return s;
+}
+
+BroadcastSchedule HoldbackScheduler::schedule(
+    NodeId sender, Time now, const std::vector<NodeId>& neighbors) {
+  BroadcastSchedule s = base_->schedule(sender, now, neighbors);
+  const auto sender_hold = held_senders_.find(sender);
+  for (auto& [receiver, delay] : s.receive_delays) {
+    Time release = 0;
+    if (sender_hold != held_senders_.end()) release = sender_hold->second;
+    if (const auto edge_hold = held_edges_.find({sender, receiver});
+        edge_hold != held_edges_.end()) {
+      release = std::max(release, edge_hold->second);
+    }
+    if (now + delay < release) delay = release - now;
+    s.ack_delay = std::max(s.ack_delay, delay);
+  }
+  return s;
+}
+
+BroadcastSchedule ContentionScheduler::schedule(
+    NodeId /*sender*/, Time now, const std::vector<NodeId>& neighbors) {
+  BroadcastSchedule s;
+  s.ack_delay = 1;
+  s.receive_delays.reserve(neighbors.size());
+  for (const NodeId v : neighbors) {
+    Time at = now + rng_.uniform(1, base_);
+    auto& free_at = next_free_[v];
+    at = std::max(at, free_at);
+    free_at = at + 1;
+    const Time delay = at - now;
+    AMAC_ENSURES(delay <= fack_bound_);  // raise fack_bound for this density
+    s.receive_delays.emplace_back(v, delay);
+    s.ack_delay = std::max(s.ack_delay, delay);
+  }
+  return s;
+}
+
+std::vector<std::pair<NodeId, Time>> LossyScheduler::schedule_unreliable(
+    NodeId /*sender*/, Time now, const std::vector<NodeId>& overlay_neighbors,
+    Time ack_delay) {
+  std::vector<std::pair<NodeId, Time>> out;
+  if (now >= cutoff_) return out;
+  for (const NodeId v : overlay_neighbors) {
+    if (!rng_.chance(probability_)) continue;
+    const Time delay = rng_.uniform(1, ack_delay);
+    // Never deliver at or past the cutoff.
+    if (now + delay >= cutoff_) continue;
+    out.emplace_back(v, delay);
+  }
+  return out;
+}
+
+void ScriptedScheduler::script(NodeId sender, std::size_t index,
+                               Time ack_delay,
+                               std::vector<std::pair<NodeId, Time>> delays) {
+  AMAC_EXPECTS(ack_delay >= 1);
+  for (const auto& [receiver, delay] : delays) {
+    AMAC_EXPECTS(delay >= 1 && delay <= ack_delay);
+  }
+  max_ack_ = std::max(max_ack_, ack_delay);
+  script_[{sender, index}] = Entry{ack_delay, std::move(delays)};
+}
+
+BroadcastSchedule ScriptedScheduler::schedule(
+    NodeId sender, Time /*now*/, const std::vector<NodeId>& neighbors) {
+  const std::size_t index = broadcast_counts_[sender]++;
+  BroadcastSchedule s;
+  const auto it = script_.find({sender, index});
+  if (it == script_.end()) {
+    s.ack_delay = 1;
+    for (const NodeId v : neighbors) s.receive_delays.emplace_back(v, 1);
+    return s;
+  }
+  const Entry& entry = it->second;
+  s.ack_delay = entry.ack_delay;
+  for (const NodeId v : neighbors) {
+    Time delay = 1;
+    for (const auto& [receiver, d] : entry.delays) {
+      if (receiver == v) delay = d;
+    }
+    s.receive_delays.emplace_back(v, delay);
+  }
+  return s;
+}
+
+}  // namespace amac::mac

@@ -1,0 +1,228 @@
+// The scheduler suite: every adversary the paper's proofs use, plus
+// randomized schedulers for upper-bound coverage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "mac/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace amac::mac {
+
+/// The paper's "synchronous scheduler" (§3.2): lock-step rounds. Every copy
+/// of a broadcast is delivered `round` ticks after the broadcast, and the
+/// ack arrives at the same tick (the engine orders receives first), so all
+/// nodes advance in rounds of length `round`. With round = F this is also
+/// the Theorem 3.10 adversary (maximum delay between synchronous steps).
+class SynchronousScheduler final : public Scheduler {
+ public:
+  explicit SynchronousScheduler(Time round = 1) : round_(round) {
+    AMAC_EXPECTS(round >= 1);
+  }
+
+  [[nodiscard]] BroadcastSchedule schedule(
+      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  [[nodiscard]] Time fack() const override { return round_; }
+
+ private:
+  Time round_;
+};
+
+/// Everything takes exactly F_ack: the straightforward worst-case scheduler.
+class MaxDelayScheduler final : public Scheduler {
+ public:
+  explicit MaxDelayScheduler(Time fack) : fack_(fack) {
+    AMAC_EXPECTS(fack >= 1);
+  }
+
+  [[nodiscard]] BroadcastSchedule schedule(
+      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  [[nodiscard]] Time fack() const override { return fack_; }
+
+ private:
+  Time fack_;
+};
+
+/// Fully random: each broadcast gets an ack delay uniform in [1, F_ack] and
+/// per-neighbor receive delays uniform in [1, ack delay]. Deterministic
+/// given the seed.
+class UniformRandomScheduler final : public Scheduler {
+ public:
+  UniformRandomScheduler(Time fack, std::uint64_t seed)
+      : fack_(fack), rng_(seed) {
+    AMAC_EXPECTS(fack >= 1);
+  }
+
+  [[nodiscard]] BroadcastSchedule schedule(
+      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  [[nodiscard]] Time fack() const override { return fack_; }
+
+ private:
+  Time fack_;
+  util::Rng rng_;
+};
+
+/// Per-directed-edge fixed delays in [1, F_ack], derived from a seed: some
+/// links are persistently fast, some persistently slow. Stresses wPAXOS's
+/// tree stabilization with asymmetric topologies of effective latency.
+class SkewedScheduler final : public Scheduler {
+ public:
+  SkewedScheduler(Time fack, std::uint64_t seed) : fack_(fack), seed_(seed) {
+    AMAC_EXPECTS(fack >= 1);
+  }
+
+  [[nodiscard]] BroadcastSchedule schedule(
+      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  [[nodiscard]] Time fack() const override { return fack_; }
+
+ private:
+  [[nodiscard]] Time edge_delay(NodeId from, NodeId to) const;
+
+  Time fack_;
+  std::uint64_t seed_;
+};
+
+/// Wraps a base scheduler and withholds deliveries on selected directed
+/// edges until a release tick. This is the shape of both partition
+/// adversaries in the paper: the §3.2 alpha_A scheduler (hold everything the
+/// bridge q sends) and the §3.3 semi-synchronous scheduler (hold everything
+/// the L_{D-1} endpoint w sends). Held deliveries also push the sender's ack
+/// past the release tick, which is legal: F_ack is finite but unknown to the
+/// nodes, so no node can detect the hold.
+class HoldbackScheduler final : public Scheduler {
+ public:
+  HoldbackScheduler(std::unique_ptr<Scheduler> base, Time release)
+      : base_(std::move(base)), release_(release) {
+    AMAC_EXPECTS(base_ != nullptr);
+  }
+
+  /// Withholds every delivery from `sender` (to any neighbor) until the
+  /// scheduler's release tick.
+  void hold_sender(NodeId sender) { held_senders_[sender] = release_; }
+
+  /// Same, with a per-sender release (staggered wake-ups).
+  void hold_sender_until(NodeId sender, Time release) {
+    held_senders_[sender] = release;
+  }
+
+  /// Withholds deliveries from `sender` to `receiver` until release.
+  void hold_edge(NodeId sender, NodeId receiver) {
+    held_edges_[{sender, receiver}] = release_;
+  }
+
+  [[nodiscard]] BroadcastSchedule schedule(
+      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+
+  /// The effective bound: base F_ack plus the largest hold window.
+  [[nodiscard]] Time fack() const override {
+    Time latest = release_;
+    for (const auto& [sender, release] : held_senders_) {
+      latest = std::max(latest, release);
+    }
+    for (const auto& [edge, release] : held_edges_) {
+      latest = std::max(latest, release);
+    }
+    return latest + base_->fack();
+  }
+
+ private:
+  std::unique_ptr<Scheduler> base_;
+  Time release_;
+  std::map<NodeId, Time> held_senders_;
+  std::map<std::pair<NodeId, NodeId>, Time> held_edges_;
+};
+
+/// Receiver-side contention: a radio decodes one frame at a time, so each
+/// receiver absorbs at most one delivery per tick; concurrent broadcasts
+/// into the same neighborhood queue up. This models the congestion
+/// behavior behind the F_prog parameter of the full abstract MAC layer
+/// ([29]) which the paper omits: delays grow with local contention but
+/// stay below the declared bound. Construct with
+/// fack_bound >= base * (max in-degree + 1); violations trip a contract
+/// check rather than silently breaking the model.
+class ContentionScheduler final : public Scheduler {
+ public:
+  ContentionScheduler(Time base, Time fack_bound, std::uint64_t seed)
+      : base_(base), fack_bound_(fack_bound), rng_(seed) {
+    AMAC_EXPECTS(base >= 1);
+    AMAC_EXPECTS(fack_bound >= base);
+  }
+
+  [[nodiscard]] BroadcastSchedule schedule(
+      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  [[nodiscard]] Time fack() const override { return fack_bound_; }
+
+ private:
+  Time base_;
+  Time fack_bound_;
+  util::Rng rng_;
+  std::map<NodeId, Time> next_free_;  ///< receiver -> next decodable tick
+};
+
+/// Dual-graph adversary: wraps a base scheduler (which keeps deciding the
+/// reliable deliveries) and delivers each unreliable-overlay copy with
+/// probability `delivery_probability` — but never after the optional
+/// `cutoff` tick. The cutoff builds the adversary that breaks wPAXOS's
+/// liveness when its trees are allowed to route over unreliable edges: be
+/// generous while routes form, then go silent (see bench_unreliable).
+class LossyScheduler final : public Scheduler {
+ public:
+  LossyScheduler(std::unique_ptr<Scheduler> base, double delivery_probability,
+                 std::uint64_t seed)
+      : base_(std::move(base)), probability_(delivery_probability),
+        rng_(seed) {
+    AMAC_EXPECTS(base_ != nullptr);
+    AMAC_EXPECTS(delivery_probability >= 0.0 && delivery_probability <= 1.0);
+  }
+
+  /// Unreliable edges deliver nothing at or after this tick.
+  void set_cutoff(Time cutoff) { cutoff_ = cutoff; }
+
+  [[nodiscard]] BroadcastSchedule schedule(
+      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override {
+    return base_->schedule(sender, now, neighbors);
+  }
+
+  [[nodiscard]] std::vector<std::pair<NodeId, Time>> schedule_unreliable(
+      NodeId sender, Time now, const std::vector<NodeId>& overlay_neighbors,
+      Time ack_delay) override;
+
+  [[nodiscard]] Time fack() const override { return base_->fack(); }
+
+ private:
+  std::unique_ptr<Scheduler> base_;
+  double probability_;
+  util::Rng rng_;
+  Time cutoff_ = kForever;
+};
+
+/// Fully scripted delays for exact adversarial timelines in tests and
+/// counterexample reproductions: the i-th broadcast of a sender uses its
+/// scripted (ack delay, per-receiver delays); unscripted broadcasts fall
+/// back to synchronous rounds of length 1.
+class ScriptedScheduler final : public Scheduler {
+ public:
+  ScriptedScheduler() = default;
+
+  /// Scripts the `index`-th broadcast (0-based) of `sender`. Receivers not
+  /// listed get delay 1. Requires ack_delay >= every listed delay.
+  void script(NodeId sender, std::size_t index, Time ack_delay,
+              std::vector<std::pair<NodeId, Time>> delays);
+
+  [[nodiscard]] BroadcastSchedule schedule(
+      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  [[nodiscard]] Time fack() const override { return max_ack_; }
+
+ private:
+  struct Entry {
+    Time ack_delay = 1;
+    std::vector<std::pair<NodeId, Time>> delays;
+  };
+  std::map<std::pair<NodeId, std::size_t>, Entry> script_;
+  std::map<NodeId, std::size_t> broadcast_counts_;
+  Time max_ack_ = 1;
+};
+
+}  // namespace amac::mac

@@ -1,0 +1,36 @@
+// Core value types of the abstract MAC layer model (paper §2).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "net/graph.hpp"
+#include "util/serde.hpp"
+
+namespace amac::mac {
+
+/// Virtual time in ticks. Local computation is instantaneous (paper §2);
+/// only message receive/ack scheduling advances time.
+using Time = std::uint64_t;
+
+inline constexpr Time kForever = std::numeric_limits<Time>::max();
+
+/// A message as observed by a receiver: the sender plus the payload bytes.
+/// The model gives receivers the sender's link-layer identity (messages come
+/// from a neighbor); algorithms that must be anonymous simply never put ids
+/// in their payloads and never read `sender` (enforced by code review +
+/// the Figure 1 indistinguishability test, which would fail if they did).
+struct Packet {
+  NodeId sender = kNoNode;
+  util::Buffer payload;
+  /// False when the packet arrived over a best-effort edge of the
+  /// unreliable overlay (the dual-graph abstract MAC layer model of [29],
+  /// the paper's first future-work direction). Reliable-graph deliveries
+  /// are always true.
+  bool reliable = true;
+};
+
+/// Binary consensus value (paper §2 studies binary consensus).
+using Value = int;
+
+}  // namespace amac::mac

@@ -1,0 +1,74 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace amac::net {
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  AMAC_EXPECTS(u < adj_.size() && v < adj_.size());
+  AMAC_EXPECTS(u != v);
+  AMAC_EXPECTS(!has_edge(u, v));
+  // Keep adjacency sorted so iteration order (and therefore every simulated
+  // execution) is deterministic.
+  const auto insert_sorted = [](std::vector<NodeId>& vec, NodeId x) {
+    vec.insert(std::lower_bound(vec.begin(), vec.end(), x), x);
+  };
+  insert_sorted(adj_[u], v);
+  insert_sorted(adj_[v], u);
+  ++edge_count_;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  AMAC_EXPECTS(u < adj_.size() && v < adj_.size());
+  const auto& nu = adj_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+std::vector<std::uint32_t> Graph::bfs_distances(NodeId src) const {
+  AMAC_EXPECTS(src < adj_.size());
+  std::vector<std::uint32_t> dist(adj_.size(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : adj_[u]) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t Graph::eccentricity(NodeId src) const {
+  const auto dist = bfs_distances(src);
+  std::uint32_t ecc = 0;
+  for (const auto d : dist) {
+    AMAC_EXPECTS(d != kUnreachable);
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+bool Graph::is_connected() const {
+  if (adj_.empty()) return true;
+  const auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(), [](std::uint32_t d) {
+    return d == kUnreachable;
+  });
+}
+
+std::uint32_t Graph::diameter() const {
+  AMAC_EXPECTS(!adj_.empty());
+  std::uint32_t diam = 0;
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    diam = std::max(diam, eccentricity(u));
+  }
+  return diam;
+}
+
+}  // namespace amac::net

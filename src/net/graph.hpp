@@ -1,0 +1,69 @@
+// Undirected network topology graph.
+//
+// The abstract MAC layer model (paper §2) fixes a connected undirected graph
+// G = (V, E): vertices are wireless devices, edges are reliable-communication
+// pairs. This class is the single topology representation used by the
+// simulator, the algorithms' analysis hooks, and the lower-bound network
+// constructions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace amac {
+
+/// Index of a node in a topology; nodes are always 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. unset tree parents).
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+namespace net {
+
+/// Simple undirected graph with adjacency lists. Immutable after
+/// construction by convention: generators build it, everything else reads it.
+class Graph {
+ public:
+  /// Creates a graph with n isolated nodes.
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  /// Adds the undirected edge {u, v}. Requires u != v, both in range, and
+  /// the edge not already present.
+  void add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  /// Neighbors of u in ascending id order.
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId u) const {
+    AMAC_EXPECTS(u < adj_.size());
+    return adj_[u];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    return neighbors(u).size();
+  }
+
+  /// BFS hop distances from src; unreachable nodes get kUnreachable.
+  static constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+  [[nodiscard]] std::vector<std::uint32_t> bfs_distances(NodeId src) const;
+
+  /// Largest finite BFS distance from src. Requires connected graph.
+  [[nodiscard]] std::uint32_t eccentricity(NodeId src) const;
+
+  [[nodiscard]] bool is_connected() const;
+
+  /// Exact diameter via all-pairs BFS. Requires a connected, non-empty graph.
+  [[nodiscard]] std::uint32_t diameter() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace net
+}  // namespace amac

@@ -1,0 +1,152 @@
+#include "net/paper_networks.hpp"
+
+namespace amac::net {
+
+std::vector<GadgetLayout::Edge> GadgetLayout::edges() const {
+  AMAC_EXPECTS(d >= 2);
+  AMAC_EXPECTS(k >= 1);
+  std::vector<Edge> es;
+  // c — p_j and p_j — a1; the p_j—a1 orbit carries the lift shift j.
+  for (std::size_t j = 0; j < 3; ++j) {
+    es.push_back({c(), p(j), 0});
+    es.push_back({p(j), a(1), static_cast<int>(j)});
+  }
+  // Spine a_1 — a_2 — ... — a_d.
+  for (std::size_t i = 1; i < d; ++i) es.push_back({a(i), a(i + 1), 0});
+  // s-fan in parallel with the a_{d-1} — a_d spine edge.
+  for (std::size_t j = 1; j <= k; ++j) {
+    es.push_back({a(d - 1), s(j), 0});
+    es.push_back({s(j), a(d), 0});
+  }
+  return es;
+}
+
+NodeId Figure1Networks::a_node(int g, std::size_t local) const {
+  AMAC_EXPECTS(g == 0 || g == 1);
+  AMAC_EXPECTS(local < layout.size());
+  return static_cast<NodeId>(static_cast<std::size_t>(g) * layout.size() +
+                             local);
+}
+
+NodeId Figure1Networks::b_node(int copy, std::size_t local) const {
+  AMAC_EXPECTS(copy >= 0 && copy < 3);
+  AMAC_EXPECTS(local < layout.size());
+  return static_cast<NodeId>(static_cast<std::size_t>(copy) * layout.size() +
+                             local);
+}
+
+int Figure1Networks::b_copy(NodeId v) const {
+  AMAC_EXPECTS(v < b.node_count());
+  return static_cast<int>(v / layout.size());
+}
+
+std::size_t Figure1Networks::b_local(NodeId v) const {
+  AMAC_EXPECTS(v < b.node_count());
+  return v % layout.size();
+}
+
+Figure1Networks make_figure1(std::uint32_t diameter, std::size_t k) {
+  AMAC_EXPECTS(diameter >= 6 && diameter % 2 == 0);
+  AMAC_EXPECTS(k >= 1);
+
+  Figure1Networks out;
+  out.layout.d = (diameter - 2) / 2;
+  out.layout.k = k;
+  const GadgetLayout& lay = out.layout;
+  const std::size_t sz = lay.size();
+  const auto edges = lay.edges();
+
+  // n' = 3 * gadget size = 3((D-2)/2 + k) + 12, the paper's Claim 3.4 value.
+  out.size = 3 * sz;
+
+  // --- Network A: gadgets occupy [0, sz) and [sz, 2sz); q = 2sz; the
+  // padding clique C occupies (2sz, 3sz).
+  Graph a(out.size);
+  for (int g = 0; g < 2; ++g) {
+    for (const auto& e : edges) {
+      a.add_edge(out.a_node(g, e.u), out.a_node(g, e.v));
+    }
+  }
+  out.q = static_cast<NodeId>(2 * sz);
+  // q attaches to the three p-fan nodes of each gadget...
+  for (int g = 0; g < 2; ++g) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a.add_edge(out.q, out.a_node(g, lay.p(j)));
+    }
+  }
+  // ...and to every node of the clique C (|C| = sz - 1).
+  for (NodeId u = out.q + 1; u < out.size; ++u) {
+    out.clique.push_back(u);
+    a.add_edge(out.q, u);
+    for (NodeId v = u + 1; v < out.size; ++v) a.add_edge(u, v);
+  }
+
+  // --- Network B: the 3-lift. Copy i occupies [i*sz, (i+1)*sz).
+  Graph b(out.size);
+  for (int copy = 0; copy < 3; ++copy) {
+    for (const auto& e : edges) {
+      const int target = (copy + e.shift) % 3;
+      b.add_edge(out.b_node(copy, e.u), out.b_node(target, e.v));
+    }
+  }
+
+  AMAC_ENSURES(a.is_connected());
+  AMAC_ENSURES(b.is_connected());
+  const std::uint32_t da = a.diameter();
+  const std::uint32_t db = b.diameter();
+  AMAC_ENSURES(da == diameter);
+  AMAC_ENSURES(db == diameter);
+
+  out.diameter = diameter;
+  out.a = std::move(a);
+  out.b = std::move(b);
+  return out;
+}
+
+Figure1Networks make_figure1_for_size(std::size_t n, std::uint32_t diameter) {
+  AMAC_EXPECTS(diameter >= 6 && diameter % 2 == 0);
+  const std::size_t d = (diameter - 2) / 2;
+  std::size_t k = 1;
+  while (3 * (d + k) + 12 < n) ++k;
+  return make_figure1(diameter, k);
+}
+
+Figure2Network make_figure2(std::uint32_t diameter) {
+  AMAC_EXPECTS(diameter >= 2);
+  const std::uint32_t d = diameter;
+
+  Figure2Network out;
+  out.diameter = d;
+  out.ld = Graph(d + 1);
+  for (NodeId u = 0; u + 1 < d + 1; ++u) out.ld.add_edge(u, u + 1);
+
+  // K_D layout: L1 occupies [0, d+1), L2 occupies [d+1, 2d+2), the bridge
+  // line L_{D-1} occupies [2d+2, 3d+2) with its w endpoint first.
+  const std::size_t n = 2 * (d + 1) + d;
+  Graph kd(n);
+  for (std::uint32_t i = 0; i <= d; ++i) {
+    out.l1.push_back(static_cast<NodeId>(i));
+    out.l2.push_back(static_cast<NodeId>(d + 1 + i));
+  }
+  for (std::uint32_t i = 0; i < d; ++i) {
+    out.bridge_line.push_back(static_cast<NodeId>(2 * d + 2 + i));
+  }
+  for (std::uint32_t i = 0; i < d; ++i) {
+    kd.add_edge(out.l1[i], out.l1[i + 1]);
+    kd.add_edge(out.l2[i], out.l2[i + 1]);
+  }
+  for (std::uint32_t i = 0; i + 1 < d; ++i) {
+    kd.add_edge(out.bridge_line[i], out.bridge_line[i + 1]);
+  }
+  const NodeId w = out.bridge_line.front();
+  for (const NodeId u : out.l1) kd.add_edge(u, w);
+  for (const NodeId u : out.l2) kd.add_edge(u, w);
+
+  AMAC_ENSURES(kd.is_connected());
+  AMAC_ENSURES(kd.diameter() == d);
+  AMAC_ENSURES(out.ld.diameter() == d);
+  out.kd = std::move(kd);
+  return out;
+}
+
+}  // namespace amac::net

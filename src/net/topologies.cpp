@@ -1,0 +1,149 @@
+#include "net/topologies.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace amac::net {
+
+Graph make_clique(std::size_t n) {
+  AMAC_EXPECTS(n >= 1);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph make_line(std::size_t n) {
+  AMAC_EXPECTS(n >= 1);
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  return g;
+}
+
+Graph make_ring(std::size_t n) {
+  AMAC_EXPECTS(n >= 3);
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  AMAC_EXPECTS(n >= 2);
+  Graph g(n);
+  for (NodeId u = 1; u < n; ++u) g.add_edge(0, u);
+  return g;
+}
+
+Graph make_grid(std::size_t width, std::size_t height) {
+  AMAC_EXPECTS(width >= 1 && height >= 1);
+  Graph g(width * height);
+  const auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) g.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) g.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  return g;
+}
+
+Graph make_torus(std::size_t width, std::size_t height) {
+  AMAC_EXPECTS(width >= 3 && height >= 3);
+  Graph g(width * height);
+  const auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      g.add_edge(id(x, y), id((x + 1) % width, y));
+      g.add_edge(id(x, y), id(x, (y + 1) % height));
+    }
+  }
+  return g;
+}
+
+Graph make_binary_tree(std::size_t n) {
+  AMAC_EXPECTS(n >= 1);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < n) g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(left));
+    if (right < n) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(right));
+    }
+  }
+  return g;
+}
+
+Graph make_barbell(std::size_t k, std::size_t path_len) {
+  AMAC_EXPECTS(k >= 1 && path_len >= 1);
+  // Layout: [0, k) left clique, [k, k+path_len-1) path interior,
+  // [k+path_len-1, 2k+path_len-1) right clique.
+  const std::size_t n = 2 * k + path_len - 1;
+  Graph g(n);
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) g.add_edge(u, v);
+  }
+  const NodeId right_start = static_cast<NodeId>(k + path_len - 1);
+  for (NodeId u = right_start; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  // Path from left clique's node 0 through the interior to the right clique's
+  // first node.
+  NodeId prev = 0;
+  for (std::size_t i = 0; i < path_len; ++i) {
+    const NodeId next = static_cast<NodeId>(k + i);
+    g.add_edge(prev, next);
+    prev = next;
+  }
+  AMAC_ENSURES(g.is_connected());
+  return g;
+}
+
+Graph make_random_connected(std::size_t n, double p, util::Rng& rng) {
+  AMAC_EXPECTS(n >= 1);
+  AMAC_EXPECTS(p >= 0.0 && p <= 1.0);
+  Graph g(n);
+  // Random spanning tree: attach each node to a uniformly random earlier one.
+  for (NodeId u = 1; u < n; ++u) {
+    const NodeId parent = static_cast<NodeId>(rng.uniform(0, u - 1));
+    g.add_edge(parent, u);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v) && rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  AMAC_ENSURES(g.is_connected());
+  return g;
+}
+
+Graph make_random_geometric(std::size_t n, double radius, util::Rng& rng) {
+  AMAC_EXPECTS(n >= 1);
+  AMAC_EXPECTS(radius > 0.0);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform01();
+    ys[i] = rng.uniform01();
+  }
+  for (double r = radius;; r *= 1.1) {
+    Graph g(n);
+    const double r2 = r * r;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        const double dx = xs[u] - xs[v];
+        const double dy = ys[u] - ys[v];
+        if (dx * dx + dy * dy <= r2) g.add_edge(u, v);
+      }
+    }
+    if (g.is_connected()) return g;
+  }
+}
+
+}  // namespace amac::net

@@ -1,0 +1,48 @@
+// Standard topology generators used by the experiments.
+//
+// Every generator returns a connected graph (asserted) with deterministic
+// structure; the randomized ones are deterministic functions of their Rng.
+#pragma once
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace amac::net {
+
+/// Complete graph K_n (the paper's "single hop" topology). Requires n >= 1.
+[[nodiscard]] Graph make_clique(std::size_t n);
+
+/// Path 0-1-...-(n-1); diameter n-1. Requires n >= 1.
+[[nodiscard]] Graph make_line(std::size_t n);
+
+/// Cycle of n nodes; diameter floor(n/2). Requires n >= 3.
+[[nodiscard]] Graph make_ring(std::size_t n);
+
+/// Star: node 0 is the hub. Requires n >= 2.
+[[nodiscard]] Graph make_star(std::size_t n);
+
+/// width x height grid; node (x, y) = y*width + x. Requires width,height >= 1.
+[[nodiscard]] Graph make_grid(std::size_t width, std::size_t height);
+
+/// width x height torus (grid with wraparound). Requires width,height >= 3.
+[[nodiscard]] Graph make_torus(std::size_t width, std::size_t height);
+
+/// Complete binary tree with n nodes (heap layout: children 2i+1, 2i+2).
+[[nodiscard]] Graph make_binary_tree(std::size_t n);
+
+/// Two cliques of k nodes joined by a path of path_len edges; models a dense
+/// deployment with a thin backhaul. Requires k >= 1, path_len >= 1.
+[[nodiscard]] Graph make_barbell(std::size_t k, std::size_t path_len);
+
+/// Erdos-Renyi G(n, p) conditioned on connectivity: a random spanning tree is
+/// laid down first, then each remaining pair is added with probability p.
+[[nodiscard]] Graph make_random_connected(std::size_t n, double p,
+                                          util::Rng& rng);
+
+/// Random geometric graph on the unit square: nodes connect within `radius`.
+/// The radius is grown (by 10% steps) until connected, mirroring how ad hoc
+/// wireless deployments are densified until they form one network.
+[[nodiscard]] Graph make_random_geometric(std::size_t n, double radius,
+                                          util::Rng& rng);
+
+}  // namespace amac::net

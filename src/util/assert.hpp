@@ -1,0 +1,39 @@
+// Contract-checking macros used across the library.
+//
+// Following the C++ Core Guidelines (I.6/I.8), preconditions and invariants
+// are expressed with Expects/Ensures-style macros. Violations indicate a bug
+// in the caller or in the library itself, never an expected runtime
+// condition, so they abort with a diagnostic rather than throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace amac::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[amac] %s failed: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace amac::util
+
+// Precondition: the caller must ensure `cond` before entering the function.
+#define AMAC_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::amac::util::contract_failure("precondition", #cond, __FILE__, \
+                                           __LINE__))
+
+// Postcondition / invariant internal to the library.
+#define AMAC_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::amac::util::contract_failure("postcondition", #cond, __FILE__, \
+                                           __LINE__))
+
+// General internal assertion.
+#define AMAC_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::amac::util::contract_failure("assertion", #cond, __FILE__,   \
+                                           __LINE__))

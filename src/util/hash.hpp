@@ -1,0 +1,67 @@
+// Incremental 64-bit hashing for state digests.
+//
+// The indistinguishability experiments (Lemma 3.6, §3.2) and the FLP valency
+// explorer (§3.1) both need a cheap, deterministic digest of "everything a
+// node has observed" / "the whole system state". FNV-1a over a canonical
+// byte stream is sufficient: we need stable equality witnesses, not
+// cryptographic strength.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/serde.hpp"
+
+namespace amac::util {
+
+/// Incremental FNV-1a (64-bit) hasher.
+class Hasher {
+ public:
+  void mix_u8(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= kPrime;
+  }
+
+  void mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void mix_i64(std::int64_t v) { mix_u64(static_cast<std::uint64_t>(v)); }
+
+  void mix_bool(bool b) { mix_u8(b ? 1 : 0); }
+
+  void mix_bytes(const Buffer& b) {
+    mix_u64(b.size());
+    for (const auto byte : b) mix_u8(byte);
+  }
+
+  void mix_string(const std::string& s) {
+    mix_u64(s.size());
+    for (const char c : s) mix_u8(static_cast<std::uint8_t>(c));
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xCBF29CE484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  std::uint64_t h_ = kOffset;
+};
+
+/// One-shot hash of a byte buffer.
+[[nodiscard]] inline std::uint64_t hash_bytes(const Buffer& b) {
+  Hasher h;
+  h.mix_bytes(b);
+  return h.digest();
+}
+
+/// Order-sensitive combination of two digests.
+[[nodiscard]] inline std::uint64_t hash_combine(std::uint64_t a,
+                                                std::uint64_t b) {
+  Hasher h;
+  h.mix_u64(a);
+  h.mix_u64(b);
+  return h.digest();
+}
+
+}  // namespace amac::util

@@ -1,0 +1,60 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace amac::util {
+
+void Summary::add(double x) {
+  values_.push_back(x);
+  sorted_ = false;
+  sum_ += x;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::min() const {
+  AMAC_EXPECTS(!values_.empty());
+  ensure_sorted();
+  return values_.front();
+}
+
+double Summary::max() const {
+  AMAC_EXPECTS(!values_.empty());
+  ensure_sorted();
+  return values_.back();
+}
+
+double Summary::mean() const {
+  AMAC_EXPECTS(!values_.empty());
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double Summary::percentile(double p) const {
+  AMAC_EXPECTS(!values_.empty());
+  AMAC_EXPECTS(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (values_.size() == 1) return values_.front();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+}  // namespace amac::util

@@ -1,0 +1,35 @@
+// Small descriptive-statistics helpers for the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace amac::util {
+
+/// Accumulates samples and reports summary statistics. Values are stored so
+/// exact percentiles are available; experiment sample counts are small.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Population standard deviation; 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  /// Exact percentile via nearest-rank on the sorted samples, p in [0,100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double total() const { return sum_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+
+  void ensure_sorted() const;
+};
+
+}  // namespace amac::util

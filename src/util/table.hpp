@@ -1,0 +1,47 @@
+// Fixed-width console tables for the experiment harness.
+//
+// Every bench binary prints its results as a table whose rows mirror the
+// paper's claims (see EXPERIMENTS.md). This keeps benchmark output
+// greppable and diff-able across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amac::util {
+
+/// Builds and prints a left-aligned fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; values are appended with the cell() overloads.
+  Table& row();
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(std::int64_t v);
+  Table& cell(std::uint64_t v);
+  Table& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  Table& cell(unsigned v) { return cell(static_cast<std::uint64_t>(v)); }
+  /// Doubles are printed with the given precision (default 2).
+  Table& cell(double v, int precision = 2);
+  Table& cell(bool v) { return cell(std::string(v ? "yes" : "no")); }
+
+  /// Renders the table (header, separator, rows) to a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+[[nodiscard]] std::string format_double(double v, int precision);
+
+}  // namespace amac::util

@@ -1,0 +1,64 @@
+#include "verify/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace amac::verify {
+
+std::string ConsensusVerdict::summary() const {
+  std::ostringstream os;
+  os << (termination ? "terminated" : "NOT-terminated") << ", "
+     << (agreement ? "agreement" : "AGREEMENT-VIOLATED") << ", "
+     << (validity ? "valid" : "VALIDITY-VIOLATED");
+  if (decision) os << ", decided " << *decision << " by t=" << last_decision;
+  return os.str();
+}
+
+ConsensusVerdict check_consensus(const mac::Network& net,
+                                 const std::vector<mac::Value>& inputs) {
+  AMAC_EXPECTS(inputs.size() == net.node_count());
+  ConsensusVerdict v;
+  v.termination = true;
+  v.agreement = true;
+  v.validity = true;
+
+  bool any_decision = false;
+  mac::Value common = -1;
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    const auto& d = net.decision(u);
+    if (net.crashed(u)) continue;
+    if (!d.decided) {
+      v.termination = false;
+      continue;
+    }
+    if (std::none_of(inputs.begin(), inputs.end(),
+                     [&](mac::Value in) { return in == d.value; })) {
+      v.validity = false;
+    }
+    if (!any_decision) {
+      any_decision = true;
+      common = d.value;
+      v.first_decision = d.time;
+      v.last_decision = d.time;
+    } else {
+      if (d.value != common) v.agreement = false;
+      v.first_decision = std::min(v.first_decision, d.time);
+      v.last_decision = std::max(v.last_decision, d.time);
+    }
+  }
+  // Crashed nodes may have decided before crashing; agreement covers them.
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    const auto& d = net.decision(u);
+    if (net.crashed(u) && d.decided) {
+      if (any_decision && d.value != common) v.agreement = false;
+      if (!any_decision) {
+        any_decision = true;
+        common = d.value;
+      }
+    }
+  }
+  if (any_decision && v.agreement) v.decision = common;
+  return v;
+}
+
+}  // namespace amac::verify

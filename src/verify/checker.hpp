@@ -1,0 +1,32 @@
+// Consensus property oracle: agreement / validity / termination verdicts
+// for a finished (or timed-out) run.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mac/engine.hpp"
+
+namespace amac::verify {
+
+struct ConsensusVerdict {
+  bool termination = false;  ///< every non-crashed node decided
+  bool agreement = false;    ///< no two decided nodes decided differently
+  bool validity = false;     ///< every decided value was someone's input
+  std::optional<mac::Value> decision;  ///< the common value, if agreement
+  mac::Time first_decision = 0;
+  mac::Time last_decision = 0;  ///< decision time of the slowest decider
+
+  [[nodiscard]] bool ok() const {
+    return termination && agreement && validity;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Inspects a network after `run` and checks the three consensus properties
+/// against the given initial values (indexed by node).
+[[nodiscard]] ConsensusVerdict check_consensus(
+    const mac::Network& net, const std::vector<mac::Value>& inputs);
+
+}  // namespace amac::verify

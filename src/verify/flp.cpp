@@ -1,0 +1,142 @@
+#include "verify/flp.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+namespace amac::verify {
+
+namespace {
+
+struct StateInfo {
+  bool terminal = false;
+  bool disagree = false;
+  bool decides0 = false;  ///< terminal with common value 0
+  bool decides1 = false;
+  std::vector<std::size_t> successors;
+  // Predecessor edge for witness reconstruction (BFS tree).
+  std::size_t pred = SIZE_MAX;
+  StepSystem::Step pred_step;
+};
+
+}  // namespace
+
+FlpExplorer::FlpExplorer(const net::Graph& graph, mac::ProcessFactory factory,
+                         std::size_t crash_budget, std::size_t max_states)
+    : graph_(&graph), factory_(std::move(factory)),
+      crash_budget_(crash_budget), max_states_(max_states) {}
+
+ValencyReport FlpExplorer::explore() {
+  std::vector<StateInfo> states;
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  std::deque<std::pair<StepSystem, std::size_t>> frontier;
+
+  const auto classify = [](const StepSystem& sys, StateInfo& info) {
+    info.disagree = sys.has_disagreement();
+    info.terminal = sys.all_alive_decided();
+    if (info.terminal && !info.disagree) {
+      for (NodeId u = 0; u < sys.node_count(); ++u) {
+        if (sys.decision(u).decided) {
+          info.decides0 = sys.decision(u).value == 0;
+          info.decides1 = sys.decision(u).value == 1;
+          break;
+        }
+      }
+    }
+  };
+
+  // --- Pass 1: forward enumeration.
+  StepSystem initial(*graph_, factory_);
+  {
+    StateInfo info;
+    classify(initial, info);
+    index_of[initial.digest()] = 0;
+    states.push_back(info);
+    frontier.emplace_back(StepSystem(initial), 0);
+  }
+
+  ValencyReport report;
+  while (!frontier.empty()) {
+    auto [sys, index] = std::move(frontier.front());
+    frontier.pop_front();
+    // Terminal and disagreement states are absorbing for the analysis.
+    if (states[index].terminal || states[index].disagree) continue;
+
+    for (const auto& step : sys.valid_steps(crash_budget_)) {
+      StepSystem child(sys);
+      child.apply(step);
+      const std::uint64_t key = child.digest();
+      const auto [it, inserted] = index_of.try_emplace(key, states.size());
+      if (inserted) {
+        AMAC_ENSURES(states.size() < max_states_);  // raise max_states
+        StateInfo info;
+        classify(child, info);
+        info.pred = index;
+        info.pred_step = step;
+        states.push_back(info);
+        frontier.emplace_back(std::move(child), it->second);
+      }
+      states[index].successors.push_back(it->second);
+      ++report.transitions;
+    }
+  }
+  report.distinct_states = states.size();
+
+  // --- Pass 2: backward fixpoints over the finite graph.
+  const std::size_t n = states.size();
+  std::vector<char> can_term(n, 0);
+  std::vector<char> can0(n, 0);
+  std::vector<char> can1(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (states[i].terminal) {
+      can_term[i] = 1;
+      can0[i] = states[i].decides0;
+      can1[i] = states[i].decides1;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::size_t s : states[i].successors) {
+        if (can_term[s] && !can_term[i]) {
+          can_term[i] = 1;
+          changed = true;
+        }
+        if (can0[s] && !can0[i]) {
+          can0[i] = 1;
+          changed = true;
+        }
+        if (can1[s] && !can1[i]) {
+          can1[i] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  report.reaches_decision_0 = can0[0] != 0;
+  report.reaches_decision_1 = can1[0] != 0;
+
+  const auto witness_for = [&](std::size_t i) {
+    std::vector<StepSystem::Step> steps;
+    while (states[i].pred != SIZE_MAX) {
+      steps.push_back(states[i].pred_step);
+      i = states[i].pred;
+    }
+    return std::vector<StepSystem::Step>(steps.rbegin(), steps.rend());
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (states[i].disagree && !report.disagreement_reachable) {
+      report.disagreement_reachable = true;
+      if (report.witness.empty()) report.witness = witness_for(i);
+    }
+    if (!can_term[i] && !report.stuck_reachable) {
+      report.stuck_reachable = true;
+      if (report.witness.empty()) report.witness = witness_for(i);
+    }
+  }
+  return report;
+}
+
+}  // namespace amac::verify

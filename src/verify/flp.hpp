@@ -1,0 +1,65 @@
+// Valency exploration over valid-step schedules (the executable content of
+// Theorem 3.2 / the FLP generalization).
+//
+// Two passes over the (finite) state graph reachable from the initial
+// configuration under valid steps with a crash budget:
+//   1. Forward enumeration (BFS with digest deduplication): every distinct
+//      system state becomes a node; terminal states (all alive decided) are
+//      absorbing; disagreement states are flagged.
+//   2. Backward fixpoint: which states can still reach a terminal state,
+//      and with which decision values. A reachable state from which NO
+//      terminal state is reachable is "stuck" — a termination violation —
+//      and the initial configuration is bivalent iff terminals deciding 0
+//      and terminals deciding 1 are both reachable.
+//
+// This is how the paper's Theorem 3.2 manifests executably: with
+// crash_budget = 1 the adversary defeats the (crash-intolerant) §4.1
+// algorithm; with crash_budget = 0 the same algorithm always terminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/step_engine.hpp"
+
+namespace amac::verify {
+
+struct ValencyReport {
+  bool reaches_decision_0 = false;  ///< some schedule ends deciding 0
+  bool reaches_decision_1 = false;  ///< some schedule ends deciding 1
+  bool disagreement_reachable = false;
+  bool stuck_reachable = false;  ///< termination violation reachable
+  std::size_t distinct_states = 0;
+  std::size_t transitions = 0;
+  /// Step sequence from the initial configuration to the first violating
+  /// state found (empty if no violation).
+  std::vector<StepSystem::Step> witness;
+
+  [[nodiscard]] bool bivalent() const {
+    return reaches_decision_0 && reaches_decision_1;
+  }
+  [[nodiscard]] bool violation_found() const {
+    return disagreement_reachable || stuck_reachable;
+  }
+};
+
+class FlpExplorer {
+ public:
+  /// Explores schedules of the system with at most `crash_budget` crashes.
+  /// `max_states` bounds the enumeration; exceeding it is a contract
+  /// violation (raise the bound), so reports are always complete. The
+  /// factory is copied (temporaries are safe); the graph must outlive the
+  /// explorer.
+  FlpExplorer(const net::Graph& graph, mac::ProcessFactory factory,
+              std::size_t crash_budget, std::size_t max_states = 500'000);
+
+  [[nodiscard]] ValencyReport explore();
+
+ private:
+  const net::Graph* graph_;
+  mac::ProcessFactory factory_;
+  std::size_t crash_budget_;
+  std::size_t max_states_;
+};
+
+}  // namespace amac::verify

@@ -1,0 +1,241 @@
+#include "verify/step_engine.hpp"
+
+#include <sstream>
+
+namespace amac::verify {
+
+namespace {
+
+// Step-engine framing: real algorithm payloads are prefixed with 1,
+// heartbeats are the single byte 0 (never delivered to the algorithm).
+util::Buffer frame_real(util::Buffer payload) {
+  util::Buffer framed;
+  framed.reserve(payload.size() + 1);
+  framed.push_back(1);
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  return framed;
+}
+
+const util::Buffer kHeartbeat = {0};
+
+util::Buffer unframe(const util::Buffer& framed) {
+  AMAC_EXPECTS(!framed.empty() && framed[0] == 1);
+  return util::Buffer(framed.begin() + 1, framed.end());
+}
+
+}  // namespace
+
+std::string StepSystem::Step::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kReceive:
+      os << "recv(" << u << "->" << v << ")";
+      break;
+    case Kind::kAck:
+      os << "ack(" << u << ")";
+      break;
+    case Kind::kCrash:
+      os << "crash(" << u << ")";
+      break;
+  }
+  return os.str();
+}
+
+/// Context used during step callbacks: captures at most one broadcast.
+class StepSystem::StepContext final : public mac::Context {
+ public:
+  StepContext(StepSystem& sys, NodeId node, bool may_broadcast)
+      : sys_(&sys), node_(node), may_broadcast_(may_broadcast) {}
+
+  void broadcast(util::Buffer payload) override {
+    // Outside of on_start/on_ack the node is mid-broadcast ("nodes always
+    // send"), so additional broadcasts are discarded per the model.
+    if (!may_broadcast_ || captured_) return;
+    captured_ = frame_real(std::move(payload));
+  }
+
+  void decide(mac::Value v) override {
+    auto& d = sys_->nodes_[node_].decision;
+    AMAC_EXPECTS(!d.decided);
+    d = mac::Decision{true, v, sys_->steps_applied_};
+  }
+
+  [[nodiscard]] bool busy() const override { return !may_broadcast_; }
+  [[nodiscard]] mac::Time now() const override {
+    return sys_->steps_applied_;
+  }
+
+  [[nodiscard]] std::optional<util::Buffer> take_captured() {
+    return std::move(captured_);
+  }
+
+ private:
+  StepSystem* sys_;
+  NodeId node_;
+  bool may_broadcast_;
+  std::optional<util::Buffer> captured_;
+};
+
+StepSystem::StepSystem(const net::Graph& graph,
+                       const mac::ProcessFactory& factory)
+    : graph_(&graph) {
+  const std::size_t n = graph.node_count();
+  nodes_.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    Node node;
+    node.process = factory(u);
+    node.received.assign(n, false);
+    nodes_.push_back(std::move(node));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    StepContext ctx(*this, u, /*may_broadcast=*/true);
+    nodes_[u].process->on_start(ctx);
+    arm_next_message(u, ctx.take_captured());
+  }
+}
+
+StepSystem::StepSystem(const StepSystem& other)
+    : graph_(other.graph_), crash_count_(other.crash_count_),
+      steps_applied_(other.steps_applied_) {
+  nodes_.reserve(other.nodes_.size());
+  for (const Node& n : other.nodes_) {
+    Node copy;
+    copy.process = n.process->clone();
+    copy.current = n.current;
+    copy.heartbeat = n.heartbeat;
+    copy.received = n.received;
+    copy.crashed = n.crashed;
+    copy.decision = n.decision;
+    nodes_.push_back(std::move(copy));
+  }
+}
+
+void StepSystem::arm_next_message(NodeId u,
+                                  std::optional<util::Buffer> payload) {
+  Node& node = nodes_[u];
+  if (payload) {
+    node.current = std::move(*payload);
+    node.heartbeat = false;
+  } else {
+    // "Nodes always send": pad with a heartbeat the algorithm never sees.
+    node.current = kHeartbeat;
+    node.heartbeat = true;
+  }
+  node.received.assign(nodes_.size(), false);
+}
+
+std::optional<NodeId> StepSystem::next_receiver(NodeId u) const {
+  const Node& node = nodes_[u];
+  if (node.crashed) return std::nullopt;
+  // Validity: the receiver must be the smallest alive neighbor that has not
+  // yet received u's current message.
+  for (const NodeId v : graph_->neighbors(u)) {
+    if (nodes_[v].crashed) continue;
+    if (!node.received[v]) return v;
+  }
+  return std::nullopt;
+}
+
+bool StepSystem::ack_valid(NodeId u) const {
+  const Node& node = nodes_[u];
+  if (node.crashed) return false;
+  for (const NodeId v : graph_->neighbors(u)) {
+    if (!nodes_[v].crashed && !node.received[v]) return false;
+  }
+  return true;
+}
+
+std::vector<StepSystem::Step> StepSystem::valid_steps(
+    std::size_t crash_budget) const {
+  std::vector<Step> steps;
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    if (nodes_[u].crashed) continue;
+    if (const auto v = next_receiver(u)) {
+      steps.push_back(Step{Step::Kind::kReceive, u, *v});
+    } else if (ack_valid(u)) {
+      steps.push_back(Step{Step::Kind::kAck, u, kNoNode});
+    }
+    if (crash_count_ < crash_budget) {
+      steps.push_back(Step{Step::Kind::kCrash, u, kNoNode});
+    }
+  }
+  return steps;
+}
+
+void StepSystem::apply(const Step& step) {
+  ++steps_applied_;
+  switch (step.kind) {
+    case Step::Kind::kCrash: {
+      Node& node = nodes_[step.u];
+      AMAC_EXPECTS(!node.crashed);
+      node.crashed = true;
+      ++crash_count_;
+      return;
+    }
+    case Step::Kind::kReceive: {
+      Node& sender = nodes_[step.u];
+      AMAC_EXPECTS(next_receiver(step.u) == step.v);
+      sender.received[step.v] = true;
+      Node& receiver = nodes_[step.v];
+      if (!sender.heartbeat) {
+        StepContext ctx(*this, step.v, /*may_broadcast=*/false);
+        const mac::Packet packet{step.u, unframe(sender.current)};
+        receiver.process->on_receive(packet, ctx);
+      }
+      return;
+    }
+    case Step::Kind::kAck: {
+      AMAC_EXPECTS(ack_valid(step.u));
+      StepContext ctx(*this, step.u, /*may_broadcast=*/true);
+      nodes_[step.u].process->on_ack(ctx);
+      arm_next_message(step.u, ctx.take_captured());
+      return;
+    }
+  }
+}
+
+bool StepSystem::crashed(NodeId u) const {
+  AMAC_EXPECTS(u < nodes_.size());
+  return nodes_[u].crashed;
+}
+
+const mac::Decision& StepSystem::decision(NodeId u) const {
+  AMAC_EXPECTS(u < nodes_.size());
+  return nodes_[u].decision;
+}
+
+bool StepSystem::all_alive_decided() const {
+  for (const Node& n : nodes_) {
+    if (!n.crashed && !n.decision.decided) return false;
+  }
+  return true;
+}
+
+bool StepSystem::has_disagreement() const {
+  mac::Value seen = -1;
+  for (const Node& n : nodes_) {
+    if (!n.decision.decided) continue;
+    if (seen == -1) {
+      seen = n.decision.value;
+    } else if (n.decision.value != seen) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t StepSystem::digest() const {
+  util::Hasher h;
+  for (const Node& n : nodes_) {
+    n.process->digest(h);
+    h.mix_bytes(n.current);
+    h.mix_bool(n.heartbeat);
+    for (const bool b : n.received) h.mix_bool(b);
+    h.mix_bool(n.crashed);
+    h.mix_bool(n.decision.decided);
+    h.mix_i64(n.decision.value);
+  }
+  return h.digest();
+}
+
+}  // namespace amac::verify

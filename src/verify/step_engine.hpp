@@ -1,0 +1,90 @@
+// The §3.1 valid-step executor.
+//
+// The paper's FLP generalization restricts attention to a class of
+// well-behaved schedulers expressed as "valid steps":
+//   * nodes always send: on receiving an ack a node immediately starts its
+//     next broadcast (if its algorithm has nothing to say, the engine
+//     substitutes a heartbeat the algorithm never sees);
+//   * a step is either (a) node v receives u's current message — valid iff
+//     v has not yet received it and every non-crashed node smaller than v
+//     (among u's neighbors) already has — or (b) u receives its ack — valid
+//     iff every non-crashed neighbor of u received its current message;
+//   * the adversary may also crash a node at any point, mid-broadcast
+//     included (neighbors that have not yet taken their receive step will
+//     never receive the current message).
+//
+// StepSystem is a value: deep-copyable and digestible, so the FLP explorer
+// can search the tree of valid schedules with memoization.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mac/engine.hpp"  // mac::Decision
+#include "mac/process.hpp"
+#include "net/graph.hpp"
+
+namespace amac::verify {
+
+class StepSystem {
+ public:
+  struct Step {
+    enum class Kind : std::uint8_t { kReceive, kAck, kCrash };
+    Kind kind = Kind::kReceive;
+    NodeId u = kNoNode;  ///< sender (receive/ack) or the node to crash
+    NodeId v = kNoNode;  ///< receiver, for kReceive only
+
+    [[nodiscard]] std::string describe() const;
+  };
+
+  /// Builds the system and runs every node's on_start (capturing its first
+  /// broadcast as its current message).
+  StepSystem(const net::Graph& graph, const mac::ProcessFactory& factory);
+
+  StepSystem(const StepSystem& other);
+  StepSystem& operator=(const StepSystem&) = delete;
+
+  /// All steps valid in the current state. Crash steps (one per alive node)
+  /// are included only while `crash_budget` exceeds crashes so far.
+  [[nodiscard]] std::vector<Step> valid_steps(std::size_t crash_budget) const;
+
+  /// Applies a step; it must currently be valid.
+  void apply(const Step& step);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] bool crashed(NodeId u) const;
+  [[nodiscard]] std::size_t crash_count() const { return crash_count_; }
+  [[nodiscard]] const mac::Decision& decision(NodeId u) const;
+  /// Every non-crashed node has decided.
+  [[nodiscard]] bool all_alive_decided() const;
+  /// Two nodes (crashed or not) decided differently.
+  [[nodiscard]] bool has_disagreement() const;
+  /// Full-system state digest (memoization key for the explorer).
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<mac::Process> process;
+    util::Buffer current;          ///< payload of the current broadcast
+    bool heartbeat = false;        ///< current is engine padding
+    std::vector<bool> received;    ///< received[w]: node w got `current`
+    bool crashed = false;
+    mac::Decision decision;
+  };
+
+  class StepContext;
+
+  /// Valid next receiver of u's current message, if any (validity makes it
+  /// unique: the smallest alive neighbor that has not received yet).
+  [[nodiscard]] std::optional<NodeId> next_receiver(NodeId u) const;
+  [[nodiscard]] bool ack_valid(NodeId u) const;
+  void arm_next_message(NodeId u, std::optional<util::Buffer> payload);
+
+  const net::Graph* graph_;
+  std::vector<Node> nodes_;
+  std::size_t crash_count_ = 0;
+  std::uint64_t steps_applied_ = 0;
+};
+
+}  // namespace amac::verify

@@ -1,0 +1,39 @@
+#include "verify/trace.hpp"
+
+namespace amac::verify {
+
+DigestTrace DigestTrace::record(mac::Network& net,
+                                const std::vector<NodeId>& watched,
+                                mac::Time until) {
+  DigestTrace trace;
+  trace.watched_ = watched.size();
+  for (mac::Time t = 1; t <= until; ++t) {
+    net.run(mac::StopWhen::kQuiescent, t);
+    std::vector<std::uint64_t> row;
+    row.reserve(watched.size());
+    for (const NodeId u : watched) {
+      util::Hasher h;
+      net.process(u).digest(h);
+      row.push_back(h.digest());
+    }
+    trace.rows_.push_back(std::move(row));
+  }
+  return trace;
+}
+
+std::uint64_t DigestTrace::at(std::size_t w, std::size_t step) const {
+  AMAC_EXPECTS(step < rows_.size());
+  AMAC_EXPECTS(w < watched_);
+  return rows_[step][w];
+}
+
+std::size_t DigestTrace::common_prefix(std::size_t a, const DigestTrace& other,
+                                       std::size_t b) const {
+  const std::size_t limit = std::min(steps(), other.steps());
+  for (std::size_t s = 0; s < limit; ++s) {
+    if (at(a, s) != other.at(b, s)) return s;
+  }
+  return limit;
+}
+
+}  // namespace amac::verify

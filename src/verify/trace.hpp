@@ -1,0 +1,44 @@
+// Per-node state-digest traces for indistinguishability experiments.
+//
+// Lemma 3.6 (paper §3.2) claims: under the synchronous / alpha_A schedulers,
+// a gadget node u in Network A and its three lift copies S_u in Network B
+// pass through IDENTICAL states for the first t synchronous steps. We verify
+// this empirically: advance each network tick by tick and record every
+// watched node's Process::digest() after each tick; the traces must match
+// entry for entry.
+#pragma once
+
+#include <vector>
+
+#include "mac/engine.hpp"
+
+namespace amac::verify {
+
+/// Digest-per-tick traces of a set of watched nodes.
+class DigestTrace {
+ public:
+  /// Advances `net` one tick at a time up to `until` (inclusive), recording
+  /// the digests of `watched` after every tick (index 0 = state after
+  /// tick 1, etc.). The network must not have been run yet.
+  static DigestTrace record(mac::Network& net,
+                            const std::vector<NodeId>& watched,
+                            mac::Time until);
+
+  /// Digest of watched-node `w` after tick index `step` (0-based).
+  [[nodiscard]] std::uint64_t at(std::size_t w, std::size_t step) const;
+
+  [[nodiscard]] std::size_t steps() const { return rows_.size(); }
+  [[nodiscard]] std::size_t watched_count() const { return watched_; }
+
+  /// Number of leading steps on which watched node `a` of this trace agrees
+  /// with watched node `b` of `other`.
+  [[nodiscard]] std::size_t common_prefix(std::size_t a,
+                                          const DigestTrace& other,
+                                          std::size_t b) const;
+
+ private:
+  std::size_t watched_ = 0;
+  std::vector<std::vector<std::uint64_t>> rows_;  ///< rows_[step][watched]
+};
+
+}  // namespace amac::verify

@@ -1,0 +1,63 @@
+// A hand-driven mac::Context for unit-testing processes in isolation:
+// feed packets, advance acks, inspect every broadcast the process makes.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "mac/process.hpp"
+
+namespace amac::testutil {
+
+class FakeContext final : public mac::Context {
+ public:
+  void broadcast(util::Buffer payload) override {
+    if (busy_) {
+      ++dropped;
+      return;
+    }
+    busy_ = true;
+    sent.push_back(std::move(payload));
+  }
+
+  void decide(mac::Value v) override {
+    AMAC_ASSERT(!decision.has_value());
+    decision = v;
+  }
+
+  [[nodiscard]] bool busy() const override { return busy_; }
+  [[nodiscard]] mac::Time now() const override { return now_; }
+
+  // --- driving helpers ---
+
+  void advance(mac::Time dt) { now_ += dt; }
+
+  /// Acks the outstanding broadcast (marks the context idle) and invokes
+  /// the process's on_ack.
+  void ack(mac::Process& p) {
+    AMAC_ASSERT(busy_);
+    busy_ = false;
+    p.on_ack(*this);
+  }
+
+  /// Delivers a packet from `sender`.
+  void deliver(mac::Process& p, NodeId sender, util::Buffer payload) {
+    p.on_receive(mac::Packet{sender, std::move(payload)}, *this);
+  }
+
+  /// The most recent broadcast payload (asserts one exists).
+  [[nodiscard]] const util::Buffer& last_sent() const {
+    AMAC_ASSERT(!sent.empty());
+    return sent.back();
+  }
+
+  std::vector<util::Buffer> sent;
+  std::optional<mac::Value> decision;
+  std::size_t dropped = 0;
+
+ private:
+  bool busy_ = false;
+  mac::Time now_ = 0;
+};
+
+}  // namespace amac::testutil

@@ -1,0 +1,75 @@
+#include "core/anonymous.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "net/paper_networks.hpp"
+#include "net/topologies.hpp"
+
+namespace amac::core {
+namespace {
+
+TEST(Anonymous, CorrectOnLineUnderSynchronousScheduler) {
+  const auto g = net::make_line(7);
+  for (const mac::Value v : {0, 1}) {
+    const auto inputs = harness::inputs_all(7, v);
+    mac::SynchronousScheduler sched(1);
+    const auto outcome = harness::run_consensus(
+        g, harness::anonymous_factory(inputs, g.diameter()), sched, inputs,
+        1000);
+    ASSERT_TRUE(outcome.verdict.ok()) << outcome.verdict.summary();
+    EXPECT_EQ(*outcome.verdict.decision, v);
+  }
+}
+
+TEST(Anonymous, MinWinsOnMixedInputsSynchronous) {
+  const auto g = net::make_ring(9);
+  auto inputs = harness::inputs_all(9, 1);
+  inputs[4] = 0;  // a single zero must flood and win
+  mac::SynchronousScheduler sched(1);
+  const auto outcome = harness::run_consensus(
+      g, harness::anonymous_factory(inputs, g.diameter()), sched, inputs,
+      1000);
+  ASSERT_TRUE(outcome.verdict.ok());
+  EXPECT_EQ(*outcome.verdict.decision, 0);
+}
+
+TEST(Anonymous, DecidesAfterDiameterPlusOnePhases) {
+  const auto g = net::make_line(5);  // D = 4
+  const auto inputs = harness::inputs_all(5, 1);
+  mac::SynchronousScheduler sched(1);
+  const auto outcome = harness::run_consensus(
+      g, harness::anonymous_factory(inputs, 4), sched, inputs, 1000);
+  ASSERT_TRUE(outcome.verdict.ok());
+  EXPECT_EQ(outcome.verdict.last_decision, 5u);  // D+1 rounds of length 1
+}
+
+TEST(Anonymous, CorrectOnNetworkBUnderSynchronousScheduler) {
+  // Lemma 3.5's premise: on Network B the algorithm terminates with the
+  // common input value under the synchronous scheduler.
+  const auto nets = net::make_figure1(8, 2);
+  for (const mac::Value v : {0, 1}) {
+    const auto inputs = harness::inputs_all(nets.b.node_count(), v);
+    mac::SynchronousScheduler sched(1);
+    const auto outcome = harness::run_consensus(
+        nets.b, harness::anonymous_factory(inputs, nets.diameter), sched,
+        inputs, 1000);
+    ASSERT_TRUE(outcome.verdict.ok());
+    EXPECT_EQ(*outcome.verdict.decision, v);
+  }
+}
+
+TEST(Anonymous, StateDigestContainsNoIdentity) {
+  // Two nodes with the same input and the same receive history must have
+  // identical digests regardless of their position — anonymity.
+  AnonymousMinFlood a(6, 1);
+  AnonymousMinFlood b(6, 1);
+  util::Hasher ha;
+  a.digest(ha);
+  util::Hasher hb;
+  b.digest(hb);
+  EXPECT_EQ(ha.digest(), hb.digest());
+}
+
+}  // namespace
+}  // namespace amac::core

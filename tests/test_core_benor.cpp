@@ -1,0 +1,153 @@
+// Ben-Or randomized consensus: the future-work #3 extension that
+// circumvents Theorem 3.2 — crash-tolerant (f < n/2), always safe,
+// terminating with probability 1.
+#include "core/benor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "net/topologies.hpp"
+#include "verify/flp.hpp"
+
+namespace amac::core {
+namespace {
+
+TEST(BenOr, UniformInputDecidesRoundOneDeterministically) {
+  for (const mac::Value v : {0, 1}) {
+    const std::size_t n = 5;
+    const auto g = net::make_clique(n);
+    const auto inputs = harness::inputs_all(n, v);
+    mac::SynchronousScheduler sched(1);
+    mac::Network net(g, harness::benor_factory(inputs, 2, 42), sched);
+    const auto result = net.run(mac::StopWhen::kAllDecided, 10000);
+    ASSERT_TRUE(result.condition_met);
+    const auto verdict = verify::check_consensus(net, inputs);
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(*verdict.decision, v);
+    // No coins needed when everyone starts aligned.
+    for (NodeId u = 0; u < n; ++u) {
+      const auto* p = dynamic_cast<const BenOr*>(&net.process(u));
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(p->coin_flips(), 0u);
+      EXPECT_EQ(p->round(), 1u);
+    }
+  }
+}
+
+struct BenOrCase {
+  std::size_t n;
+  std::size_t f;
+  std::uint64_t seed;
+};
+
+class BenOrSweep : public ::testing::TestWithParam<BenOrCase> {};
+
+TEST_P(BenOrSweep, SafeAndLiveWithoutCrashes) {
+  const auto [n, f, seed] = GetParam();
+  util::Rng rng(seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = net::make_clique(n);
+    const auto inputs = harness::inputs_random(n, rng);
+    mac::UniformRandomScheduler sched(4, rng());
+    mac::Network net(g, harness::benor_factory(inputs, f, rng()), sched);
+    const auto result = net.run(mac::StopWhen::kAllDecided, 1'000'000);
+    ASSERT_TRUE(result.condition_met) << "n=" << n << " trial=" << trial;
+    const auto verdict = verify::check_consensus(net, inputs);
+    EXPECT_TRUE(verdict.ok()) << verdict.summary();
+  }
+}
+
+TEST_P(BenOrSweep, SafeAndLiveWithCrashes) {
+  const auto [n, f, seed] = GetParam();
+  if (f == 0) GTEST_SKIP() << "no crash budget";
+  util::Rng rng(seed + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = net::make_clique(n);
+    const auto inputs = harness::inputs_random(n, rng);
+    mac::UniformRandomScheduler sched(4, rng());
+    mac::Network net(g, harness::benor_factory(inputs, f, rng()), sched);
+    // Crash up to f distinct nodes at adversarially random times.
+    std::set<NodeId> crashed;
+    while (crashed.size() < f) {
+      crashed.insert(static_cast<NodeId>(rng.uniform(0, n - 1)));
+    }
+    for (const NodeId u : crashed) {
+      net.schedule_crash(mac::CrashPlan{u, rng.uniform(0, 30)});
+    }
+    const auto result = net.run(mac::StopWhen::kAllDecided, 1'000'000);
+    ASSERT_TRUE(result.condition_met)
+        << "n=" << n << " f=" << f << " trial=" << trial;
+    const auto verdict = verify::check_consensus(net, inputs);
+    EXPECT_TRUE(verdict.ok()) << verdict.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BenOrSweep,
+    ::testing::Values(BenOrCase{1, 0, 1}, BenOrCase{2, 0, 2},
+                      BenOrCase{3, 1, 3}, BenOrCase{4, 1, 4},
+                      BenOrCase{5, 2, 5}, BenOrCase{7, 3, 6},
+                      BenOrCase{9, 4, 7}));
+
+TEST(BenOr, CircumventsTheorem32WhereTwoPhaseCannot) {
+  // Head-to-head on the exact adversarial setting of the FLP bench: the
+  // valency explorer proves two-phase has a reachable stuck state with one
+  // crash; Ben-Or, run with a crash injected at every possible early tick,
+  // keeps terminating.
+  const auto g = net::make_clique(3);
+  verify::FlpExplorer explorer(g, harness::two_phase_factory({0, 1, 1}), 1);
+  EXPECT_TRUE(explorer.explore().violation_found());
+
+  for (mac::Time crash_at = 0; crash_at < 12; ++crash_at) {
+    for (NodeId victim = 0; victim < 3; ++victim) {
+      const std::vector<mac::Value> inputs{0, 1, 1};
+      mac::UniformRandomScheduler sched(3, 17 + crash_at);
+      mac::Network net(g, harness::benor_factory(inputs, 1, 99), sched);
+      net.schedule_crash(mac::CrashPlan{victim, crash_at});
+      const auto result = net.run(mac::StopWhen::kAllDecided, 1'000'000);
+      ASSERT_TRUE(result.condition_met)
+          << "victim=" << victim << " t=" << crash_at;
+      EXPECT_TRUE(verify::check_consensus(net, inputs).ok());
+    }
+  }
+}
+
+TEST(BenOr, QuorumIntersectionAdoptionStep) {
+  // If a value is decided in round r, every survivor adopts it by r+1:
+  // rounds after the first decision stay bounded. Observable consequence:
+  // round counts of all deciders differ by at most 2.
+  util::Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 7;
+    const auto g = net::make_clique(n);
+    const auto inputs = harness::inputs_random(n, rng);
+    mac::UniformRandomScheduler sched(5, rng());
+    mac::Network net(g, harness::benor_factory(inputs, 3, rng()), sched);
+    net.run(mac::StopWhen::kAllDecided, 1'000'000);
+    std::uint32_t lo = ~0u;
+    std::uint32_t hi = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      const auto* p = dynamic_cast<const BenOr*>(&net.process(u));
+      lo = std::min(lo, p->round());
+      hi = std::max(hi, p->round());
+    }
+    EXPECT_LE(hi - lo, 2u);
+  }
+}
+
+TEST(BenOr, RejectsInvalidQuorumConfig) {
+  EXPECT_DEATH(BenOr(4, 2, 0, 1), "2 \\* f < n");
+}
+
+TEST(BenOr, MessageSizeConstant) {
+  const std::size_t n = 9;
+  const auto g = net::make_clique(n);
+  const auto inputs = harness::inputs_alternating(n);
+  mac::UniformRandomScheduler sched(3, 5);
+  mac::Network net(g, harness::benor_factory(inputs, 4, 5), sched);
+  net.run(mac::StopWhen::kAllDecided, 1'000'000);
+  EXPECT_LE(net.stats().max_payload_bytes, 6u);
+}
+
+}  // namespace
+}  // namespace amac::core

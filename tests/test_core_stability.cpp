@@ -1,0 +1,96 @@
+#include "core/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "net/topologies.hpp"
+
+namespace amac::core {
+namespace {
+
+TEST(Stability, CorrectOnLineUnderSynchronousScheduler) {
+  for (const std::size_t n : {2u, 5u, 9u}) {
+    const auto g = net::make_line(n);
+    const auto d = g.diameter();
+    for (const mac::Value v : {0, 1}) {
+      const auto inputs = harness::inputs_all(n, v);
+      mac::SynchronousScheduler sched(1);
+      const auto outcome = harness::run_consensus(
+          g, harness::stability_factory(inputs, d, harness::identity_ids(n)),
+          sched, inputs, 100000);
+      ASSERT_TRUE(outcome.verdict.ok()) << outcome.verdict.summary();
+      EXPECT_EQ(*outcome.verdict.decision, v);
+    }
+  }
+}
+
+TEST(Stability, MixedInputsDecideMinIdValue) {
+  const std::size_t n = 8;
+  const auto g = net::make_line(n);
+  auto inputs = harness::inputs_all(n, 0);
+  inputs[0] = 1;  // min id holds 1
+  mac::SynchronousScheduler sched(1);
+  const auto outcome = harness::run_consensus(
+      g,
+      harness::stability_factory(inputs, g.diameter(),
+                                 harness::identity_ids(n)),
+      sched, inputs, 100000);
+  ASSERT_TRUE(outcome.verdict.ok());
+  EXPECT_EQ(*outcome.verdict.decision, 1);
+}
+
+TEST(Stability, RespectsIdAssignment) {
+  // The min *id* decides, not the min node index.
+  const std::size_t n = 4;
+  const auto g = net::make_line(n);
+  const std::vector<std::uint64_t> ids{30, 20, 10, 40};  // node 2 has min id
+  std::vector<mac::Value> inputs{0, 0, 1, 0};
+  mac::SynchronousScheduler sched(1);
+  const auto outcome = harness::run_consensus(
+      g, harness::stability_factory(inputs, g.diameter(), ids), sched, inputs,
+      100000);
+  ASSERT_TRUE(outcome.verdict.ok());
+  EXPECT_EQ(*outcome.verdict.decision, 1);
+}
+
+TEST(Stability, QuietCounterResetsOnNews) {
+  // On a long line, far nodes keep learning for ~D phases; the quiet
+  // counter can only mature afterwards, so decisions come after ~2D rounds.
+  const std::size_t n = 10;  // D = 9
+  const auto g = net::make_line(n);
+  const auto inputs = harness::inputs_all(n, 0);
+  mac::SynchronousScheduler sched(1);
+  const auto outcome = harness::run_consensus(
+      g,
+      harness::stability_factory(inputs, g.diameter(),
+                                 harness::identity_ids(n)),
+      sched, inputs, 100000);
+  ASSERT_TRUE(outcome.verdict.ok());
+  EXPECT_GE(outcome.verdict.last_decision, 2 * (n - 1));
+}
+
+TEST(Stability, WorksOnGridToo) {
+  const auto g = net::make_grid(4, 4);
+  const auto inputs = harness::inputs_all(16, 1);
+  mac::SynchronousScheduler sched(1);
+  const auto outcome = harness::run_consensus(
+      g,
+      harness::stability_factory(inputs, g.diameter(),
+                                 harness::identity_ids(16)),
+      sched, inputs, 100000);
+  ASSERT_TRUE(outcome.verdict.ok());
+  EXPECT_EQ(*outcome.verdict.decision, 1);
+}
+
+TEST(Stability, SingleNodeDecidesAfterQuietWindow) {
+  const auto g = net::make_clique(1);
+  const std::vector<mac::Value> inputs{0};
+  mac::SynchronousScheduler sched(1);
+  const auto outcome = harness::run_consensus(
+      g, harness::stability_factory(inputs, 1, {7}), sched, inputs, 1000);
+  ASSERT_TRUE(outcome.verdict.ok());
+  EXPECT_EQ(*outcome.verdict.decision, 0);
+}
+
+}  // namespace
+}  // namespace amac::core

@@ -1,0 +1,106 @@
+// Receiver-side contention scheduling (the F_prog-flavored congestion
+// model): one delivery per receiver per tick, algorithms unaffected in
+// correctness, times stretched by local density.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "helpers.hpp"
+#include "mac/schedulers.hpp"
+#include "net/topologies.hpp"
+
+namespace amac::mac {
+namespace {
+
+using testutil::probe_at;
+using testutil::probe_factory;
+
+TEST(Contention, SerializesDeliveriesPerReceiver) {
+  // Star hub: n-1 leaves broadcast at t=0; the hub must receive them at
+  // pairwise distinct ticks.
+  const std::size_t n = 9;
+  const auto g = net::make_star(n);
+  ContentionScheduler sched(/*base=*/1, /*fack_bound=*/32, /*seed=*/5);
+  Network net(g, probe_factory(1), sched);
+  net.run(StopWhen::kQuiescent, 1000);
+  const auto& hub = probe_at(net, 0);
+  ASSERT_EQ(hub.receives.size(), n - 1);
+  std::set<Time> times;
+  for (const auto& r : hub.receives) times.insert(r.time);
+  EXPECT_EQ(times.size(), n - 1) << "deliveries must not collide";
+}
+
+TEST(Contention, SparseReceiversUnaffected) {
+  // On a line there is no contention pressure: delays stay near base.
+  const auto g = net::make_line(4);
+  ContentionScheduler sched(1, 32, 5);
+  Network net(g, probe_factory(1), sched);
+  net.run(StopWhen::kQuiescent, 1000);
+  for (NodeId u = 1; u < 3; ++u) {
+    for (const auto& r : probe_at(net, u).receives) {
+      EXPECT_LE(r.time, 3u);
+    }
+  }
+}
+
+TEST(Contention, AckStillAfterAllReceives) {
+  const std::size_t n = 8;
+  const auto g = net::make_clique(n);
+  ContentionScheduler sched(2, 64, 9);
+  Network net(g, probe_factory(2), sched);
+  net.run(StopWhen::kQuiescent, 10000);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& sender = probe_at(net, u);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == u) continue;
+      for (const auto& r : probe_at(net, v).receives) {
+        if (r.sender == u) {
+          EXPECT_LE(r.time, sender.acks[r.seq]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Contention, TwoPhaseStillCorrectAndWithinBound) {
+  // Theorem 4.1 is scheduler-independent: under contention the constant-2
+  // bound holds against the scheduler's declared F_ack.
+  const std::size_t n = 24;
+  const auto g = net::make_clique(n);
+  const auto inputs = harness::inputs_alternating(n);
+  ContentionScheduler sched(1, /*fack_bound=*/static_cast<Time>(n + 2), 3);
+  const auto outcome = harness::run_consensus(
+      g, harness::two_phase_factory(inputs), sched, inputs, 100000);
+  ASSERT_TRUE(outcome.verdict.ok()) << outcome.verdict.summary();
+  EXPECT_LE(outcome.verdict.last_decision, 2 * sched.fack());
+}
+
+TEST(Contention, WPaxosStillCorrect) {
+  const auto g = net::make_grid(4, 4);
+  const std::size_t n = 16;
+  util::Rng rng(12);
+  const auto inputs = harness::inputs_random(n, rng);
+  const auto ids = harness::permuted_ids(n, rng);
+  ContentionScheduler sched(2, 32, 21);
+  const auto outcome = harness::run_consensus(
+      g, harness::wpaxos_factory(inputs, ids), sched, inputs, 10'000'000);
+  EXPECT_TRUE(outcome.verdict.ok()) << outcome.verdict.summary();
+}
+
+TEST(Contention, DenserNeighborhoodsSlower) {
+  // The hub of a star accumulates delay linearly in its in-degree: the
+  // last delivery of the first volley lands no earlier than n-1 ticks in.
+  for (const std::size_t n : {5u, 17u}) {
+    const auto g = net::make_star(n);
+    ContentionScheduler sched(1, 64, 5);
+    Network net(g, probe_factory(1), sched);
+    net.run(StopWhen::kQuiescent, 1000);
+    Time last = 0;
+    for (const auto& r : probe_at(net, 0).receives) {
+      last = std::max(last, r.time);
+    }
+    EXPECT_GE(last, n - 1);
+  }
+}
+
+}  // namespace
+}  // namespace amac::mac

@@ -1,0 +1,225 @@
+// The dual-graph (reliable + unreliable overlay) abstract MAC layer — the
+// model extension the paper's conclusion lists as future work #1.
+#include <gtest/gtest.h>
+
+#include "core/wpaxos/wpaxos.hpp"
+#include "harness/experiment.hpp"
+#include "helpers.hpp"
+#include "mac/schedulers.hpp"
+#include "net/topologies.hpp"
+
+namespace amac::mac {
+namespace {
+
+using testutil::probe_at;
+using testutil::probe_factory;
+
+net::Graph chord_overlay(std::size_t n, NodeId a, NodeId b) {
+  net::Graph g(n);
+  g.add_edge(a, b);
+  return g;
+}
+
+TEST(Unreliable, DefaultSchedulerDeliversNothingOnOverlay) {
+  const auto g = net::make_line(3);
+  const auto overlay = chord_overlay(3, 0, 2);
+  SynchronousScheduler sched(1);
+  Network net(g, probe_factory(2), sched, &overlay);
+  net.run(StopWhen::kQuiescent, 100);
+  // Node 2 hears only its reliable neighbor 1.
+  for (const auto& r : probe_at(net, 2).receives) EXPECT_EQ(r.sender, 1u);
+}
+
+TEST(Unreliable, LossyProbabilityOneDeliversAll) {
+  const auto g = net::make_line(3);
+  const auto overlay = chord_overlay(3, 0, 2);
+  LossyScheduler sched(std::make_unique<SynchronousScheduler>(4), 1.0, 7);
+  Network net(g, probe_factory(3), sched, &overlay);
+  net.run(StopWhen::kQuiescent, 1000);
+  std::size_t from_0_at_2 = 0;
+  for (const auto& r : probe_at(net, 2).receives) {
+    if (r.sender == 0) ++from_0_at_2;
+  }
+  EXPECT_EQ(from_0_at_2, 3u);  // every broadcast crossed the chord
+}
+
+TEST(Unreliable, LossyProbabilityZeroDeliversNone) {
+  const auto g = net::make_line(3);
+  const auto overlay = chord_overlay(3, 0, 2);
+  LossyScheduler sched(std::make_unique<SynchronousScheduler>(4), 0.0, 7);
+  Network net(g, probe_factory(3), sched, &overlay);
+  net.run(StopWhen::kQuiescent, 1000);
+  for (const auto& r : probe_at(net, 2).receives) EXPECT_EQ(r.sender, 1u);
+}
+
+TEST(Unreliable, CutoffSilencesOverlay) {
+  const auto g = net::make_line(3);
+  const auto overlay = chord_overlay(3, 0, 2);
+  LossyScheduler sched(std::make_unique<SynchronousScheduler>(1), 1.0, 7);
+  sched.set_cutoff(2);
+  Network net(g, probe_factory(10), sched, &overlay);
+  net.run(StopWhen::kQuiescent, 1000);
+  for (const auto& r : probe_at(net, 2).receives) {
+    if (r.sender == 0) {
+      EXPECT_LT(r.time, 2u);
+    }
+  }
+}
+
+TEST(Unreliable, OverlayReceivesWithinBroadcastWindow) {
+  const auto g = net::make_line(4);
+  net::Graph overlay(4);
+  overlay.add_edge(0, 2);
+  overlay.add_edge(0, 3);
+  overlay.add_edge(1, 3);
+  LossyScheduler sched(std::make_unique<UniformRandomScheduler>(9, 3), 0.7,
+                       11);
+  Network net(g, probe_factory(4), sched, &overlay);
+  net.run(StopWhen::kQuiescent, 10000);
+  // Model guarantee preserved: every receive (reliable or not) of sender
+  // u's broadcast i happens no later than u's i-th ack.
+  for (NodeId u = 0; u < 4; ++u) {
+    const auto& sender = probe_at(net, u);
+    for (NodeId v = 0; v < 4; ++v) {
+      if (v == u) continue;
+      for (const auto& r : probe_at(net, v).receives) {
+        if (r.sender == u) {
+          EXPECT_LE(r.time, sender.acks[r.seq]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Unreliable, ReliableFlagVisibleToProcess) {
+  // Processes can distinguish the edge class, which is what makes the
+  // tree_reliable_only mitigation implementable.
+  class FlagRecorder final : public Process {
+   public:
+    void on_start(Context& ctx) override { ctx.broadcast(util::Buffer{1}); }
+    void on_receive(const Packet& p, Context&) override {
+      flags.push_back(p.reliable);
+    }
+    void on_ack(Context&) override {}
+    std::unique_ptr<Process> clone() const override {
+      return std::make_unique<FlagRecorder>(*this);
+    }
+    void digest(util::Hasher&) const override {}
+    std::vector<bool> flags;
+  };
+
+  const auto g = net::make_line(3);
+  const auto overlay = chord_overlay(3, 0, 2);
+  LossyScheduler sched(std::make_unique<SynchronousScheduler>(2), 1.0, 5);
+  const ProcessFactory factory = [](NodeId) {
+    return std::make_unique<FlagRecorder>();
+  };
+  Network net(g, factory, sched, &overlay);
+  net.run(StopWhen::kQuiescent, 100);
+  const auto* rec = dynamic_cast<const FlagRecorder*>(&net.process(2));
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->flags.size(), 2u);  // one from node 1 (reliable), one chord
+  EXPECT_NE(rec->flags[0], rec->flags[1]);
+}
+
+// ---- wPAXOS under the dual-graph model ----------------------------------
+
+TEST(UnreliableWPaxos, SafeUnderRandomLossyOverlays) {
+  // Safety (agreement + validity among deciders) must survive any overlay
+  // behavior; with reliable-only trees, liveness holds too.
+  util::Rng rng(99);
+  for (const double p : {0.2, 0.5, 0.9}) {
+    const auto g = net::make_grid(4, 4);
+    // Overlay: a handful of random chords not in the grid.
+    net::Graph overlay(16);
+    while (overlay.edge_count() < 6) {
+      const auto a = static_cast<NodeId>(rng.uniform(0, 15));
+      const auto b = static_cast<NodeId>(rng.uniform(0, 15));
+      if (a == b || g.has_edge(a, b) || overlay.has_edge(a, b)) continue;
+      overlay.add_edge(a, b);
+    }
+    const auto inputs = harness::inputs_random(16, rng);
+    const auto ids = harness::permuted_ids(16, rng);
+    core::wpaxos::WPaxosConfig cfg;
+    cfg.tree_reliable_only = true;
+    LossyScheduler sched(std::make_unique<UniformRandomScheduler>(3, rng()),
+                         p, rng());
+    Network net(g, harness::wpaxos_factory(inputs, ids, cfg), sched,
+                &overlay);
+    net.run(StopWhen::kAllDecided, 1'000'000);
+    const auto verdict = verify::check_consensus(net, inputs);
+    EXPECT_TRUE(verdict.ok()) << "p=" << p << ": " << verdict.summary();
+  }
+}
+
+struct SilencedChordFixture {
+  net::Graph line = net::make_line(11);
+  net::Graph overlay = chord_overlay(11, 0, 5);
+  std::vector<std::uint64_t> ids;  // leader (max id) at node 0
+  std::vector<mac::Value> inputs;
+
+  SilencedChordFixture() {
+    for (NodeId u = 0; u < 11; ++u) ids.push_back(10 - u);
+    inputs = harness::inputs_alternating(11);
+  }
+};
+
+TEST(UnreliableWPaxos, TreesOverUnreliableEdgesCanLoseLiveness) {
+  // The open question's sharp edge: the chord 0-5 delivers during tree
+  // formation (node 5 adopts the leader as parent across it), then goes
+  // silent. Most of the line routes its responses through node 5 into the
+  // dead chord; the leader can never count a majority.
+  SilencedChordFixture fx;
+  LossyScheduler sched(std::make_unique<SynchronousScheduler>(1), 1.0, 3);
+  sched.set_cutoff(6);  // generous while routes form, then silent
+  Network net(fx.line, harness::wpaxos_factory(fx.inputs, fx.ids), sched,
+              &fx.overlay);
+  const auto result = net.run(StopWhen::kAllDecided, 50'000);
+  EXPECT_FALSE(result.condition_met) << "expected a liveness stall";
+  // Safety still intact: whoever decided (nobody, or a consistent subset).
+  const auto verdict = verify::check_consensus(net, fx.inputs);
+  EXPECT_TRUE(verdict.agreement);
+  EXPECT_TRUE(verdict.validity || !verdict.decision.has_value());
+}
+
+TEST(UnreliableWPaxos, ReliableOnlyTreesRestoreLiveness) {
+  SilencedChordFixture fx;
+  core::wpaxos::WPaxosConfig cfg;
+  cfg.tree_reliable_only = true;
+  LossyScheduler sched(std::make_unique<SynchronousScheduler>(1), 1.0, 3);
+  sched.set_cutoff(6);
+  Network net(fx.line, harness::wpaxos_factory(fx.inputs, fx.ids, cfg),
+              sched, &fx.overlay);
+  const auto result = net.run(StopWhen::kAllDecided, 50'000);
+  EXPECT_TRUE(result.condition_met);
+  const auto verdict = verify::check_consensus(net, fx.inputs);
+  EXPECT_TRUE(verdict.ok()) << verdict.summary();
+}
+
+TEST(UnreliableWPaxos, OverlayOnlyAccelerates) {
+  // With trees kept reliable, overlay deliveries are pure extra
+  // information: correctness unchanged, decision time never worse than a
+  // two-sided bound of the no-overlay run on the same seeds.
+  const auto g = net::make_line(12);
+  net::Graph overlay(12);
+  overlay.add_edge(0, 11);
+  overlay.add_edge(3, 9);
+  const auto inputs = harness::inputs_alternating(12);
+  const auto ids = harness::identity_ids(12);
+  core::wpaxos::WPaxosConfig cfg;
+  cfg.tree_reliable_only = true;
+
+  LossyScheduler with(std::make_unique<SynchronousScheduler>(1), 1.0, 5);
+  Network net_with(g, harness::wpaxos_factory(inputs, ids, cfg), with,
+                   &overlay);
+  net_with.run(StopWhen::kAllDecided, 100'000);
+  EXPECT_TRUE(verify::check_consensus(net_with, inputs).ok());
+
+  SynchronousScheduler without(1);
+  Network net_without(g, harness::wpaxos_factory(inputs, ids, cfg), without);
+  net_without.run(StopWhen::kAllDecided, 100'000);
+  EXPECT_TRUE(verify::check_consensus(net_without, inputs).ok());
+}
+
+}  // namespace
+}  // namespace amac::mac

@@ -1,0 +1,87 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amac::net {
+namespace {
+
+TEST(Graph, EmptyAndIsolated) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(Graph, SingleNodeIsConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.diameter(), 0u);
+}
+
+TEST(Graph, AddEdgeSymmetric) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto& nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 3u);
+  EXPECT_EQ(nb[2], 4u);
+}
+
+TEST(Graph, BfsDistancesOnPath) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = g.bfs_distances(0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 3u);
+}
+
+TEST(Graph, BfsUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = g.bfs_distances(0);
+  EXPECT_EQ(d[2], Graph::kUnreachable);
+}
+
+TEST(Graph, DiameterOfCycle) {
+  Graph g(6);
+  for (NodeId u = 0; u < 6; ++u) g.add_edge(u, (u + 1) % 6);
+  EXPECT_EQ(g.diameter(), 3u);
+}
+
+TEST(Graph, EccentricityEndpointsOfPath) {
+  Graph g(5);
+  for (NodeId u = 0; u + 1 < 5; ++u) g.add_edge(u, u + 1);
+  EXPECT_EQ(g.eccentricity(0), 4u);
+  EXPECT_EQ(g.eccentricity(2), 2u);
+  EXPECT_EQ(g.diameter(), 4u);
+}
+
+TEST(Graph, EdgeCountAccumulates) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+}  // namespace
+}  // namespace amac::net

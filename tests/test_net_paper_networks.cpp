@@ -1,0 +1,174 @@
+#include "net/paper_networks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace amac::net {
+namespace {
+
+class Figure1Param : public ::testing::TestWithParam<
+                         std::pair<std::uint32_t, std::size_t>> {};
+
+TEST_P(Figure1Param, Claim34SizeAndDiameter) {
+  const auto [diameter, k] = GetParam();
+  const auto nets = make_figure1(diameter, k);
+  // Claim 3.4: both networks have size n' = 3((D-2)/2 + k) + 12 and
+  // diameter D.
+  const std::size_t expected_n = 3 * ((diameter - 2) / 2 + k) + 12;
+  EXPECT_EQ(nets.size, expected_n);
+  EXPECT_EQ(nets.a.node_count(), expected_n);
+  EXPECT_EQ(nets.b.node_count(), expected_n);
+  EXPECT_EQ(nets.a.diameter(), diameter);
+  EXPECT_EQ(nets.b.diameter(), diameter);
+}
+
+TEST_P(Figure1Param, PropertyStarCoveringMap) {
+  const auto [diameter, k] = GetParam();
+  const auto nets = make_figure1(diameter, k);
+  const auto& lay = nets.layout;
+  const auto edges = lay.edges();
+
+  // Property (*): for every gadget node u and copy u_i in B, and every
+  // gadget edge {u, v}, u_i has exactly one neighbor in S_v; and u_i has no
+  // other edges.
+  for (std::size_t local = 0; local < lay.size(); ++local) {
+    // Gadget-neighborhood of `local`.
+    std::multiset<std::size_t> gadget_nb;
+    for (const auto& e : edges) {
+      if (e.u == local) gadget_nb.insert(e.v);
+      if (e.v == local) gadget_nb.insert(e.u);
+    }
+    for (int copy = 0; copy < 3; ++copy) {
+      const NodeId ui = nets.b_node(copy, local);
+      std::multiset<std::size_t> lifted_nb;
+      for (const NodeId w : nets.b.neighbors(ui)) {
+        lifted_nb.insert(nets.b_local(w));
+      }
+      EXPECT_EQ(lifted_nb, gadget_nb)
+          << "copy " << copy << " local " << local;
+      // "exactly one neighbor in S_v" for each gadget edge:
+      for (const auto v_local : std::set<std::size_t>(gadget_nb.begin(),
+                                                      gadget_nb.end())) {
+        const auto want =
+            static_cast<std::ptrdiff_t>(gadget_nb.count(v_local));
+        std::ptrdiff_t got = 0;
+        for (int c2 = 0; c2 < 3; ++c2) {
+          if (nets.b.has_edge(ui, nets.b_node(c2, v_local))) ++got;
+        }
+        EXPECT_EQ(got, want);
+      }
+    }
+  }
+}
+
+TEST_P(Figure1Param, GadgetsOfADisjointAndBridgedOnlyByQ) {
+  const auto [diameter, k] = GetParam();
+  const auto nets = make_figure1(diameter, k);
+  const std::size_t sz = nets.layout.size();
+  // No edge runs between the two gadgets directly.
+  for (std::size_t l0 = 0; l0 < sz; ++l0) {
+    for (std::size_t l1 = 0; l1 < sz; ++l1) {
+      EXPECT_FALSE(nets.a.has_edge(nets.a_node(0, l0), nets.a_node(1, l1)));
+    }
+  }
+  // Gadget nodes only touch q (besides gadget-internal edges): q's gadget
+  // neighbors are exactly the p-fan nodes.
+  for (int g = 0; g < 2; ++g) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_TRUE(nets.a.has_edge(nets.q, nets.a_node(g, nets.layout.p(j))));
+    }
+    EXPECT_FALSE(nets.a.has_edge(nets.q, nets.a_node(g, nets.layout.c())));
+  }
+}
+
+TEST_P(Figure1Param, GadgetInternalNeighborhoodsMatchAcrossAAndB) {
+  // Within a gadget (ignoring q), node u's neighborhood in A matches the
+  // lifted neighborhood structure in B — the basis of Lemma 3.6.
+  const auto [diameter, k] = GetParam();
+  const auto nets = make_figure1(diameter, k);
+  const auto& lay = nets.layout;
+  for (std::size_t local = 0; local < lay.size(); ++local) {
+    for (int g = 0; g < 2; ++g) {
+      const NodeId ua = nets.a_node(g, local);
+      std::multiset<std::size_t> a_nb;
+      for (const NodeId w : nets.a.neighbors(ua)) {
+        if (w == nets.q) continue;  // the bridge is outside the gadget
+        a_nb.insert(w % lay.size());
+      }
+      std::multiset<std::size_t> b_nb;
+      for (const NodeId w : nets.b.neighbors(nets.b_node(0, local))) {
+        b_nb.insert(nets.b_local(w));
+      }
+      EXPECT_EQ(a_nb, b_nb) << "gadget " << g << " local " << local;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Figure1Param,
+    ::testing::Values(std::pair{6u, std::size_t{1}},
+                      std::pair{6u, std::size_t{4}},
+                      std::pair{8u, std::size_t{1}},
+                      std::pair{10u, std::size_t{3}},
+                      std::pair{12u, std::size_t{8}},
+                      std::pair{20u, std::size_t{2}}));
+
+TEST(Figure1, ForSizeRecipeMatchesPaper) {
+  // Theorem 3.3 recipe: smallest k with n' >= n.
+  const auto nets = make_figure1_for_size(50, 8);
+  EXPECT_GE(nets.size, 50u);
+  // One unit of k less must undershoot (k minimality), unless k == 1.
+  const std::size_t d = (8 - 2) / 2;
+  EXPECT_LT(3 * (d + (nets.layout.k - 1)) + 12, 50u + 3u);
+  EXPECT_EQ(nets.a.diameter(), 8u);
+}
+
+TEST(Figure1, BIsConnected) {
+  const auto nets = make_figure1(10, 2);
+  EXPECT_TRUE(nets.b.is_connected());
+}
+
+class Figure2Param : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Figure2Param, StructureAndDiameter) {
+  const std::uint32_t d = GetParam();
+  const auto fig = make_figure2(d);
+  EXPECT_EQ(fig.kd.node_count(), 2 * (d + 1) + d);
+  EXPECT_EQ(fig.kd.diameter(), d);
+  EXPECT_EQ(fig.ld.node_count(), d + 1u);
+  EXPECT_EQ(fig.ld.diameter(), d);
+
+  // Every node of both copies touches w, and only w, outside its line.
+  const NodeId w = fig.bridge_line.front();
+  for (const auto& copy : {fig.l1, fig.l2}) {
+    for (const NodeId u : copy) {
+      EXPECT_TRUE(fig.kd.has_edge(u, w));
+    }
+  }
+  // The copies are not directly connected.
+  for (const NodeId u : fig.l1) {
+    for (const NodeId v : fig.l2) {
+      EXPECT_FALSE(fig.kd.has_edge(u, v));
+    }
+  }
+}
+
+TEST_P(Figure2Param, LineCopiesMatchStandaloneInternally) {
+  const std::uint32_t d = GetParam();
+  const auto fig = make_figure2(d);
+  // Within a copy, consecutive nodes are adjacent exactly as in L_D.
+  for (std::uint32_t i = 0; i <= d; ++i) {
+    for (std::uint32_t j = i + 1; j <= d; ++j) {
+      const bool adjacent_ld = fig.ld.has_edge(i, j);
+      EXPECT_EQ(fig.kd.has_edge(fig.l1[i], fig.l1[j]), adjacent_ld);
+      EXPECT_EQ(fig.kd.has_edge(fig.l2[i], fig.l2[j]), adjacent_ld);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Figure2Param,
+                         ::testing::Values(2u, 3u, 5u, 8u, 13u, 21u));
+
+}  // namespace
+}  // namespace amac::net

@@ -1,0 +1,105 @@
+#include "net/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amac::net {
+namespace {
+
+TEST(Topologies, Clique) {
+  const auto g = make_clique(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 10u);
+  EXPECT_EQ(g.diameter(), 1u);
+}
+
+TEST(Topologies, CliqueOfOne) {
+  const auto g = make_clique(1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Topologies, LineDiameter) {
+  const auto g = make_line(10);
+  EXPECT_EQ(g.diameter(), 9u);
+  EXPECT_EQ(g.edge_count(), 9u);
+}
+
+TEST(Topologies, RingDiameter) {
+  EXPECT_EQ(make_ring(8).diameter(), 4u);
+  EXPECT_EQ(make_ring(9).diameter(), 4u);
+}
+
+TEST(Topologies, StarDiameter) {
+  const auto g = make_star(10);
+  EXPECT_EQ(g.diameter(), 2u);
+  EXPECT_EQ(g.degree(0), 9u);
+}
+
+TEST(Topologies, GridShape) {
+  const auto g = make_grid(4, 3);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.diameter(), 5u);  // (4-1) + (3-1)
+  // Corner has degree 2, interior degree 4.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(5), 4u);
+}
+
+TEST(Topologies, TorusRegular) {
+  const auto g = make_torus(4, 4);
+  EXPECT_EQ(g.node_count(), 16u);
+  for (NodeId u = 0; u < 16; ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_EQ(g.diameter(), 4u);  // 2 + 2
+}
+
+TEST(Topologies, BinaryTree) {
+  const auto g = make_binary_tree(7);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.diameter(), 4u);  // leaf -> root -> other leaf
+}
+
+TEST(Topologies, BarbellStructure) {
+  const auto g = make_barbell(4, 3);
+  EXPECT_EQ(g.node_count(), 2 * 4 + 3 - 1u);
+  EXPECT_TRUE(g.is_connected());
+  // Clique interiors at distance path_len + 2 across the bar.
+  EXPECT_GE(g.diameter(), 3u);
+}
+
+TEST(Topologies, RandomConnectedIsConnected) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = make_random_connected(30, 0.05, rng);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_EQ(g.node_count(), 30u);
+  }
+}
+
+TEST(Topologies, RandomConnectedDeterministicPerSeed) {
+  util::Rng a(7);
+  util::Rng b(7);
+  const auto g1 = make_random_connected(20, 0.1, a);
+  const auto g2 = make_random_connected(20, 0.1, b);
+  EXPECT_EQ(g1.edge_count(), g2.edge_count());
+  for (NodeId u = 0; u < 20; ++u) {
+    EXPECT_EQ(g1.neighbors(u), g2.neighbors(u));
+  }
+}
+
+TEST(Topologies, RandomGeometricConnected) {
+  util::Rng rng(3);
+  const auto g = make_random_geometric(50, 0.05, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.node_count(), 50u);
+}
+
+TEST(Topologies, RandomConnectedDensityGrowsWithP) {
+  util::Rng a(5);
+  util::Rng b(5);
+  const auto sparse = make_random_connected(40, 0.0, a);
+  const auto dense = make_random_connected(40, 0.5, b);
+  EXPECT_EQ(sparse.edge_count(), 39u);  // exactly the spanning tree
+  EXPECT_GT(dense.edge_count(), sparse.edge_count());
+}
+
+}  // namespace
+}  // namespace amac::net

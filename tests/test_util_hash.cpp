@@ -1,0 +1,65 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amac::util {
+namespace {
+
+TEST(Hash, DeterministicDigest) {
+  Hasher a;
+  a.mix_u64(42);
+  a.mix_string("state");
+  Hasher b;
+  b.mix_u64(42);
+  b.mix_string("state");
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Hash, OrderSensitive) {
+  Hasher a;
+  a.mix_u64(1);
+  a.mix_u64(2);
+  Hasher b;
+  b.mix_u64(2);
+  b.mix_u64(1);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, LengthPrefixPreventsConcatenationCollisions) {
+  // ("ab", "c") must differ from ("a", "bc").
+  Hasher a;
+  a.mix_string("ab");
+  a.mix_string("c");
+  Hasher b;
+  b.mix_string("a");
+  b.mix_string("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, BytesMatchManualMix) {
+  const Buffer buf{1, 2, 3};
+  EXPECT_EQ(hash_bytes(buf), hash_bytes(Buffer{1, 2, 3}));
+  EXPECT_NE(hash_bytes(buf), hash_bytes(Buffer{1, 2, 4}));
+}
+
+TEST(Hash, CombineNotCommutative) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Hash, EmptyDistinctFromZeroByte) {
+  Hasher empty;
+  Hasher zero;
+  zero.mix_u8(0);
+  EXPECT_NE(empty.digest(), zero.digest());
+}
+
+TEST(Hash, BoolMixing) {
+  Hasher a;
+  a.mix_bool(true);
+  Hasher b;
+  b.mix_bool(false);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+}  // namespace
+}  // namespace amac::util

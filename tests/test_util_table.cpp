@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amac::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{1});
+  t.row().cell("beta").cell(std::int64_t{22});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.row().cell("long-cell-content").cell(std::int64_t{1});
+  t.row().cell("x").cell(std::int64_t{2});
+  const std::string out = t.render();
+  // All four lines (header, separator, two rows) must have equal length.
+  std::vector<std::size_t> lengths;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    lengths.push_back(end - start);
+    start = end + 1;
+  }
+  ASSERT_EQ(lengths.size(), 4u);
+  EXPECT_EQ(lengths[0], lengths[1]);
+  EXPECT_EQ(lengths[1], lengths[2]);
+  EXPECT_EQ(lengths[2], lengths[3]);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table t({"v"});
+  t.row().cell(3.14159, 2);
+  EXPECT_NE(t.render().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.render().find("3.142"), std::string::npos);
+}
+
+TEST(Table, BoolCells) {
+  Table t({"flag"});
+  t.row().cell(true);
+  t.row().cell(false);
+  const auto out = t.render();
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("no"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("1");
+  t.row().cell("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(1.25, 1), "1.2");
+  EXPECT_EQ(format_double(1.25, 3), "1.250");
+}
+
+}  // namespace
+}  // namespace amac::util

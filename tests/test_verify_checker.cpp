@@ -1,0 +1,110 @@
+#include "verify/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "mac/schedulers.hpp"
+#include "net/topologies.hpp"
+
+namespace amac::verify {
+namespace {
+
+/// Decides a fixed value at start; configurable per node via factory.
+class FixedDecider final : public mac::Process {
+ public:
+  FixedDecider(mac::Value v, bool decide) : v_(v), decide_(decide) {}
+  void on_start(mac::Context& ctx) override {
+    if (decide_) ctx.decide(v_);
+  }
+  void on_receive(const mac::Packet&, mac::Context&) override {}
+  void on_ack(mac::Context&) override {}
+  std::unique_ptr<mac::Process> clone() const override {
+    return std::make_unique<FixedDecider>(*this);
+  }
+  void digest(util::Hasher& h) const override { h.mix_i64(v_); }
+
+ private:
+  mac::Value v_;
+  bool decide_;
+};
+
+mac::ProcessFactory deciders(std::vector<std::pair<mac::Value, bool>> spec) {
+  return [spec = std::move(spec)](NodeId u) {
+    return std::make_unique<FixedDecider>(spec[u].first, spec[u].second);
+  };
+}
+
+TEST(Checker, AllGood) {
+  const auto g = net::make_clique(3);
+  mac::SynchronousScheduler sched(1);
+  mac::Network net(g, deciders({{1, true}, {1, true}, {1, true}}), sched);
+  net.run(mac::StopWhen::kAllDecided, 10);
+  const auto v = check_consensus(net, {1, 1, 0});
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(*v.decision, 1);
+}
+
+TEST(Checker, DetectsDisagreement) {
+  const auto g = net::make_clique(2);
+  mac::SynchronousScheduler sched(1);
+  mac::Network net(g, deciders({{0, true}, {1, true}}), sched);
+  net.run(mac::StopWhen::kAllDecided, 10);
+  const auto v = check_consensus(net, {0, 1});
+  EXPECT_FALSE(v.agreement);
+  EXPECT_TRUE(v.termination);
+  EXPECT_TRUE(v.validity);
+  EXPECT_FALSE(v.ok());
+  EXPECT_FALSE(v.decision.has_value());
+}
+
+TEST(Checker, DetectsNonTermination) {
+  const auto g = net::make_clique(2);
+  mac::SynchronousScheduler sched(1);
+  mac::Network net(g, deciders({{0, true}, {0, false}}), sched);
+  net.run(mac::StopWhen::kQuiescent, 10);
+  const auto v = check_consensus(net, {0, 0});
+  EXPECT_FALSE(v.termination);
+  EXPECT_TRUE(v.agreement);
+}
+
+TEST(Checker, DetectsValidityViolation) {
+  const auto g = net::make_clique(2);
+  mac::SynchronousScheduler sched(1);
+  mac::Network net(g, deciders({{1, true}, {1, true}}), sched);
+  net.run(mac::StopWhen::kAllDecided, 10);
+  const auto v = check_consensus(net, {0, 0});  // nobody proposed 1
+  EXPECT_FALSE(v.validity);
+  EXPECT_TRUE(v.agreement);
+}
+
+TEST(Checker, CrashedUndecidedDoesNotBlockTermination) {
+  const auto g = net::make_clique(2);
+  mac::SynchronousScheduler sched(1);
+  mac::Network net(g, deciders({{0, true}, {0, false}}), sched);
+  net.schedule_crash(mac::CrashPlan{1, 0});
+  net.run(mac::StopWhen::kQuiescent, 10);
+  const auto v = check_consensus(net, {0, 0});
+  EXPECT_TRUE(v.termination);
+}
+
+TEST(Checker, SummaryMentionsViolations) {
+  const auto g = net::make_clique(2);
+  mac::SynchronousScheduler sched(1);
+  mac::Network net(g, deciders({{0, true}, {1, true}}), sched);
+  net.run(mac::StopWhen::kAllDecided, 10);
+  const auto v = check_consensus(net, {0, 1});
+  EXPECT_NE(v.summary().find("AGREEMENT-VIOLATED"), std::string::npos);
+}
+
+TEST(Checker, DecisionTimesTracked) {
+  const auto g = net::make_clique(2);
+  mac::SynchronousScheduler sched(1);
+  mac::Network net(g, deciders({{1, true}, {1, true}}), sched);
+  net.run(mac::StopWhen::kAllDecided, 10);
+  const auto v = check_consensus(net, {1, 1});
+  EXPECT_EQ(v.first_decision, 0u);
+  EXPECT_EQ(v.last_decision, 0u);
+}
+
+}  // namespace
+}  // namespace amac::verify

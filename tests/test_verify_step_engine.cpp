@@ -1,0 +1,176 @@
+// The §3.1 valid-step semantics: ordering constraints, ack validity,
+// crashes, cloning, digests.
+#include "verify/step_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/two_phase.hpp"
+#include "harness/experiment.hpp"
+#include "net/topologies.hpp"
+
+namespace amac::verify {
+namespace {
+
+using Step = StepSystem::Step;
+
+mac::ProcessFactory two_phase(const std::vector<mac::Value>& inputs) {
+  return harness::two_phase_factory(inputs);
+}
+
+TEST(StepEngine, InitialValidStepsAreOrderedReceives) {
+  const auto g = net::make_clique(3);
+  StepSystem sys(g, two_phase({0, 1, 0}));
+  const auto steps = sys.valid_steps(0);
+  // One receive per sender (to its smallest unserved neighbor); no acks yet.
+  ASSERT_EQ(steps.size(), 3u);
+  for (const auto& s : steps) {
+    EXPECT_EQ(s.kind, Step::Kind::kReceive);
+  }
+  // Sender 0's first valid receiver is node 1 (its smallest neighbor).
+  EXPECT_EQ(steps[0].u, 0u);
+  EXPECT_EQ(steps[0].v, 1u);
+  // Sender 1's smallest neighbor is 0.
+  EXPECT_EQ(steps[1].u, 1u);
+  EXPECT_EQ(steps[1].v, 0u);
+}
+
+TEST(StepEngine, ReceiveOrderIsForced) {
+  // After 0 -> 1 is taken, sender 0's next valid receiver is 2.
+  const auto g = net::make_clique(3);
+  StepSystem sys(g, two_phase({0, 1, 0}));
+  sys.apply(Step{Step::Kind::kReceive, 0, 1});
+  const auto steps = sys.valid_steps(0);
+  bool found = false;
+  for (const auto& s : steps) {
+    if (s.kind == Step::Kind::kReceive && s.u == 0) {
+      EXPECT_EQ(s.v, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StepEngine, AckOnlyAfterAllReceives) {
+  const auto g = net::make_clique(2);
+  StepSystem sys(g, two_phase({0, 1}));
+  // Before node 1 receives node 0's message, node 0 cannot be acked.
+  for (const auto& s : sys.valid_steps(0)) {
+    EXPECT_FALSE(s.kind == Step::Kind::kAck && s.u == 0);
+  }
+  sys.apply(Step{Step::Kind::kReceive, 0, 1});
+  bool ack0 = false;
+  for (const auto& s : sys.valid_steps(0)) {
+    if (s.kind == Step::Kind::kAck && s.u == 0) ack0 = true;
+  }
+  EXPECT_TRUE(ack0);
+}
+
+TEST(StepEngine, CrashUnblocksAck) {
+  // §3.1: ack validity requires all NON-CRASHED neighbors received. In a
+  // 3-clique where only 0 -> 1 happened, crashing 2 makes ack(0) valid.
+  const auto g = net::make_clique(3);
+  StepSystem sys(g, two_phase({0, 1, 0}));
+  sys.apply(Step{Step::Kind::kReceive, 0, 1});
+  bool ack0 = false;
+  for (const auto& s : sys.valid_steps(1)) {
+    if (s.kind == Step::Kind::kAck && s.u == 0) ack0 = true;
+  }
+  EXPECT_FALSE(ack0);
+  sys.apply(Step{Step::Kind::kCrash, 2, kNoNode});
+  for (const auto& s : sys.valid_steps(1)) {
+    if (s.kind == Step::Kind::kAck && s.u == 0) ack0 = true;
+  }
+  EXPECT_TRUE(ack0);
+  EXPECT_EQ(sys.crash_count(), 1u);
+}
+
+TEST(StepEngine, CrashBudgetLimitsCrashSteps) {
+  const auto g = net::make_clique(2);
+  StepSystem sys(g, two_phase({0, 1}));
+  std::size_t crash_steps = 0;
+  for (const auto& s : sys.valid_steps(1)) {
+    if (s.kind == Step::Kind::kCrash) ++crash_steps;
+  }
+  EXPECT_EQ(crash_steps, 2u);
+  sys.apply(Step{Step::Kind::kCrash, 0, kNoNode});
+  for (const auto& s : sys.valid_steps(1)) {
+    EXPECT_NE(s.kind, Step::Kind::kCrash);
+  }
+}
+
+// Fair driver: rotate the preferred sender so every node's steps are taken.
+void apply_fair_step(StepSystem& sys, int iter) {
+  const auto steps = sys.valid_steps(0);
+  ASSERT_FALSE(steps.empty());
+  const NodeId preferred =
+      static_cast<NodeId>(static_cast<std::size_t>(iter) % sys.node_count());
+  for (const auto& s : steps) {
+    if (s.u == preferred) {
+      sys.apply(s);
+      return;
+    }
+  }
+  sys.apply(steps.front());
+}
+
+TEST(StepEngine, RoundRobinScheduleDecidesTwoPhase) {
+  // Driving all valid steps fairly must let two-phase decide (no crashes):
+  // the §4.1 algorithm is correct under valid-step schedulers.
+  const auto g = net::make_clique(3);
+  StepSystem sys(g, two_phase({1, 1, 1}));
+  for (int iter = 0; iter < 10000 && !sys.all_alive_decided(); ++iter) {
+    apply_fair_step(sys, iter);
+  }
+  EXPECT_TRUE(sys.all_alive_decided());
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_EQ(sys.decision(u).value, 1);
+  }
+  EXPECT_FALSE(sys.has_disagreement());
+}
+
+TEST(StepEngine, CopyIsIndependent) {
+  const auto g = net::make_clique(2);
+  StepSystem sys(g, two_phase({0, 1}));
+  StepSystem copy(sys);
+  EXPECT_EQ(sys.digest(), copy.digest());
+  copy.apply(Step{Step::Kind::kReceive, 0, 1});
+  EXPECT_NE(sys.digest(), copy.digest());
+  // Original still has its receive pending.
+  const auto steps = sys.valid_steps(0);
+  EXPECT_EQ(steps.front().kind, Step::Kind::kReceive);
+}
+
+TEST(StepEngine, DigestStableAcrossEquivalentPaths) {
+  // Two independent receives commute: applying them in either order yields
+  // the same digest.
+  const auto g = net::make_clique(3);
+  StepSystem a(g, two_phase({0, 1, 0}));
+  StepSystem b(a);
+  a.apply(Step{Step::Kind::kReceive, 0, 1});
+  a.apply(Step{Step::Kind::kReceive, 1, 0});
+  b.apply(Step{Step::Kind::kReceive, 1, 0});
+  b.apply(Step{Step::Kind::kReceive, 0, 1});
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(StepEngine, HeartbeatsKeepSystemLive) {
+  // After two-phase decides, nodes stop broadcasting real messages; the
+  // engine substitutes heartbeats so valid steps never run out (the
+  // "always sending" normalization of §3.1).
+  const auto g = net::make_clique(2);
+  StepSystem sys(g, two_phase({1, 1}));
+  for (int iter = 0; iter < 1000 && !sys.all_alive_decided(); ++iter) {
+    apply_fair_step(sys, iter);
+  }
+  ASSERT_TRUE(sys.all_alive_decided());
+  EXPECT_FALSE(sys.valid_steps(0).empty());
+}
+
+TEST(StepEngine, DescribeSteps) {
+  EXPECT_EQ((Step{Step::Kind::kReceive, 1, 2}).describe(), "recv(1->2)");
+  EXPECT_EQ((Step{Step::Kind::kAck, 3, kNoNode}).describe(), "ack(3)");
+  EXPECT_EQ((Step{Step::Kind::kCrash, 0, kNoNode}).describe(), "crash(0)");
+}
+
+}  // namespace
+}  // namespace amac::verify

@@ -1,0 +1,100 @@
+// wPAXOS under crash failures. The paper assumes no crashes (Theorem 3.2
+// makes deterministic crash-tolerant consensus impossible); these tests
+// characterize HOW the algorithm fails and what it still guarantees:
+//   * safety survives any crash pattern (Paxos's safety never relied on
+//     liveness assumptions);
+//   * a crash of the eventual LEADER (the max id) halts progress — the
+//     max-id election can never move off a dead node;
+//   * a minority of non-leader crashes is often survivable in practice:
+//     Paxos needs only a majority of acceptors (the paper's §1 motivation
+//     for choosing PAXOS logic: "not slowed if a small portion of the
+//     network is delayed").
+#include <gtest/gtest.h>
+
+#include "core/wpaxos/wpaxos.hpp"
+#include "harness/experiment.hpp"
+#include "net/topologies.hpp"
+
+namespace amac::core::wpaxos {
+namespace {
+
+TEST(WPaxosCrashes, LeaderCrashHaltsProgressButStaysSafe) {
+  const std::size_t n = 7;
+  const auto g = net::make_clique(n);
+  const auto inputs = harness::inputs_alternating(n);
+  const auto ids = harness::identity_ids(n);  // leader = node 6
+  mac::UniformRandomScheduler sched(3, 11);
+  mac::Network net(g, harness::wpaxos_factory(inputs, ids), sched);
+  net.schedule_crash(mac::CrashPlan{6, 2});  // kill the max id early
+  const auto result = net.run(mac::StopWhen::kAllDecided, 100'000);
+  EXPECT_FALSE(result.condition_met) << "max-id election cannot recover";
+  const auto verdict = verify::check_consensus(net, inputs);
+  EXPECT_TRUE(verdict.agreement);  // safety intact regardless
+}
+
+TEST(WPaxosCrashes, MinorityNonLeaderCrashesOftenSurvivable) {
+  // Acceptor majorities tolerate minority silence: with the leader alive,
+  // the protocol completes for the survivors.
+  const std::size_t n = 7;
+  const auto g = net::make_clique(n);
+  const auto inputs = harness::inputs_alternating(n);
+  const auto ids = harness::identity_ids(n);
+  mac::UniformRandomScheduler sched(3, 13);
+  mac::Network net(g, harness::wpaxos_factory(inputs, ids), sched);
+  net.schedule_crash(mac::CrashPlan{0, 2});
+  net.schedule_crash(mac::CrashPlan{1, 5});
+  const auto result = net.run(mac::StopWhen::kAllDecided, 1'000'000);
+  EXPECT_TRUE(result.condition_met);
+  const auto verdict = verify::check_consensus(net, inputs);
+  EXPECT_TRUE(verdict.ok()) << verdict.summary();
+}
+
+TEST(WPaxosCrashes, MultihopCutVertexCrashStallsSafely) {
+  // A crash can also partition a multihop topology outright: the barbell's
+  // bridge node dies and no majority can ever assemble. Safety must hold.
+  const auto g = net::make_barbell(4, 2);  // bridge interior is a cut vertex
+  const std::size_t n = g.node_count();
+  const auto inputs = harness::inputs_split(n);
+  const auto ids = harness::identity_ids(n);
+  mac::UniformRandomScheduler sched(2, 17);
+  mac::Network net(g, harness::wpaxos_factory(inputs, ids), sched);
+  net.schedule_crash(mac::CrashPlan{4, 1});  // the path node
+  const auto result = net.run(mac::StopWhen::kAllDecided, 100'000);
+  const auto verdict = verify::check_consensus(net, inputs);
+  EXPECT_TRUE(verdict.agreement) << verdict.summary();
+  (void)result;  // either outcome is legal; agreement is the claim
+}
+
+TEST(WPaxosCrashes, SafetySweepUnderRandomCrashPatterns) {
+  util::Rng rng(12345);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5 + rng.uniform(0, 6);
+    const auto g = net::make_random_connected(n, 0.3, rng);
+    const auto inputs = harness::inputs_random(n, rng);
+    const auto ids = harness::permuted_ids(n, rng);
+    mac::UniformRandomScheduler sched(1 + rng.uniform(0, 4), rng());
+    mac::Network net(g, harness::wpaxos_factory(inputs, ids), sched);
+    const auto crashes = rng.uniform(1, n / 2);
+    std::set<NodeId> victims;
+    while (victims.size() < crashes) {
+      victims.insert(static_cast<NodeId>(rng.uniform(0, n - 1)));
+    }
+    for (const NodeId v : victims) {
+      net.schedule_crash(mac::CrashPlan{v, rng.uniform(0, 50)});
+    }
+    net.run(mac::StopWhen::kAllDecided, 200'000);
+    const auto verdict = verify::check_consensus(net, inputs);
+    // Liveness may or may not survive; agreement and validity must.
+    EXPECT_TRUE(verdict.agreement) << "trial " << trial;
+    bool any_decided = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (net.decision(u).decided) any_decided = true;
+    }
+    if (any_decided) {
+      EXPECT_TRUE(verdict.validity) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amac::core::wpaxos

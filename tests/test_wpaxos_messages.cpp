@@ -1,0 +1,171 @@
+#include "core/wpaxos/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/wpaxos/wpaxos.hpp"
+
+namespace amac::core::wpaxos {
+namespace {
+
+TEST(ProposalNumber, LexicographicOrder) {
+  // Paper: (tag, id) pairs compared lexicographically.
+  EXPECT_LT((ProposalNumber{1, 9}), (ProposalNumber{2, 0}));
+  EXPECT_LT((ProposalNumber{2, 3}), (ProposalNumber{2, 4}));
+  EXPECT_EQ((ProposalNumber{2, 3}), (ProposalNumber{2, 3}));
+  EXPECT_GT((ProposalNumber{3, 0}), (ProposalNumber{2, 999}));
+}
+
+TEST(ProposalNumber, EncodeDecode) {
+  util::Writer w;
+  const ProposalNumber pn{123456, 789};
+  pn.encode(w);
+  util::Reader r(w.buffer());
+  EXPECT_EQ(ProposalNumber::decode(r), pn);
+}
+
+TEST(AcceptorResponse, MergeSumsCounts) {
+  AcceptorResponse a;
+  a.pn = {3, 7};
+  a.count = 4;
+  AcceptorResponse b;
+  b.pn = {3, 7};
+  b.count = 5;
+  ASSERT_TRUE(a.can_merge(b));
+  a.merge(b);
+  EXPECT_EQ(a.count, 9u);
+}
+
+TEST(AcceptorResponse, MergeKeepsLargestPrev) {
+  // §4.2.1: aggregation keeps only the previous proposal with the largest
+  // proposal number among those merged — Lemma 4.3's requirement.
+  AcceptorResponse a;
+  a.pn = {3, 7};
+  a.prev = Proposal{{1, 2}, 0};
+  AcceptorResponse b = a;
+  b.prev = Proposal{{2, 1}, 1};
+  a.merge(b);
+  ASSERT_TRUE(a.prev.has_value());
+  EXPECT_EQ(a.prev->pn, (ProposalNumber{2, 1}));
+  EXPECT_EQ(a.prev->value, 1);
+}
+
+TEST(AcceptorResponse, MergePrevAgainstEmpty) {
+  AcceptorResponse a;
+  a.pn = {3, 7};
+  AcceptorResponse b = a;
+  b.prev = Proposal{{2, 2}, 1};
+  a.merge(b);
+  ASSERT_TRUE(a.prev.has_value());
+  EXPECT_EQ(a.prev->value, 1);
+}
+
+TEST(AcceptorResponse, MergeMaxCommitted) {
+  AcceptorResponse a;
+  a.pn = {3, 7};
+  a.positive = false;
+  a.max_committed = {4, 1};
+  AcceptorResponse b = a;
+  b.max_committed = {5, 0};
+  a.merge(b);
+  EXPECT_EQ(a.max_committed, (ProposalNumber{5, 0}));
+}
+
+TEST(AcceptorResponse, CannotMergeAcrossPolarity) {
+  AcceptorResponse a;
+  a.pn = {3, 7};
+  a.positive = true;
+  AcceptorResponse b = a;
+  b.positive = false;
+  EXPECT_FALSE(a.can_merge(b));
+}
+
+TEST(AcceptorResponse, CannotMergeAcrossStages) {
+  AcceptorResponse a;
+  a.pn = {3, 7};
+  a.stage = AcceptorResponse::Stage::kPrepare;
+  AcceptorResponse b = a;
+  b.stage = AcceptorResponse::Stage::kPropose;
+  EXPECT_FALSE(a.can_merge(b));
+}
+
+TEST(Envelope, EmptyRoundTrip) {
+  const Envelope e;
+  const auto back = Envelope::decode(e.encode());
+  EXPECT_TRUE(back.empty());
+  EXPECT_EQ(e.encode().size(), 1u);  // just the presence mask
+}
+
+TEST(Envelope, FullRoundTrip) {
+  Envelope e;
+  e.leader = LeaderMsg{42};
+  e.change = ChangeMsg{1000, 42};
+  e.search = SearchMsg{42, 3};
+  e.proposer = ProposerMsg{ProposerMsg::Kind::kPropose, {7, 42}, 1};
+  AcceptorResponse r;
+  r.stage = AcceptorResponse::Stage::kPropose;
+  r.pn = {7, 42};
+  r.positive = false;
+  r.count = 13;
+  r.prev = Proposal{{6, 41}, 0};
+  r.max_committed = {8, 40};
+  r.dest = 5;
+  e.response = r;
+
+  const auto back = Envelope::decode(e.encode());
+  ASSERT_TRUE(back.leader && back.change && back.search && back.proposer &&
+              back.response);
+  EXPECT_EQ(back.leader->leader_id, 42u);
+  EXPECT_EQ(back.change->timestamp, 1000u);
+  EXPECT_EQ(back.change->origin, 42u);
+  EXPECT_EQ(back.search->root, 42u);
+  EXPECT_EQ(back.search->hops, 3u);
+  EXPECT_EQ(back.proposer->kind, ProposerMsg::Kind::kPropose);
+  EXPECT_EQ(back.proposer->pn, (ProposalNumber{7, 42}));
+  EXPECT_EQ(back.proposer->value, 1);
+  EXPECT_EQ(back.response->count, 13u);
+  EXPECT_EQ(back.response->prev->value, 0);
+  EXPECT_EQ(back.response->max_committed, (ProposalNumber{8, 40}));
+  EXPECT_EQ(back.response->dest, 5u);
+}
+
+TEST(Envelope, PartialPresence) {
+  Envelope e;
+  e.search = SearchMsg{9, 1};
+  const auto back = Envelope::decode(e.encode());
+  EXPECT_FALSE(back.leader.has_value());
+  EXPECT_TRUE(back.search.has_value());
+  EXPECT_FALSE(back.response.has_value());
+}
+
+TEST(Envelope, SizeStaysConstantInN) {
+  // The model's O(1)-ids restriction: a full envelope with ids and counts
+  // up to n costs O(log n) bytes, never O(n).
+  for (const std::uint64_t scale : {100ULL, 1'000'000ULL}) {
+    Envelope e;
+    e.leader = LeaderMsg{scale};
+    e.change = ChangeMsg{scale, scale};
+    e.search = SearchMsg{scale, 30};
+    e.proposer = ProposerMsg{ProposerMsg::Kind::kPrepare, {scale, scale}, 0};
+    AcceptorResponse r;
+    r.pn = {scale, scale};
+    r.count = scale;  // aggregated counts can reach n
+    r.prev = Proposal{{scale, scale}, 1};
+    r.max_committed = {scale, scale};
+    r.dest = scale;
+    e.response = r;
+    EXPECT_LE(e.encode().size(), 80u);
+  }
+}
+
+TEST(WireEnvelope, CarriesSenderId) {
+  WireEnvelope w;
+  w.sender_id = 314159;
+  w.body.leader = LeaderMsg{2};
+  const auto back = WireEnvelope::decode(w.encode());
+  EXPECT_EQ(back.sender_id, 314159u);
+  ASSERT_TRUE(back.body.leader);
+  EXPECT_EQ(back.body.leader->leader_id, 2u);
+}
+
+}  // namespace
+}  // namespace amac::core::wpaxos

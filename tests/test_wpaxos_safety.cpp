@@ -1,0 +1,129 @@
+// Directed adversarial safety scenarios for wPAXOS — the Lemma 4.3
+// machinery (prior-proposal adoption) exercised deterministically, rather
+// than statistically as in the integration sweeps.
+#include <gtest/gtest.h>
+
+#include "core/wpaxos/wpaxos.hpp"
+#include "harness/experiment.hpp"
+#include "net/topologies.hpp"
+
+namespace amac::core::wpaxos {
+namespace {
+
+TEST(WPaxosSafety, LateLeaderAdoptsInterimMajorityValue) {
+  // Clique of 3, ids = node index. Hold everything node 2 (the eventual
+  // leader) SENDS until long after nodes 0-1 have decided: node 1 is the
+  // interim leader, reaches a majority (itself + node 0) and decides ITS
+  // value. When node 2 finally speaks, Lemma 4.3's adoption path must make
+  // it propose the already-chosen value — otherwise it would override the
+  // decision and break agreement.
+  const auto g = net::make_clique(3);
+  const std::vector<mac::Value> inputs{0, 1, 0};  // interim leader holds 1
+  const auto ids = harness::identity_ids(3);
+
+  mac::HoldbackScheduler sched(std::make_unique<mac::SynchronousScheduler>(1),
+                               /*release=*/60);
+  sched.hold_sender(2);
+  mac::Network net(g, harness::wpaxos_factory(inputs, ids), sched);
+  net.run(mac::StopWhen::kAllDecided, 100'000);
+
+  const auto verdict = verify::check_consensus(net, inputs);
+  ASSERT_TRUE(verdict.ok()) << verdict.summary();
+  // The interim majority chose node 1's value before t=60; the decision is
+  // already network-wide by the time node 2's transmissions release (node
+  // 2 hears the decide flood — its receives were never held).
+  EXPECT_EQ(*verdict.decision, 1);
+  EXPECT_LT(net.decision(0).time, 60u);
+}
+
+TEST(WPaxosSafety, TwoStagedLeaderships) {
+  // Five nodes; nodes 3 then 4 are released in stages. Stage 1: node 2
+  // leads {0,1,2} (a majority of 5? no — 3 of 5 IS a majority) and
+  // decides its value. Stage 2 and 3 releases must conform.
+  const auto g = net::make_clique(5);
+  const std::vector<mac::Value> inputs{0, 0, 1, 0, 0};
+  const auto ids = harness::identity_ids(5);
+
+  auto base = std::make_unique<mac::SynchronousScheduler>(1);
+  mac::HoldbackScheduler sched(std::move(base), /*release=*/80);
+  sched.hold_sender(3);
+  sched.hold_sender(4);
+  mac::Network net(g, harness::wpaxos_factory(inputs, ids), sched);
+  net.run(mac::StopWhen::kAllDecided, 100'000);
+
+  const auto verdict = verify::check_consensus(net, inputs);
+  ASSERT_TRUE(verdict.ok()) << verdict.summary();
+  EXPECT_EQ(*verdict.decision, 1);  // node 2's interim decision sticks
+}
+
+TEST(WPaxosSafety, MinoritySegmentCannotDecide) {
+  // Hold the senders of a 3-node majority segment: the visible 2-node
+  // minority must NOT decide anything while partitioned (no majority of
+  // n = 5 reachable), and the eventual decision involves everyone.
+  const auto g = net::make_clique(5);
+  const std::vector<mac::Value> inputs{0, 0, 1, 1, 1};
+  const auto ids = harness::identity_ids(5);
+
+  mac::HoldbackScheduler sched(std::make_unique<mac::SynchronousScheduler>(1),
+                               /*release=*/100);
+  sched.hold_sender(2);
+  sched.hold_sender(3);
+  sched.hold_sender(4);
+  mac::Network net(g, harness::wpaxos_factory(inputs, ids), sched);
+  // Run only up to just before the release: nobody may decide.
+  net.run(mac::StopWhen::kAllDecided, 99);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_FALSE(net.decision(u).decided) << "node " << u;
+  }
+  // After release, consensus completes correctly.
+  net.run(mac::StopWhen::kAllDecided, 1'000'000);
+  const auto verdict = verify::check_consensus(net, inputs);
+  EXPECT_TRUE(verdict.ok()) << verdict.summary();
+}
+
+TEST(WPaxosSafety, SlowHalfLineStillAgrees) {
+  // Multihop variant: the far half of a line is held back; the near half
+  // contains a majority and decides; releases join consistently.
+  const std::size_t n = 9;
+  const auto g = net::make_line(n);
+  const auto inputs = harness::inputs_split(n);  // 0s near, 1s far
+  // Leader (max id) in the NEAR half so the interim majority can finish.
+  std::vector<std::uint64_t> ids{8, 7, 6, 5, 4, 3, 2, 1, 0};
+
+  mac::HoldbackScheduler sched(std::make_unique<mac::SynchronousScheduler>(1),
+                               /*release=*/200);
+  for (NodeId u = 5; u < n; ++u) sched.hold_sender(u);
+  mac::Network net(g, harness::wpaxos_factory(inputs, ids), sched);
+  net.run(mac::StopWhen::kAllDecided, 1'000'000);
+  const auto verdict = verify::check_consensus(net, inputs);
+  ASSERT_TRUE(verdict.ok()) << verdict.summary();
+  EXPECT_EQ(*verdict.decision, 0);  // the near majority's side
+}
+
+TEST(WPaxosSafety, DecisionSurvivesStaggeredLeaderChurn) {
+  // Nodes wake into leadership in id order: node 1 leads {0, 1} first,
+  // then node 2 wakes at t=40, then node 3 (the true max) at t=80. Every
+  // regime change must respect the interim majority's choice — node 1's
+  // value 0, chosen by {0, 1, ...} once a majority exists. With n = 4 a
+  // majority is 3, so nothing is chosen before node 2 wakes; the first
+  // possible choice is under node 2's leadership with value 0 (adopting
+  // nothing — all awake nodes hold 0 except node 0? inputs below).
+  const auto g = net::make_clique(4);
+  const std::vector<mac::Value> inputs{1, 0, 0, 0};
+  const auto ids = harness::identity_ids(4);
+
+  mac::HoldbackScheduler sched(std::make_unique<mac::SynchronousScheduler>(1),
+                               /*release=*/80);
+  sched.hold_sender_until(2, 40);
+  sched.hold_sender_until(3, 80);
+  mac::Network net(g, harness::wpaxos_factory(inputs, ids), sched);
+  net.run(mac::StopWhen::kAllDecided, 1'000'000);
+  const auto verdict = verify::check_consensus(net, inputs);
+  ASSERT_TRUE(verdict.ok()) << verdict.summary();
+  // Majority {0,1,2} existed from t=40 with leader 2; its decision must
+  // precede node 3's wake-up and survive it.
+  EXPECT_LT(net.decision(0).time, 80u);
+}
+
+}  // namespace
+}  // namespace amac::core::wpaxos
