@@ -1,9 +1,21 @@
 // E9: substrate micro-benchmarks (google-benchmark): engine event
-// throughput, serde round-trips, graph algorithms, wPAXOS end-to-end.
+// throughput (calendar-queue engine vs the frozen reference-heap engine,
+// same binary, same workloads), serde round-trips, graph algorithms,
+// wPAXOS end-to-end.
+//
+// Besides the console table, the binary writes BENCH_engine.json
+// (machine-readable: ns/op, rate counters, peak queued events per
+// benchmark) so successive PRs have a perf trajectory to regress against.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "core/wpaxos/wpaxos.hpp"
 #include "harness/experiment.hpp"
+#include "mac/reference_engine.hpp"
 #include "net/topologies.hpp"
 #include "util/rng.hpp"
 #include "util/serde.hpp"
@@ -12,7 +24,9 @@ namespace {
 
 using namespace amac;
 
-/// Minimal traffic generator: broadcasts `rounds` one-byte messages.
+/// Minimal traffic generator: broadcasts `rounds` one-byte messages from a
+/// reused buffer (the engine's pool makes the steady-state cycle
+/// allocation-free; the process should not spoil that).
 class Pinger final : public mac::Process {
  public:
   explicit Pinger(std::size_t rounds) : rounds_(rounds) {}
@@ -30,46 +44,64 @@ class Pinger final : public mac::Process {
  private:
   void send(mac::Context& ctx) {
     ++sent_;
-    ctx.broadcast(util::Buffer{1});
+    ctx.broadcast(payload_);
   }
   std::size_t rounds_;
   std::size_t sent_ = 0;
+  util::Buffer payload_{1};
 };
 
-void BM_EngineSyncRounds(benchmark::State& state) {
+/// Shared engine workload driver: Net is mac::Network (calendar queue) or
+/// mac::ReferenceNetwork (legacy heap baseline).
+template <typename Net, typename MakeScheduler>
+void run_engine_benchmark(benchmark::State& state,
+                          const MakeScheduler& make_scheduler,
+                          mac::Time max_time) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto g = net::make_ring(n);
   const mac::ProcessFactory factory = [](NodeId) {
     return std::make_unique<Pinger>(50);
   };
   std::uint64_t deliveries = 0;
+  std::size_t peak_events = 0;
   for (auto _ : state) {
-    mac::SynchronousScheduler sched(1);
-    mac::Network net(g, factory, sched);
-    net.run(mac::StopWhen::kQuiescent, 1000);
+    auto sched = make_scheduler();
+    Net net(g, factory, sched);
+    net.run(mac::StopWhen::kQuiescent, max_time);
     deliveries = net.stats().deliveries;
+    peak_events = net.stats().peak_events;
     benchmark::DoNotOptimize(deliveries);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(deliveries));
+  state.counters["peak_events"] =
+      benchmark::Counter(static_cast<double>(peak_events));
   state.SetLabel("deliveries/iter=" + std::to_string(deliveries));
+}
+
+void BM_EngineSyncRounds(benchmark::State& state) {
+  run_engine_benchmark<mac::Network>(
+      state, [] { return mac::SynchronousScheduler(1); }, 1000);
 }
 BENCHMARK(BM_EngineSyncRounds)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_RefEngineSyncRounds(benchmark::State& state) {
+  run_engine_benchmark<mac::ReferenceNetwork>(
+      state, [] { return mac::SynchronousScheduler(1); }, 1000);
+}
+BENCHMARK(BM_RefEngineSyncRounds)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_EngineRandomScheduler(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto g = net::make_ring(n);
-  const mac::ProcessFactory factory = [](NodeId) {
-    return std::make_unique<Pinger>(50);
-  };
-  for (auto _ : state) {
-    mac::UniformRandomScheduler sched(8, 42);
-    mac::Network net(g, factory, sched);
-    net.run(mac::StopWhen::kQuiescent, 100000);
-    benchmark::DoNotOptimize(net.stats().deliveries);
-  }
+  run_engine_benchmark<mac::Network>(
+      state, [] { return mac::UniformRandomScheduler(8, 42); }, 100000);
 }
 BENCHMARK(BM_EngineRandomScheduler)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RefEngineRandomScheduler(benchmark::State& state) {
+  run_engine_benchmark<mac::ReferenceNetwork>(
+      state, [] { return mac::UniformRandomScheduler(8, 42); }, 100000);
+}
+BENCHMARK(BM_RefEngineRandomScheduler)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_SerdeVarintRoundTrip(benchmark::State& state) {
   util::Rng rng(1);
@@ -135,6 +167,60 @@ void BM_WPaxosGridEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_WPaxosGridEndToEnd)->Arg(4)->Arg(8);
 
+/// Console reporter that also collects every finished run so main() can
+/// write the machine-readable BENCH_engine.json next to the console table.
+class JsonTeeReporter final : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double ns_per_op = 0;
+    std::int64_t iterations = 0;
+    std::map<std::string, double> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.ns_per_op = run.GetAdjustedRealTime();  // default time unit: ns
+      row.iterations = run.iterations;
+      for (const auto& [name, counter] : run.counters) {
+        row.counters[name] = counter.value;
+      }
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<Row> rows;
+};
+
+void write_bench_json(const std::vector<JsonTeeReporter::Row>& rows,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "{\n  \"schema\": \"amac-bench-v1\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    out << "    {\"name\": \"" << row.name << "\", \"ns_per_op\": "
+        << row.ns_per_op << ", \"iterations\": " << row.iterations;
+    for (const auto& [name, value] : row.counters) {
+      out << ", \"" << name << "\": " << value;
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_bench_json(reporter.rows, "BENCH_engine.json");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Calendar-queue (time-wheel) event queue for the MAC engine hot path.
+//
+// The abstract MAC layer bounds every receive and ack delay by the
+// scheduler's F_ack, so at any instant the live event horizon is short and
+// dense: almost every event lands within [now, now + F_ack]. A wheel of
+// per-tick buckets turns push and pop into O(1) array traffic for that
+// regime, while a spill-over binary heap absorbs the rare far-future events
+// (pre-planned crashes, holdback releases beyond the wheel window).
+//
+// Structure
+//   * `buckets_` is a power-of-two ring covering absolute ticks
+//     [base_, base_ + W). Bucket index is `t & (W-1)`; each bucket holds
+//     events of exactly one tick at a time (`tick_` tags which).
+//   * Within a bucket, events are segregated into one lane per EventKind.
+//     Global push order has monotonically increasing `seq`, so plain
+//     appends keep each lane seq-sorted; popping lane 0 (deliveries), then
+//     lane 1 (acks), then lane 2 (crashes) realizes the (t, kind, seq)
+//     ordering contract exactly. Lanes are reusable vectors (cleared, not
+//     freed), so steady-state operation allocates nothing.
+//   * `occupancy_` is a bitmap over buckets; finding the next non-empty
+//     tick is a word-wise circular scan from the cursor.
+//   * Events with t >= base_ + W go to `overflow_`, a (t, kind, seq)
+//     min-heap. When the overflow's minimum becomes the global minimum the
+//     queue rebases: the cursor jumps to that tick and every overflow event
+//     inside the new window migrates into the wheel. Migrated events may
+//     interleave with already-bucketed ones, so migration inserts by `seq`
+//     (the only non-append path, and only on the rare rebase).
+//
+// The pop order is bit-identical to a binary heap ordered by
+// (t, kind, seq) — proved by the calendar-vs-reference differential test.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "mac/event.hpp"
+#include "util/assert.hpp"
+
+namespace amac::mac {
+
+class CalendarQueue {
+ public:
+  /// `horizon_hint` is the scheduler's F_ack: the wheel is sized to cover a
+  /// couple of ack windows. Oversized hints (e.g. a HoldbackScheduler's
+  /// release-inflated bound) are clamped; far events just use the overflow.
+  explicit CalendarQueue(Time horizon_hint) {
+    std::size_t want = 16;
+    const Time target = horizon_hint >= kMaxWheel / 2
+                            ? static_cast<Time>(kMaxWheel)
+                            : 2 * horizon_hint + 4;
+    while (want < target && want < kMaxWheel) want <<= 1;
+    buckets_.resize(want);
+    mask_ = want - 1;
+    occupancy_.assign((want + 63) / 64, 0);
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t peak_size() const { return peak_; }
+
+  void push(const Event& e) {
+    AMAC_EXPECTS(e.t >= base_);
+    ++size_;
+    if (size_ > peak_) peak_ = size_;
+    // Wrap-free window test (e.t >= base_ holds): base_ + wheel_span()
+    // could overflow for sentinel times near kForever.
+    if (e.t - base_ < wheel_span()) {
+      wheel_insert(e);
+    } else {
+      overflow_.push(e);
+    }
+  }
+
+  /// Time of the next event to pop. Requires !empty(). Advances the cursor
+  /// (and migrates due overflow events) but pops nothing.
+  [[nodiscard]] Time next_time() {
+    AMAC_EXPECTS(size_ > 0);
+    position_cursor();
+    return base_;
+  }
+
+  /// Pops the (t, kind, seq)-minimal event. Requires !empty().
+  Event pop() {
+    AMAC_EXPECTS(size_ > 0);
+    position_cursor();
+    Bucket& b = buckets_[base_ & mask_];
+    AMAC_ENSURES(b.count > 0 && b.tick == base_);
+    Event e;
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      auto& lane = b.lane[k];
+      if (b.head[k] < lane.size()) {
+        e = lane[b.head[k]++];
+        break;
+      }
+    }
+    --b.count;
+    --wheel_count_;
+    --size_;
+    if (b.count == 0) {
+      for (std::size_t k = 0; k < kLanes; ++k) {
+        b.lane[k].clear();  // keeps capacity: steady state never allocates
+        b.head[k] = 0;
+      }
+      clear_occupied(base_ & mask_);
+    }
+    return e;
+  }
+
+ private:
+  static constexpr std::size_t kLanes = 3;
+  static constexpr std::size_t kMaxWheel = 4096;
+
+  struct Bucket {
+    std::array<std::vector<Event>, kLanes> lane;
+    std::array<std::size_t, kLanes> head = {0, 0, 0};
+    Time tick = 0;
+    std::size_t count = 0;
+  };
+
+  [[nodiscard]] Time wheel_span() const {
+    return static_cast<Time>(buckets_.size());
+  }
+
+  void set_occupied(std::size_t idx) {
+    occupancy_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+  void clear_occupied(std::size_t idx) {
+    occupancy_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  }
+
+  void wheel_insert(const Event& e) {
+    Bucket& b = buckets_[e.t & mask_];
+    if (b.count == 0) {
+      b.tick = e.t;
+      set_occupied(e.t & mask_);
+    } else {
+      // One tick per bucket: the window [base_, base_+W) maps injectively
+      // onto bucket indices.
+      AMAC_ENSURES(b.tick == e.t);
+    }
+    auto& lane = b.lane[static_cast<std::size_t>(e.kind)];
+    if (lane.empty() || lane.back().seq < e.seq) {
+      lane.push_back(e);  // the hot path: pushes arrive in seq order
+    } else {
+      // Overflow migration may slot an older-seq event behind newer ones.
+      auto it = lane.begin() + static_cast<std::ptrdiff_t>(
+                                   b.head[static_cast<std::size_t>(e.kind)]);
+      while (it != lane.end() && it->seq < e.seq) ++it;
+      lane.insert(it, e);
+    }
+    ++b.count;
+    ++wheel_count_;
+  }
+
+  /// Sets base_ to the tick of the queue minimum, migrating overflow events
+  /// into the wheel when the minimum lives there.
+  void position_cursor() {
+    // Fast path: the cursor bucket still holds events, so base_ is already
+    // the minimum — every queued event has t >= base_ (push contract), and
+    // once the cursor is positioned the overflow only holds t >= base_ + W.
+    // This makes peek+pop pairs and multi-event ticks O(1), no bitmap scan.
+    {
+      const Bucket& b = buckets_[base_ & mask_];
+      if (b.count > 0 && b.tick == base_) return;
+    }
+    if (wheel_count_ > 0) {
+      const Time wheel_min = scan_next_tick();
+      if (overflow_.empty() || overflow_.top().t > wheel_min) {
+        base_ = wheel_min;
+        return;
+      }
+    }
+    // The minimum is in the overflow: rebase the window onto it and pull in
+    // everything now within reach.
+    AMAC_ENSURES(!overflow_.empty());
+    base_ = overflow_.top().t;
+    while (!overflow_.empty() && overflow_.top().t - base_ < wheel_span()) {
+      wheel_insert(overflow_.top());
+      overflow_.pop();
+    }
+  }
+
+  /// First occupied tick at or after base_ (circular bitmap scan). Requires
+  /// wheel_count_ > 0.
+  [[nodiscard]] Time scan_next_tick() const {
+    const std::size_t start = base_ & mask_;
+    const std::size_t words = occupancy_.size();
+    std::size_t word = start >> 6;
+    std::uint64_t bits = occupancy_[word] & (~std::uint64_t{0} << (start & 63));
+    for (std::size_t step = 0;; ++step) {
+      AMAC_ENSURES(step <= words);
+      if (bits != 0) {
+        const std::size_t idx =
+            (word << 6) + static_cast<std::size_t>(__builtin_ctzll(bits));
+        return buckets_[idx].tick;
+      }
+      word = word + 1 == words ? 0 : word + 1;
+      bits = occupancy_[word];
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint64_t> occupancy_;
+  std::uint64_t mask_ = 0;
+  Time base_ = 0;              ///< cursor: minimum possible next tick
+  std::size_t wheel_count_ = 0;
+  std::size_t size_ = 0;
+  std::size_t peak_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> overflow_;
+};
+
+}  // namespace amac::mac

@@ -9,8 +9,8 @@ class Network::NodeContext final : public Context {
  public:
   NodeContext(Network& net, NodeId node) : net_(&net), node_(node) {}
 
-  void broadcast(util::Buffer payload) override {
-    net_->start_broadcast(node_, std::move(payload));
+  void broadcast(const util::Buffer& payload) override {
+    net_->start_broadcast(node_, payload);
   }
 
   void decide(Value v) override {
@@ -34,7 +34,8 @@ class Network::NodeContext final : public Context {
 
 Network::Network(const net::Graph& graph, const ProcessFactory& factory,
                  Scheduler& scheduler, const net::Graph* unreliable_overlay)
-    : graph_(&graph), overlay_(unreliable_overlay), scheduler_(&scheduler) {
+    : graph_(&graph), overlay_(unreliable_overlay), scheduler_(&scheduler),
+      events_(scheduler.fack()) {
   const std::size_t n = graph.node_count();
   if (overlay_ != nullptr) {
     AMAC_EXPECTS(overlay_->node_count() == n);
@@ -59,8 +60,12 @@ Network::Network(const net::Graph& graph, const ProcessFactory& factory,
 void Network::schedule_crash(const CrashPlan& plan) {
   AMAC_EXPECTS(plan.node < nodes_.size());
   AMAC_EXPECTS(!started_);
-  events_.push(Event{plan.when, EventKind::kCrash, next_seq_++, plan.node,
-                     kNoNode, 0, nullptr});
+  Event e;
+  e.t = plan.when;
+  e.kind = EventKind::kCrash;
+  e.seq = next_seq_++;
+  e.node = plan.node;
+  events_.push(e);
 }
 
 const Decision& Network::decision(NodeId u) const {
@@ -87,26 +92,37 @@ bool Network::all_alive_decided() const { return undecided_alive_ == 0; }
 
 std::size_t Network::in_flight_from(NodeId sender) const {
   AMAC_EXPECTS(sender < nodes_.size());
-  std::size_t count = 0;
-  for (const auto& [id, flight] : flights_) {
-    if (flight.sender == sender) count += flight.pending.size();
-  }
-  return count;
+  const std::uint32_t slot = nodes_[sender].flight_slot;
+  if (slot == kNoFlight) return 0;
+  return flights_[slot].pending.size();
 }
 
 void Network::for_each_in_flight(
     const std::function<void(NodeId, NodeId, const util::Buffer&)>& fn) const {
-  for (const auto& [id, flight] : flights_) {
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
     // A crashed sender's undelivered copies will never arrive; they are no
     // longer "in flight" for accounting purposes.
-    if (nodes_[flight.sender].crashed) continue;
+    if (nodes_[u].crashed) continue;
+    const std::uint32_t slot = nodes_[u].flight_slot;
+    if (slot == kNoFlight) continue;
+    const Flight& flight = flights_[slot];
+    const util::Buffer& payload = pool_.at(flight.payload_slot);
     for (const NodeId receiver : flight.pending) {
-      fn(flight.sender, receiver, *flight.payload);
+      fn(u, receiver, payload);
     }
   }
 }
 
-void Network::start_broadcast(NodeId u, util::Buffer payload) {
+void Network::release_flight(std::uint32_t slot) {
+  Flight& flight = flights_[slot];
+  AMAC_ENSURES(flight.undrained_events == 0 && flight.pending.empty());
+  pool_.release(flight.payload_slot);
+  AMAC_ENSURES(nodes_[flight.sender].flight_slot == slot);
+  nodes_[flight.sender].flight_slot = kNoFlight;
+  free_flights_.push_back(slot);
+}
+
+void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
   auto& st = nodes_[u];
   if (st.crashed) return;
   if (st.busy) {
@@ -123,38 +139,85 @@ void Network::start_broadcast(NodeId u, util::Buffer payload) {
                                       payload.size());
 
   const auto& neighbors = graph_->neighbors(u);
-  BroadcastSchedule sched = scheduler_->schedule(u, now_, neighbors);
+  BroadcastSchedule& sched = schedule_scratch_;
+  scheduler_->schedule(u, now_, neighbors, sched);
   AMAC_ENSURES(sched.ack_delay >= 1);
   AMAC_ENSURES(sched.receive_delays.size() == neighbors.size());
 
-  auto shared = std::make_shared<const util::Buffer>(std::move(payload));
-  Flight flight;
-  flight.sender = u;
-  flight.payload = shared;
-  for (const auto& [v, delay] : sched.receive_delays) {
-    AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
-    AMAC_ENSURES(graph_->has_edge(u, v));
-    events_.push(Event{now_ + delay, EventKind::kDeliver, next_seq_++, v, u,
-                       id, shared, /*reliable=*/true});
-    flight.pending.push_back(v);
-    ++flight.undrained_events;
-  }
+  auto& best_effort = unreliable_scratch_;
+  best_effort.clear();
   if (overlay_ != nullptr && !overlay_->neighbors(u).empty()) {
-    const auto best_effort = scheduler_->schedule_unreliable(
-        u, now_, overlay_->neighbors(u), sched.ack_delay);
+    scheduler_->schedule_unreliable(u, now_, overlay_->neighbors(u),
+                                    sched.ack_delay, best_effort);
+  }
+
+  if (!sched.receive_delays.empty() || !best_effort.empty()) {
+    // Acquire a flight slot + pooled payload only when someone will hear
+    // the broadcast; pending/lane capacity is recycled across broadcasts.
+    std::uint32_t slot;
+    if (!free_flights_.empty()) {
+      slot = free_flights_.back();
+      free_flights_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(flights_.size());
+      flights_.emplace_back();
+    }
+    Flight& flight = flights_[slot];
+    flight.sender = u;
+    flight.payload_slot = pool_.acquire(payload);
+    flight.id = id;
+    AMAC_ENSURES(flight.pending.empty() && flight.undrained_events == 0);
+    st.flight_slot = slot;
+
+    Event e;
+    e.kind = EventKind::kDeliver;
+    e.broadcast_id = id;
+    e.flight_slot = slot;
+    e.sender = u;
+    for (const auto& [v, delay] : sched.receive_delays) {
+      AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
+      AMAC_ENSURES(graph_->has_edge(u, v));
+      e.t = now_ + delay;
+      e.seq = next_seq_++;
+      e.node = v;
+      e.reliable = true;
+      events_.push(e);
+      flight.pending.push_back(v);
+      ++flight.undrained_events;
+    }
     for (const auto& [v, delay] : best_effort) {
       AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
       AMAC_ENSURES(overlay_->has_edge(u, v));
-      events_.push(Event{now_ + delay, EventKind::kDeliver, next_seq_++, v,
-                         u, id, shared, /*reliable=*/false});
+      e.t = now_ + delay;
+      e.seq = next_seq_++;
+      e.node = v;
+      e.reliable = false;
+      events_.push(e);
       flight.pending.push_back(v);
       ++flight.undrained_events;
     }
   }
-  flights_.emplace(id, std::move(flight));
-  events_.push(
-      Event{now_ + sched.ack_delay, EventKind::kAck, next_seq_++, u, kNoNode,
-            id, nullptr});
+
+  Event ack;
+  ack.t = now_ + sched.ack_delay;
+  ack.kind = EventKind::kAck;
+  ack.seq = next_seq_++;
+  ack.node = u;
+  ack.broadcast_id = id;
+  events_.push(ack);
+}
+
+void Network::trace_event(const Event& e) {
+  trace_hasher_.mix_u64(e.t);
+  trace_hasher_.mix_u8(static_cast<std::uint8_t>(e.kind));
+  trace_hasher_.mix_u64(e.seq);
+  trace_hasher_.mix_u64(e.node);
+  trace_hasher_.mix_u64(e.sender);
+  trace_hasher_.mix_u64(e.broadcast_id);
+  if (e.kind == EventKind::kDeliver) {
+    trace_hasher_.mix_bytes(pool_.at(flights_[e.flight_slot].payload_slot));
+    trace_hasher_.mix_bool(e.reliable);
+  }
 }
 
 void Network::process_event(const Event& e) {
@@ -171,12 +234,20 @@ void Network::process_event(const Event& e) {
       return;
     }
     case EventKind::kDeliver: {
-      auto flight_it = flights_.find(e.broadcast_id);
-      AMAC_ENSURES(flight_it != flights_.end());
-      Flight& flight = flight_it->second;
-      auto& pending = flight.pending;
-      pending.erase(std::find(pending.begin(), pending.end(), e.node));
-      const bool drained = --flight.undrained_events == 0;
+      const std::uint32_t slot = e.flight_slot;
+      // The flight strictly outlives its deliver events, so the slot is
+      // live here; but the callback below may broadcast and grow flights_,
+      // so no Flight reference is held across it.
+      std::uint32_t payload_slot;
+      bool drained;
+      {
+        Flight& flight = flights_[slot];
+        AMAC_ENSURES(flight.id == e.broadcast_id);
+        auto& pending = flight.pending;
+        pending.erase(std::find(pending.begin(), pending.end(), e.node));
+        drained = --flight.undrained_events == 0;
+        payload_slot = flight.payload_slot;
+      }
 
       const auto& sender_st = nodes_[e.sender];
       // Cancelled if the sender crashed strictly before this delivery: the
@@ -187,10 +258,10 @@ void Network::process_event(const Event& e) {
       if (!cancelled && !st.crashed) {
         ++stats_.deliveries;
         NodeContext ctx(*this, e.node);
-        const Packet packet{e.sender, *e.payload, e.reliable};
+        const Packet packet{e.sender, pool_.at(payload_slot), e.reliable};
         st.process->on_receive(packet, ctx);
       }
-      if (drained) flights_.erase(flight_it);
+      if (drained) release_flight(slot);
       return;
     }
     case EventKind::kAck: {
@@ -218,20 +289,24 @@ RunResult Network::run(StopWhen until, Time max_time) {
   const auto condition_met = [&] {
     return until == StopWhen::kAllDecided && all_alive_decided();
   };
+  const auto finish = [&](bool met) {
+    stats_.peak_events = events_.peak_size();
+    return RunResult{met, now_};
+  };
 
   while (!events_.empty()) {
-    if (condition_met()) return RunResult{true, now_};
-    const Event e = events_.top();
-    if (e.t > max_time) return RunResult{condition_met(), now_};
-    events_.pop();
+    if (condition_met()) return finish(true);
+    if (events_.next_time() > max_time) return finish(condition_met());
+    const Event e = events_.pop();
     AMAC_ENSURES(e.t >= now_);
     now_ = e.t;
+    if (trace_enabled_) trace_event(e);
     process_event(e);
     if (post_event_hook_) post_event_hook_(*this);
   }
   // Queue drained: quiescent.
   const bool met = until == StopWhen::kQuiescent || all_alive_decided();
-  return RunResult{met, now_};
+  return finish(met);
 }
 
 }  // namespace amac::mac

@@ -12,17 +12,57 @@
 //     cancels the deliveries scheduled after the crash tick while earlier
 //     ones still happen — some neighbors receive, some never do;
 //   * local computation takes zero time: callbacks run at the event's tick.
+//
+// ---------------------------------------------------------------------------
+// Event-core design (the allocation-free hot path)
+//
+// Ordering contract. Events pop in ascending (t, kind, seq): deliveries
+// before acks before crashes at the same tick, FIFO within a kind. Every
+// queue implementation honors this bit-identically; the differential test
+// in tests/test_mac_event_core.cpp proves it against the frozen
+// ReferenceNetwork (reference_engine.hpp), the original shared_ptr +
+// std::map + binary-heap engine kept in-tree as the A/B baseline.
+//
+// Calendar queue. Because F_ack bounds every delay, nearly all live events
+// sit within [now, now + F_ack]: CalendarQueue (calendar_queue.hpp) keeps a
+// power-of-two wheel of per-tick buckets sized from Scheduler::fack() —
+// push and pop are O(1) array traffic — with a (t, kind, seq) min-heap
+// spill-over for far-future events (crash plans, holdback releases). Bucket
+// lane vectors are cleared, never freed, so steady state allocates nothing.
+//
+// Payload pool. A broadcast copies its payload into a reusable PayloadPool
+// slot (payload_pool.hpp); deliver events carry the owning flight's slot
+// index instead of a shared_ptr, and receivers get the bytes by reference.
+// Pool lifetime rule: the slot is owned by exactly one Flight and released
+// when the flight's last deliver event drains, so it outlives every event
+// that names it.
+//
+// Flat flights. Flight records live in a slot vector with a free list; the
+// broadcast id is only carried for assertions. Each sender has at most one
+// live flight (a node is busy until its ack, and the ack pops after the
+// flight's last delivery), so NodeState holds the sender's flight slot
+// directly: in_flight_from is O(1) and for_each_in_flight is O(active
+// flights), not O(all flights ever).
+//
+// Zero-allocation steady state. After warm-up (pool slots, lane and scratch
+// capacities grown), the broadcast -> deliver -> ack cycle performs zero
+// heap allocations: the scheduler writes into the engine's scratch
+// BroadcastSchedule, payload bytes reuse pool-slot capacity, events are
+// plain values in reused lanes, and Packet hands out references. Verified
+// by the allocation-counting test in tests/test_mac_event_core.cpp.
+// ---------------------------------------------------------------------------
 #pragma once
 
 #include <functional>
-#include <map>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "mac/calendar_queue.hpp"
+#include "mac/event.hpp"
+#include "mac/payload_pool.hpp"
 #include "mac/process.hpp"
 #include "mac/scheduler.hpp"
 #include "net/graph.hpp"
+#include "util/hash.hpp"
 
 namespace amac::mac {
 
@@ -48,6 +88,7 @@ struct EngineStats {
   std::uint64_t acks = 0;
   std::uint64_t payload_bytes = 0;
   std::size_t max_payload_bytes = 0;
+  std::size_t peak_events = 0;  ///< high-water mark of queued events
 };
 
 /// When `run` should stop (besides the time horizon).
@@ -104,12 +145,15 @@ class Network {
   [[nodiscard]] const Process& process(NodeId u) const;
 
   /// Count of in-flight (scheduled, not yet delivered/cancelled) payload
-  /// copies from `sender`'s current broadcast (monitor support).
+  /// copies from `sender`'s current broadcast (monitor support). O(1) via
+  /// the per-sender flight index.
   [[nodiscard]] std::size_t in_flight_from(NodeId sender) const;
 
   /// Visits every in-flight copy as (sender, receiver-not-yet-delivered,
   /// payload). Used by the Lemma 4.2 response-count conservation monitor,
-  /// whose invariant Q(p, s) sums over exactly these messages.
+  /// whose invariant Q(p, s) sums over exactly these messages. Visits in
+  /// sender order (each sender has at most one live flight); cost is
+  /// O(active flights), not O(every flight in the simulation).
   void for_each_in_flight(
       const std::function<void(NodeId, NodeId, const util::Buffer&)>& fn)
       const;
@@ -117,54 +161,54 @@ class Network {
   /// True once every non-crashed node decided.
   [[nodiscard]] bool all_alive_decided() const;
 
+  /// Starts folding every processed event (t, kind, node, sender,
+  /// broadcast id, seq, payload bytes) into a digest. Used by the A/B
+  /// differential tests to prove event-order equivalence across engines.
+  void enable_trace_digest() { trace_enabled_ = true; }
+  [[nodiscard]] std::uint64_t trace_digest() const {
+    return trace_hasher_.digest();
+  }
+
+  /// Payload pool introspection (pool reuse/lifetime tests).
+  [[nodiscard]] const PayloadPool& payload_pool() const { return pool_; }
+
  private:
-  enum class EventKind : std::uint8_t { kDeliver = 0, kAck = 1, kCrash = 2 };
-
-  struct Event {
-    Time t = 0;
-    EventKind kind = EventKind::kDeliver;
-    std::uint64_t seq = 0;  ///< FIFO tie-break within a tick
-    NodeId node = kNoNode;  ///< receiver (deliver), sender (ack), crashee
-    NodeId sender = kNoNode;               ///< deliver only
-    std::uint64_t broadcast_id = 0;        ///< deliver/ack: which broadcast
-    std::shared_ptr<const util::Buffer> payload;  ///< deliver only
-    bool reliable = true;                  ///< deliver: edge class
-
-    [[nodiscard]] bool operator>(const Event& o) const {
-      if (t != o.t) return t > o.t;
-      if (kind != o.kind) return kind > o.kind;
-      return seq > o.seq;
-    }
-  };
-
   struct NodeState {
     std::unique_ptr<Process> process;
     bool busy = false;
     bool crashed = false;
     Time crash_time = kForever;
     std::uint64_t current_broadcast = 0;  ///< id of outstanding broadcast
+    std::uint32_t flight_slot = kNoFlight;  ///< live flight, if any
     Decision decision;
   };
 
-  /// Bookkeeping for one broadcast's undelivered copies.
+  /// Bookkeeping for one broadcast's undelivered copies, in slot storage.
   struct Flight {
     NodeId sender = kNoNode;
-    std::shared_ptr<const util::Buffer> payload;
+    std::uint32_t payload_slot = 0;
+    std::uint64_t id = 0;                 ///< broadcast id (assertions)
     std::vector<NodeId> pending;          ///< receivers not yet delivered
     std::size_t undrained_events = 0;     ///< deliver events not yet popped
   };
 
   class NodeContext;  // Context implementation bound to one node
 
-  void start_broadcast(NodeId u, util::Buffer payload);
+  void start_broadcast(NodeId u, const util::Buffer& payload);
   void process_event(const Event& e);
+  void release_flight(std::uint32_t slot);
+  void trace_event(const Event& e);
 
   const net::Graph* graph_;
   const net::Graph* overlay_ = nullptr;  ///< unreliable edges (optional)
   Scheduler* scheduler_;
   std::vector<NodeState> nodes_;
-  std::map<std::uint64_t, Flight> flights_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Flight> flights_;           ///< slot storage + free list
+  std::vector<std::uint32_t> free_flights_;
+  PayloadPool pool_;
+  CalendarQueue events_;
+  BroadcastSchedule schedule_scratch_;
+  std::vector<std::pair<NodeId, Time>> unreliable_scratch_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_broadcast_id_ = 1;
   Time now_ = 0;
@@ -172,6 +216,8 @@ class Network {
   EngineStats stats_;
   std::function<void(Network&)> post_event_hook_;
   bool started_ = false;
+  bool trace_enabled_ = false;
+  util::Hasher trace_hasher_;
 };
 
 }  // namespace amac::mac

@@ -1,0 +1,74 @@
+// Slab pool of payload buffers reused across broadcasts.
+//
+// Every broadcast used to heap-allocate a shared_ptr<const Buffer> whose
+// refcount was touched on each queue sift and delivery. The pool replaces
+// that with slot indices: a broadcast copies its payload bytes into a
+// reusable slot (vector::assign reuses capacity, so steady-state traffic
+// allocates nothing), deliveries read the slot by reference, and the slot
+// returns to the free list when its flight drains.
+//
+// Lifetime rules:
+//   * a slot is acquired in start_broadcast and owned by exactly one
+//     Flight; it is released when the flight's last deliver event drains
+//     (or immediately for a broadcast with no receivers);
+//   * the engine guarantees the slot outlives every deliver event of its
+//     flight, so Events store the slot index with no refcount;
+//   * slots live in a deque: references handed to Process::on_receive stay
+//     valid even when a callback's own broadcast grows the pool.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/serde.hpp"
+
+namespace amac::mac {
+
+class PayloadPool {
+ public:
+  /// Copies `bytes` into a free (or fresh) slot and returns its index.
+  [[nodiscard]] std::uint32_t acquire(const util::Buffer& bytes) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      ++reuses_;
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    ++acquires_;
+    slots_[slot].assign(bytes.begin(), bytes.end());
+    return slot;
+  }
+
+  [[nodiscard]] const util::Buffer& at(std::uint32_t slot) const {
+    AMAC_EXPECTS(slot < slots_.size());
+    return slots_[slot];
+  }
+
+  void release(std::uint32_t slot) {
+    AMAC_EXPECTS(slot < slots_.size());
+    free_.push_back(slot);
+  }
+
+  /// Slots ever created (high-water mark of concurrent payloads).
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  /// Slots currently owned by live flights.
+  [[nodiscard]] std::size_t live_count() const {
+    return slots_.size() - free_.size();
+  }
+  [[nodiscard]] std::uint64_t acquires() const { return acquires_; }
+  /// Acquires served by recycling an existing slot.
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::deque<util::Buffer> slots_;  ///< deque: stable element addresses
+  std::vector<std::uint32_t> free_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace amac::mac

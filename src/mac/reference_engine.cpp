@@ -1,0 +1,257 @@
+#include "mac/reference_engine.hpp"
+
+#include <algorithm>
+
+namespace amac::mac {
+
+/// Context implementation handed to a process during a callback.
+class ReferenceNetwork::NodeContext final : public Context {
+ public:
+  NodeContext(ReferenceNetwork& net, NodeId node) : net_(&net), node_(node) {}
+
+  void broadcast(const util::Buffer& payload) override {
+    net_->start_broadcast(node_, payload);
+  }
+
+  void decide(Value v) override {
+    auto& st = net_->nodes_[node_];
+    AMAC_EXPECTS(!st.decision.decided);
+    st.decision = Decision{true, v, net_->now_};
+    AMAC_ENSURES(net_->undecided_alive_ > 0);
+    --net_->undecided_alive_;
+  }
+
+  [[nodiscard]] bool busy() const override {
+    return net_->nodes_[node_].busy;
+  }
+
+  [[nodiscard]] Time now() const override { return net_->now_; }
+
+ private:
+  ReferenceNetwork* net_;
+  NodeId node_;
+};
+
+ReferenceNetwork::ReferenceNetwork(const net::Graph& graph,
+                                   const ProcessFactory& factory,
+                                   Scheduler& scheduler,
+                                   const net::Graph* unreliable_overlay)
+    : graph_(&graph), overlay_(unreliable_overlay), scheduler_(&scheduler) {
+  const std::size_t n = graph.node_count();
+  if (overlay_ != nullptr) {
+    AMAC_EXPECTS(overlay_->node_count() == n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const NodeId v : overlay_->neighbors(u)) {
+        AMAC_EXPECTS(!graph.has_edge(u, v));
+      }
+    }
+  }
+  nodes_.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    NodeState st;
+    st.process = factory(u);
+    AMAC_ENSURES(st.process != nullptr);
+    nodes_.push_back(std::move(st));
+  }
+  undecided_alive_ = n;
+}
+
+void ReferenceNetwork::push_event(RefEvent e) {
+  events_.push(std::move(e));
+  if (events_.size() > stats_.peak_events) {
+    stats_.peak_events = events_.size();
+  }
+}
+
+void ReferenceNetwork::schedule_crash(const CrashPlan& plan) {
+  AMAC_EXPECTS(plan.node < nodes_.size());
+  AMAC_EXPECTS(!started_);
+  push_event(RefEvent{plan.when, RefEventKind::kCrash, next_seq_++, plan.node,
+                      kNoNode, 0, nullptr});
+}
+
+const Decision& ReferenceNetwork::decision(NodeId u) const {
+  AMAC_EXPECTS(u < nodes_.size());
+  return nodes_[u].decision;
+}
+
+bool ReferenceNetwork::crashed(NodeId u) const {
+  AMAC_EXPECTS(u < nodes_.size());
+  return nodes_[u].crashed;
+}
+
+Process& ReferenceNetwork::process(NodeId u) {
+  AMAC_EXPECTS(u < nodes_.size());
+  return *nodes_[u].process;
+}
+
+const Process& ReferenceNetwork::process(NodeId u) const {
+  AMAC_EXPECTS(u < nodes_.size());
+  return *nodes_[u].process;
+}
+
+bool ReferenceNetwork::all_alive_decided() const {
+  return undecided_alive_ == 0;
+}
+
+std::size_t ReferenceNetwork::in_flight_from(NodeId sender) const {
+  AMAC_EXPECTS(sender < nodes_.size());
+  std::size_t count = 0;
+  for (const auto& [id, flight] : flights_) {
+    if (flight.sender == sender) count += flight.pending.size();
+  }
+  return count;
+}
+
+void ReferenceNetwork::for_each_in_flight(
+    const std::function<void(NodeId, NodeId, const util::Buffer&)>& fn) const {
+  for (const auto& [id, flight] : flights_) {
+    if (nodes_[flight.sender].crashed) continue;
+    for (const NodeId receiver : flight.pending) {
+      fn(flight.sender, receiver, *flight.payload);
+    }
+  }
+}
+
+void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
+  auto& st = nodes_[u];
+  if (st.crashed) return;
+  if (st.busy) {
+    ++stats_.dropped_busy;
+    return;
+  }
+  st.busy = true;
+  const std::uint64_t id = next_broadcast_id_++;
+  st.current_broadcast = id;
+  ++stats_.broadcasts;
+  stats_.payload_bytes += payload.size();
+  stats_.max_payload_bytes = std::max(stats_.max_payload_bytes,
+                                      payload.size());
+
+  const auto& neighbors = graph_->neighbors(u);
+  // Faithful to the original engine: one schedule allocation per broadcast.
+  BroadcastSchedule sched;
+  scheduler_->schedule(u, now_, neighbors, sched);
+  AMAC_ENSURES(sched.ack_delay >= 1);
+  AMAC_ENSURES(sched.receive_delays.size() == neighbors.size());
+
+  auto shared = std::make_shared<const util::Buffer>(payload);
+  Flight flight;
+  flight.sender = u;
+  flight.payload = shared;
+  for (const auto& [v, delay] : sched.receive_delays) {
+    AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
+    AMAC_ENSURES(graph_->has_edge(u, v));
+    push_event(RefEvent{now_ + delay, RefEventKind::kDeliver, next_seq_++, v,
+                        u, id, shared, /*reliable=*/true});
+    flight.pending.push_back(v);
+    ++flight.undrained_events;
+  }
+  if (overlay_ != nullptr && !overlay_->neighbors(u).empty()) {
+    std::vector<std::pair<NodeId, Time>> best_effort;
+    scheduler_->schedule_unreliable(u, now_, overlay_->neighbors(u),
+                                    sched.ack_delay, best_effort);
+    for (const auto& [v, delay] : best_effort) {
+      AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
+      AMAC_ENSURES(overlay_->has_edge(u, v));
+      push_event(RefEvent{now_ + delay, RefEventKind::kDeliver, next_seq_++,
+                          v, u, id, shared, /*reliable=*/false});
+      flight.pending.push_back(v);
+      ++flight.undrained_events;
+    }
+  }
+  flights_.emplace(id, std::move(flight));
+  push_event(RefEvent{now_ + sched.ack_delay, RefEventKind::kAck, next_seq_++,
+                      u, kNoNode, id, nullptr});
+}
+
+void ReferenceNetwork::trace_event(const RefEvent& e) {
+  trace_hasher_.mix_u64(e.t);
+  trace_hasher_.mix_u8(static_cast<std::uint8_t>(e.kind));
+  trace_hasher_.mix_u64(e.seq);
+  trace_hasher_.mix_u64(e.node);
+  trace_hasher_.mix_u64(e.sender);
+  trace_hasher_.mix_u64(e.broadcast_id);
+  if (e.kind == RefEventKind::kDeliver) {
+    trace_hasher_.mix_bytes(*e.payload);
+    trace_hasher_.mix_bool(e.reliable);
+  }
+}
+
+void ReferenceNetwork::process_event(const RefEvent& e) {
+  switch (e.kind) {
+    case RefEventKind::kCrash: {
+      auto& st = nodes_[e.node];
+      if (st.crashed) return;
+      st.crashed = true;
+      st.crash_time = now_;
+      if (!st.decision.decided) {
+        AMAC_ENSURES(undecided_alive_ > 0);
+        --undecided_alive_;
+      }
+      return;
+    }
+    case RefEventKind::kDeliver: {
+      auto flight_it = flights_.find(e.broadcast_id);
+      AMAC_ENSURES(flight_it != flights_.end());
+      Flight& flight = flight_it->second;
+      auto& pending = flight.pending;
+      pending.erase(std::find(pending.begin(), pending.end(), e.node));
+      const bool drained = --flight.undrained_events == 0;
+
+      const auto& sender_st = nodes_[e.sender];
+      const bool cancelled =
+          sender_st.crashed && sender_st.crash_time < e.t;
+      auto& st = nodes_[e.node];
+      if (!cancelled && !st.crashed) {
+        ++stats_.deliveries;
+        NodeContext ctx(*this, e.node);
+        const Packet packet{e.sender, *e.payload, e.reliable};
+        st.process->on_receive(packet, ctx);
+      }
+      if (drained) flights_.erase(flight_it);
+      return;
+    }
+    case RefEventKind::kAck: {
+      auto& st = nodes_[e.node];
+      if (st.crashed) return;
+      AMAC_ENSURES(st.busy && st.current_broadcast == e.broadcast_id);
+      st.busy = false;
+      ++stats_.acks;
+      NodeContext ctx(*this, e.node);
+      st.process->on_ack(ctx);
+      return;
+    }
+  }
+}
+
+RunResult ReferenceNetwork::run(StopWhen until, Time max_time) {
+  if (!started_) {
+    started_ = true;
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      NodeContext ctx(*this, u);
+      nodes_[u].process->on_start(ctx);
+    }
+  }
+
+  const auto condition_met = [&] {
+    return until == StopWhen::kAllDecided && all_alive_decided();
+  };
+
+  while (!events_.empty()) {
+    if (condition_met()) return RunResult{true, now_};
+    const RefEvent e = events_.top();
+    if (e.t > max_time) return RunResult{condition_met(), now_};
+    events_.pop();
+    AMAC_ENSURES(e.t >= now_);
+    now_ = e.t;
+    if (trace_enabled_) trace_event(e);
+    process_event(e);
+    if (post_event_hook_) post_event_hook_(*this);
+  }
+  // Queue drained: quiescent.
+  const bool met = until == StopWhen::kQuiescent || all_alive_decided();
+  return RunResult{met, now_};
+}
+
+}  // namespace amac::mac

@@ -5,6 +5,13 @@
 // most F_ack after the broadcast. All of the paper's lower-bound proofs are
 // statements about specific adversarial schedulers; this interface lets each
 // proof's adversary be instantiated as an object (see schedulers.hpp).
+//
+// Scratch-buffer calling convention: `schedule` writes into a caller-owned
+// BroadcastSchedule. The engine keeps one scratch schedule for its whole
+// run, so the per-broadcast delay vector is allocated once and reused for
+// millions of broadcasts (the old by-value API allocated per broadcast).
+// Implementations must treat `out` as garbage on entry: call `out.reset()`
+// (or overwrite every field) before filling it.
 #pragma once
 
 #include <utility>
@@ -22,36 +29,54 @@ namespace amac::mac {
 struct BroadcastSchedule {
   Time ack_delay = 1;
   std::vector<std::pair<NodeId, Time>> receive_delays;
+
+  /// Reusable-scratch reset: clears the delays but keeps their capacity.
+  void reset() {
+    ack_delay = 1;
+    receive_delays.clear();
+  }
 };
 
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  /// Schedules the broadcast `sender` starts at `now` toward `neighbors`.
-  /// Must return one receive entry per neighbor.
-  [[nodiscard]] virtual BroadcastSchedule schedule(
-      NodeId sender, Time now, const std::vector<NodeId>& neighbors) = 0;
+  /// Schedules the broadcast `sender` starts at `now` toward `neighbors`,
+  /// writing into the caller-owned scratch `out` (reset it first!). Must
+  /// produce one receive entry per neighbor.
+  virtual void schedule(NodeId sender, Time now,
+                        const std::vector<NodeId>& neighbors,
+                        BroadcastSchedule& out) = 0;
 
   /// Best-effort deliveries over the unreliable overlay (dual-graph model):
-  /// returns the subset of `overlay_neighbors` that actually receive this
-  /// broadcast, with delays in [1, ack_delay]. The scheduler may deliver
-  /// all, some, or none — that is the model's entire guarantee. Default:
-  /// nothing is delivered.
-  [[nodiscard]] virtual std::vector<std::pair<NodeId, Time>>
-  schedule_unreliable(NodeId sender, Time now,
-                      const std::vector<NodeId>& overlay_neighbors,
-                      Time ack_delay) {
+  /// writes into `out` the subset of `overlay_neighbors` that actually
+  /// receive this broadcast, with delays in [1, ack_delay]. The scheduler
+  /// may deliver all, some, or none — that is the model's entire guarantee.
+  /// Default: nothing is delivered. `out` is caller-owned scratch.
+  virtual void schedule_unreliable(NodeId sender, Time now,
+                                   const std::vector<NodeId>& overlay_neighbors,
+                                   Time ack_delay,
+                                   std::vector<std::pair<NodeId, Time>>& out) {
     (void)sender;
     (void)now;
     (void)overlay_neighbors;
     (void)ack_delay;
-    return {};
+    out.clear();
   }
 
   /// The F_ack bound this scheduler guarantees: no ack is delayed by more
-  /// than this. Unknown to processes; used by experiments to normalize time.
+  /// than this. Unknown to processes; used by experiments to normalize time
+  /// and by the engine to size its calendar-queue wheel.
   [[nodiscard]] virtual Time fack() const = 0;
+
+  /// Convenience wrapper returning a fresh schedule by value (tests and
+  /// one-shot callers; the engine hot path uses the scratch overload).
+  [[nodiscard]] BroadcastSchedule make_schedule(
+      NodeId sender, Time now, const std::vector<NodeId>& neighbors) {
+    BroadcastSchedule s;
+    schedule(sender, now, neighbors, s);
+    return s;
+  }
 };
 
 }  // namespace amac::mac

@@ -4,33 +4,30 @@
 
 namespace amac::mac {
 
-BroadcastSchedule SynchronousScheduler::schedule(
-    NodeId /*sender*/, Time /*now*/, const std::vector<NodeId>& neighbors) {
-  BroadcastSchedule s;
-  s.ack_delay = round_;
-  s.receive_delays.reserve(neighbors.size());
-  for (const NodeId v : neighbors) s.receive_delays.emplace_back(v, round_);
-  return s;
+void SynchronousScheduler::schedule(NodeId /*sender*/, Time /*now*/,
+                                    const std::vector<NodeId>& neighbors,
+                                    BroadcastSchedule& out) {
+  out.reset();
+  out.ack_delay = round_;
+  for (const NodeId v : neighbors) out.receive_delays.emplace_back(v, round_);
 }
 
-BroadcastSchedule MaxDelayScheduler::schedule(
-    NodeId /*sender*/, Time /*now*/, const std::vector<NodeId>& neighbors) {
-  BroadcastSchedule s;
-  s.ack_delay = fack_;
-  s.receive_delays.reserve(neighbors.size());
-  for (const NodeId v : neighbors) s.receive_delays.emplace_back(v, fack_);
-  return s;
+void MaxDelayScheduler::schedule(NodeId /*sender*/, Time /*now*/,
+                                 const std::vector<NodeId>& neighbors,
+                                 BroadcastSchedule& out) {
+  out.reset();
+  out.ack_delay = fack_;
+  for (const NodeId v : neighbors) out.receive_delays.emplace_back(v, fack_);
 }
 
-BroadcastSchedule UniformRandomScheduler::schedule(
-    NodeId /*sender*/, Time /*now*/, const std::vector<NodeId>& neighbors) {
-  BroadcastSchedule s;
-  s.ack_delay = rng_.uniform(1, fack_);
-  s.receive_delays.reserve(neighbors.size());
+void UniformRandomScheduler::schedule(NodeId /*sender*/, Time /*now*/,
+                                      const std::vector<NodeId>& neighbors,
+                                      BroadcastSchedule& out) {
+  out.reset();
+  out.ack_delay = rng_.uniform(1, fack_);
   for (const NodeId v : neighbors) {
-    s.receive_delays.emplace_back(v, rng_.uniform(1, s.ack_delay));
+    out.receive_delays.emplace_back(v, rng_.uniform(1, out.ack_delay));
   }
-  return s;
 }
 
 Time SkewedScheduler::edge_delay(NodeId from, NodeId to) const {
@@ -41,24 +38,24 @@ Time SkewedScheduler::edge_delay(NodeId from, NodeId to) const {
   return 1 + h.digest() % fack_;
 }
 
-BroadcastSchedule SkewedScheduler::schedule(
-    NodeId sender, Time /*now*/, const std::vector<NodeId>& neighbors) {
-  BroadcastSchedule s;
-  s.ack_delay = 1;
-  s.receive_delays.reserve(neighbors.size());
+void SkewedScheduler::schedule(NodeId sender, Time /*now*/,
+                               const std::vector<NodeId>& neighbors,
+                               BroadcastSchedule& out) {
+  out.reset();
+  out.ack_delay = 1;
   for (const NodeId v : neighbors) {
     const Time d = edge_delay(sender, v);
-    s.receive_delays.emplace_back(v, d);
-    s.ack_delay = std::max(s.ack_delay, d);
+    out.receive_delays.emplace_back(v, d);
+    out.ack_delay = std::max(out.ack_delay, d);
   }
-  return s;
 }
 
-BroadcastSchedule HoldbackScheduler::schedule(
-    NodeId sender, Time now, const std::vector<NodeId>& neighbors) {
-  BroadcastSchedule s = base_->schedule(sender, now, neighbors);
+void HoldbackScheduler::schedule(NodeId sender, Time now,
+                                 const std::vector<NodeId>& neighbors,
+                                 BroadcastSchedule& out) {
+  base_->schedule(sender, now, neighbors, out);
   const auto sender_hold = held_senders_.find(sender);
-  for (auto& [receiver, delay] : s.receive_delays) {
+  for (auto& [receiver, delay] : out.receive_delays) {
     Time release = 0;
     if (sender_hold != held_senders_.end()) release = sender_hold->second;
     if (const auto edge_hold = held_edges_.find({sender, receiver});
@@ -66,16 +63,15 @@ BroadcastSchedule HoldbackScheduler::schedule(
       release = std::max(release, edge_hold->second);
     }
     if (now + delay < release) delay = release - now;
-    s.ack_delay = std::max(s.ack_delay, delay);
+    out.ack_delay = std::max(out.ack_delay, delay);
   }
-  return s;
 }
 
-BroadcastSchedule ContentionScheduler::schedule(
-    NodeId /*sender*/, Time now, const std::vector<NodeId>& neighbors) {
-  BroadcastSchedule s;
-  s.ack_delay = 1;
-  s.receive_delays.reserve(neighbors.size());
+void ContentionScheduler::schedule(NodeId /*sender*/, Time now,
+                                   const std::vector<NodeId>& neighbors,
+                                   BroadcastSchedule& out) {
+  out.reset();
+  out.ack_delay = 1;
   for (const NodeId v : neighbors) {
     Time at = now + rng_.uniform(1, base_);
     auto& free_at = next_free_[v];
@@ -83,17 +79,16 @@ BroadcastSchedule ContentionScheduler::schedule(
     free_at = at + 1;
     const Time delay = at - now;
     AMAC_ENSURES(delay <= fack_bound_);  // raise fack_bound for this density
-    s.receive_delays.emplace_back(v, delay);
-    s.ack_delay = std::max(s.ack_delay, delay);
+    out.receive_delays.emplace_back(v, delay);
+    out.ack_delay = std::max(out.ack_delay, delay);
   }
-  return s;
 }
 
-std::vector<std::pair<NodeId, Time>> LossyScheduler::schedule_unreliable(
+void LossyScheduler::schedule_unreliable(
     NodeId /*sender*/, Time now, const std::vector<NodeId>& overlay_neighbors,
-    Time ack_delay) {
-  std::vector<std::pair<NodeId, Time>> out;
-  if (now >= cutoff_) return out;
+    Time ack_delay, std::vector<std::pair<NodeId, Time>>& out) {
+  out.clear();
+  if (now >= cutoff_) return;
   for (const NodeId v : overlay_neighbors) {
     if (!rng_.chance(probability_)) continue;
     const Time delay = rng_.uniform(1, ack_delay);
@@ -101,7 +96,6 @@ std::vector<std::pair<NodeId, Time>> LossyScheduler::schedule_unreliable(
     if (now + delay >= cutoff_) continue;
     out.emplace_back(v, delay);
   }
-  return out;
 }
 
 void ScriptedScheduler::script(NodeId sender, std::size_t index,
@@ -115,26 +109,26 @@ void ScriptedScheduler::script(NodeId sender, std::size_t index,
   script_[{sender, index}] = Entry{ack_delay, std::move(delays)};
 }
 
-BroadcastSchedule ScriptedScheduler::schedule(
-    NodeId sender, Time /*now*/, const std::vector<NodeId>& neighbors) {
+void ScriptedScheduler::schedule(NodeId sender, Time /*now*/,
+                                 const std::vector<NodeId>& neighbors,
+                                 BroadcastSchedule& out) {
+  out.reset();
   const std::size_t index = broadcast_counts_[sender]++;
-  BroadcastSchedule s;
   const auto it = script_.find({sender, index});
   if (it == script_.end()) {
-    s.ack_delay = 1;
-    for (const NodeId v : neighbors) s.receive_delays.emplace_back(v, 1);
-    return s;
+    out.ack_delay = 1;
+    for (const NodeId v : neighbors) out.receive_delays.emplace_back(v, 1);
+    return;
   }
   const Entry& entry = it->second;
-  s.ack_delay = entry.ack_delay;
+  out.ack_delay = entry.ack_delay;
   for (const NodeId v : neighbors) {
     Time delay = 1;
     for (const auto& [receiver, d] : entry.delays) {
       if (receiver == v) delay = d;
     }
-    s.receive_delays.emplace_back(v, delay);
+    out.receive_delays.emplace_back(v, delay);
   }
-  return s;
 }
 
 }  // namespace amac::mac

@@ -22,8 +22,8 @@ class SynchronousScheduler final : public Scheduler {
     AMAC_EXPECTS(round >= 1);
   }
 
-  [[nodiscard]] BroadcastSchedule schedule(
-      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  void schedule(NodeId sender, Time now, const std::vector<NodeId>& neighbors,
+                BroadcastSchedule& out) override;
   [[nodiscard]] Time fack() const override { return round_; }
 
  private:
@@ -37,8 +37,8 @@ class MaxDelayScheduler final : public Scheduler {
     AMAC_EXPECTS(fack >= 1);
   }
 
-  [[nodiscard]] BroadcastSchedule schedule(
-      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  void schedule(NodeId sender, Time now, const std::vector<NodeId>& neighbors,
+                BroadcastSchedule& out) override;
   [[nodiscard]] Time fack() const override { return fack_; }
 
  private:
@@ -55,8 +55,8 @@ class UniformRandomScheduler final : public Scheduler {
     AMAC_EXPECTS(fack >= 1);
   }
 
-  [[nodiscard]] BroadcastSchedule schedule(
-      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  void schedule(NodeId sender, Time now, const std::vector<NodeId>& neighbors,
+                BroadcastSchedule& out) override;
   [[nodiscard]] Time fack() const override { return fack_; }
 
  private:
@@ -73,8 +73,8 @@ class SkewedScheduler final : public Scheduler {
     AMAC_EXPECTS(fack >= 1);
   }
 
-  [[nodiscard]] BroadcastSchedule schedule(
-      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  void schedule(NodeId sender, Time now, const std::vector<NodeId>& neighbors,
+                BroadcastSchedule& out) override;
   [[nodiscard]] Time fack() const override { return fack_; }
 
  private:
@@ -100,31 +100,43 @@ class HoldbackScheduler final : public Scheduler {
 
   /// Withholds every delivery from `sender` (to any neighbor) until the
   /// scheduler's release tick.
-  void hold_sender(NodeId sender) { held_senders_[sender] = release_; }
+  void hold_sender(NodeId sender) {
+    held_senders_[sender] = release_;
+    fack_dirty_ = true;
+  }
 
   /// Same, with a per-sender release (staggered wake-ups).
   void hold_sender_until(NodeId sender, Time release) {
     held_senders_[sender] = release;
+    fack_dirty_ = true;
   }
 
   /// Withholds deliveries from `sender` to `receiver` until release.
   void hold_edge(NodeId sender, NodeId receiver) {
     held_edges_[{sender, receiver}] = release_;
+    fack_dirty_ = true;
   }
 
-  [[nodiscard]] BroadcastSchedule schedule(
-      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  void schedule(NodeId sender, Time now, const std::vector<NodeId>& neighbors,
+                BroadcastSchedule& out) override;
 
-  /// The effective bound: base F_ack plus the largest hold window.
+  /// The effective bound: base F_ack plus the largest hold window. Cached —
+  /// the engine and experiment loops call fack() per broadcast, and
+  /// re-walking both hold maps there made a query of a static quantity
+  /// O(holds) per event.
   [[nodiscard]] Time fack() const override {
-    Time latest = release_;
-    for (const auto& [sender, release] : held_senders_) {
-      latest = std::max(latest, release);
+    if (fack_dirty_) {
+      Time latest = release_;
+      for (const auto& [sender, release] : held_senders_) {
+        latest = std::max(latest, release);
+      }
+      for (const auto& [edge, release] : held_edges_) {
+        latest = std::max(latest, release);
+      }
+      cached_fack_ = latest + base_->fack();
+      fack_dirty_ = false;
     }
-    for (const auto& [edge, release] : held_edges_) {
-      latest = std::max(latest, release);
-    }
-    return latest + base_->fack();
+    return cached_fack_;
   }
 
  private:
@@ -132,6 +144,8 @@ class HoldbackScheduler final : public Scheduler {
   Time release_;
   std::map<NodeId, Time> held_senders_;
   std::map<std::pair<NodeId, NodeId>, Time> held_edges_;
+  mutable Time cached_fack_ = 0;
+  mutable bool fack_dirty_ = true;
 };
 
 /// Receiver-side contention: a radio decodes one frame at a time, so each
@@ -150,8 +164,8 @@ class ContentionScheduler final : public Scheduler {
     AMAC_EXPECTS(fack_bound >= base);
   }
 
-  [[nodiscard]] BroadcastSchedule schedule(
-      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  void schedule(NodeId sender, Time now, const std::vector<NodeId>& neighbors,
+                BroadcastSchedule& out) override;
   [[nodiscard]] Time fack() const override { return fack_bound_; }
 
  private:
@@ -180,14 +194,15 @@ class LossyScheduler final : public Scheduler {
   /// Unreliable edges deliver nothing at or after this tick.
   void set_cutoff(Time cutoff) { cutoff_ = cutoff; }
 
-  [[nodiscard]] BroadcastSchedule schedule(
-      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override {
-    return base_->schedule(sender, now, neighbors);
+  void schedule(NodeId sender, Time now, const std::vector<NodeId>& neighbors,
+                BroadcastSchedule& out) override {
+    base_->schedule(sender, now, neighbors, out);
   }
 
-  [[nodiscard]] std::vector<std::pair<NodeId, Time>> schedule_unreliable(
-      NodeId sender, Time now, const std::vector<NodeId>& overlay_neighbors,
-      Time ack_delay) override;
+  void schedule_unreliable(NodeId sender, Time now,
+                           const std::vector<NodeId>& overlay_neighbors,
+                           Time ack_delay,
+                           std::vector<std::pair<NodeId, Time>>& out) override;
 
   [[nodiscard]] Time fack() const override { return base_->fack(); }
 
@@ -211,8 +226,8 @@ class ScriptedScheduler final : public Scheduler {
   void script(NodeId sender, std::size_t index, Time ack_delay,
               std::vector<std::pair<NodeId, Time>> delays);
 
-  [[nodiscard]] BroadcastSchedule schedule(
-      NodeId sender, Time now, const std::vector<NodeId>& neighbors) override;
+  void schedule(NodeId sender, Time now, const std::vector<NodeId>& neighbors,
+                BroadcastSchedule& out) override;
   [[nodiscard]] Time fack() const override { return max_ack_; }
 
  private:

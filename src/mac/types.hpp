@@ -20,9 +20,15 @@ inline constexpr Time kForever = std::numeric_limits<Time>::max();
 /// from a neighbor); algorithms that must be anonymous simply never put ids
 /// in their payloads and never read `sender` (enforced by code review +
 /// the Figure 1 indistinguishability test, which would fail if they did).
+///
+/// `payload` is a reference into the engine's payload pool (or the caller's
+/// buffer, for hand-driven contexts): a delivery hands the receiver a view,
+/// not a copy, so the hot delivery path performs no allocation. The
+/// reference is valid only for the duration of on_receive; a process that
+/// wants to keep the bytes copies them explicitly.
 struct Packet {
   NodeId sender = kNoNode;
-  util::Buffer payload;
+  const util::Buffer& payload;
   /// False when the packet arrived over a best-effort edge of the
   /// unreliable overlay (the dual-graph abstract MAC layer model of [29],
   /// the paper's first future-work direction). Reliable-graph deliveries

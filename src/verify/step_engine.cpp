@@ -8,7 +8,7 @@ namespace {
 
 // Step-engine framing: real algorithm payloads are prefixed with 1,
 // heartbeats are the single byte 0 (never delivered to the algorithm).
-util::Buffer frame_real(util::Buffer payload) {
+util::Buffer frame_real(const util::Buffer& payload) {
   util::Buffer framed;
   framed.reserve(payload.size() + 1);
   framed.push_back(1);
@@ -47,11 +47,11 @@ class StepSystem::StepContext final : public mac::Context {
   StepContext(StepSystem& sys, NodeId node, bool may_broadcast)
       : sys_(&sys), node_(node), may_broadcast_(may_broadcast) {}
 
-  void broadcast(util::Buffer payload) override {
+  void broadcast(const util::Buffer& payload) override {
     // Outside of on_start/on_ack the node is mid-broadcast ("nodes always
     // send"), so additional broadcasts are discarded per the model.
     if (!may_broadcast_ || captured_) return;
-    captured_ = frame_real(std::move(payload));
+    captured_ = frame_real(payload);
   }
 
   void decide(mac::Value v) override {
@@ -179,7 +179,8 @@ void StepSystem::apply(const Step& step) {
       Node& receiver = nodes_[step.v];
       if (!sender.heartbeat) {
         StepContext ctx(*this, step.v, /*may_broadcast=*/false);
-        const mac::Packet packet{step.u, unframe(sender.current)};
+        const util::Buffer body = unframe(sender.current);
+        const mac::Packet packet{step.u, body};
         receiver.process->on_receive(packet, ctx);
       }
       return;

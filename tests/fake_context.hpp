@@ -11,13 +11,13 @@ namespace amac::testutil {
 
 class FakeContext final : public mac::Context {
  public:
-  void broadcast(util::Buffer payload) override {
+  void broadcast(const util::Buffer& payload) override {
     if (busy_) {
       ++dropped;
       return;
     }
     busy_ = true;
-    sent.push_back(std::move(payload));
+    sent.push_back(payload);
   }
 
   void decide(mac::Value v) override {
@@ -42,7 +42,7 @@ class FakeContext final : public mac::Context {
 
   /// Delivers a packet from `sender`.
   void deliver(mac::Process& p, NodeId sender, util::Buffer payload) {
-    p.on_receive(mac::Packet{sender, std::move(payload)}, *this);
+    p.on_receive(mac::Packet{sender, payload}, *this);
   }
 
   /// The most recent broadcast payload (asserts one exists).

@@ -1,0 +1,388 @@
+// Event-core equivalence and allocation tests for the calendar-queue
+// engine (PR: calendar-queue event core).
+//
+//   * CalendarQueue vs a (t, kind, seq) binary heap: identical pop order on
+//     randomized workloads, including far-future overflow + migration.
+//   * Network (calendar) vs ReferenceNetwork (frozen heap engine): same
+//     trace digest, stats, decisions, and crash outcomes across schedulers,
+//     topologies, crash plans, and the unreliable overlay.
+//   * Determinism: same seed => bit-identical digests run-to-run.
+//   * Payload pool reuse and lifetime.
+//   * Zero heap allocations in the steady-state broadcast->deliver->ack
+//     cycle (global operator new instrumented in this binary).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+#include <queue>
+
+#include "helpers.hpp"
+#include "mac/calendar_queue.hpp"
+#include "mac/engine.hpp"
+#include "mac/reference_engine.hpp"
+#include "mac/schedulers.hpp"
+#include "net/topologies.hpp"
+#include "util/rng.hpp"
+
+// --- allocation counting hook (linked into this test binary only) --------
+
+namespace {
+std::uint64_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace amac::mac {
+namespace {
+
+using testutil::probe_factory;
+
+// --- CalendarQueue vs reference heap, randomized ------------------------
+
+TEST(CalendarQueue, MatchesReferenceHeapPopOrder) {
+  util::Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 25; ++trial) {
+    CalendarQueue q(rng.uniform(1, 12));
+    std::priority_queue<Event, std::vector<Event>, EventAfter> ref;
+    std::uint64_t seq = 0;
+    Time now = 0;
+    const auto push_random = [&] {
+      Event e;
+      // 10% far-future pushes exercise the overflow heap and migration.
+      e.t = now + (rng.chance(0.1) ? rng.uniform(3000, 9000)
+                                   : rng.uniform(0, 15));
+      e.kind = static_cast<EventKind>(rng.uniform(0, 2));
+      e.seq = seq++;
+      e.node = static_cast<NodeId>(rng.uniform(0, 7));
+      q.push(e);
+      ref.push(e);
+    };
+    for (int i = 0; i < 8; ++i) push_random();
+    for (int step = 0; step < 3000; ++step) {
+      if (!q.empty() && rng.chance(0.55)) {
+        ASSERT_FALSE(ref.empty());
+        const Time peek = q.next_time();
+        const Event a = q.pop();
+        const Event b = ref.top();
+        ref.pop();
+        ASSERT_EQ(a.t, peek);
+        ASSERT_EQ(a.t, b.t);
+        ASSERT_EQ(a.kind, b.kind);
+        ASSERT_EQ(a.seq, b.seq);
+        now = a.t;
+      } else {
+        push_random();
+      }
+    }
+    while (!q.empty()) {
+      const Event a = q.pop();
+      const Event b = ref.top();
+      ref.pop();
+      ASSERT_EQ(a.t, b.t);
+      ASSERT_EQ(a.kind, b.kind);
+      ASSERT_EQ(a.seq, b.seq);
+    }
+    EXPECT_TRUE(ref.empty());
+    EXPECT_EQ(q.size(), 0u);
+  }
+}
+
+TEST(CalendarQueue, SentinelTimesNearForeverDoNotWrap) {
+  // Regression: the window checks must not compute base_ + wheel_span()
+  // (wraps for t near kForever, stranding events in the overflow heap).
+  CalendarQueue q(8);
+  Event never;
+  never.t = kForever;
+  never.kind = EventKind::kCrash;
+  never.seq = 0;
+  q.push(never);
+  Event soon;
+  soon.t = 3;
+  soon.seq = 1;
+  q.push(soon);
+  EXPECT_EQ(q.next_time(), 3u);
+  EXPECT_EQ(q.pop().seq, 1u);
+  EXPECT_EQ(q.next_time(), kForever);
+  EXPECT_EQ(q.pop().t, kForever);
+  EXPECT_TRUE(q.empty());
+}
+
+// --- engine-level differential tests ------------------------------------
+
+struct RunRecord {
+  std::uint64_t trace = 0;
+  EngineStats stats;
+  std::vector<Decision> decisions;
+  std::vector<bool> crashed;
+  Time end_time = 0;
+  bool condition_met = false;
+};
+
+void expect_equal(const RunRecord& a, const RunRecord& b) {
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.stats.broadcasts, b.stats.broadcasts);
+  EXPECT_EQ(a.stats.dropped_busy, b.stats.dropped_busy);
+  EXPECT_EQ(a.stats.deliveries, b.stats.deliveries);
+  EXPECT_EQ(a.stats.acks, b.stats.acks);
+  EXPECT_EQ(a.stats.payload_bytes, b.stats.payload_bytes);
+  EXPECT_EQ(a.stats.max_payload_bytes, b.stats.max_payload_bytes);
+  EXPECT_EQ(a.stats.peak_events, b.stats.peak_events);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.condition_met, b.condition_met);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t u = 0; u < a.decisions.size(); ++u) {
+    EXPECT_EQ(a.decisions[u].decided, b.decisions[u].decided);
+    EXPECT_EQ(a.decisions[u].value, b.decisions[u].value);
+    EXPECT_EQ(a.decisions[u].time, b.decisions[u].time);
+    EXPECT_EQ(a.crashed[u], b.crashed[u]);
+  }
+}
+
+template <typename Net>
+RunRecord run_traced(const net::Graph& g, const ProcessFactory& factory,
+                     Scheduler& sched, const std::vector<CrashPlan>& crashes,
+                     StopWhen until, Time horizon,
+                     const net::Graph* overlay = nullptr) {
+  Net net(g, factory, sched, overlay);
+  net.enable_trace_digest();
+  for (const auto& plan : crashes) net.schedule_crash(plan);
+  const auto result = net.run(until, horizon);
+  RunRecord rec;
+  rec.trace = net.trace_digest();
+  rec.stats = net.stats();
+  rec.end_time = result.end_time;
+  rec.condition_met = result.condition_met;
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    rec.decisions.push_back(net.decision(u));
+    rec.crashed.push_back(net.crashed(u));
+  }
+  return rec;
+}
+
+/// Runs the same workload on both engines with independently constructed
+/// (identically seeded) schedulers and requires identical observations.
+template <typename MakeScheduler>
+void expect_engines_agree(const net::Graph& g, const ProcessFactory& factory,
+                          const MakeScheduler& make_scheduler,
+                          const std::vector<CrashPlan>& crashes,
+                          StopWhen until, Time horizon,
+                          const net::Graph* overlay = nullptr) {
+  auto sched_a = make_scheduler();
+  auto sched_b = make_scheduler();
+  const auto a = run_traced<Network>(g, factory, *sched_a, crashes, until,
+                                     horizon, overlay);
+  const auto b = run_traced<ReferenceNetwork>(g, factory, *sched_b, crashes,
+                                              until, horizon, overlay);
+  expect_equal(a, b);
+  EXPECT_GT(a.stats.deliveries, 0u);  // the workload must exercise traffic
+}
+
+TEST(EngineDifferential, RandomSchedulerManySeeds) {
+  const auto g = net::make_ring(12);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    expect_engines_agree(
+        g, probe_factory(6),
+        [&] { return std::make_unique<UniformRandomScheduler>(9, seed); },
+        {}, StopWhen::kQuiescent, 100000);
+  }
+}
+
+TEST(EngineDifferential, SkewedCliqueWithDecisions) {
+  const auto g = net::make_clique(8);
+  expect_engines_agree(
+      g, probe_factory(4, /*decide_when_done=*/true),
+      [] { return std::make_unique<SkewedScheduler>(7, 99); }, {},
+      StopWhen::kAllDecided, 100000);
+}
+
+TEST(EngineDifferential, ContentionGrid) {
+  const auto g = net::make_grid(4, 4);
+  expect_engines_agree(
+      g, probe_factory(5),
+      [] { return std::make_unique<ContentionScheduler>(3, 64, 17); }, {},
+      StopWhen::kQuiescent, 100000);
+}
+
+TEST(EngineDifferential, CrashesMidBroadcast) {
+  const auto g = net::make_line(9);
+  const std::vector<CrashPlan> crashes{{2, 3}, {5, 7}, {7, 2}};
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    expect_engines_agree(
+        g, probe_factory(8),
+        [&] { return std::make_unique<UniformRandomScheduler>(6, seed); },
+        crashes, StopWhen::kQuiescent, 100000);
+  }
+}
+
+TEST(EngineDifferential, HoldbackFarFutureReleases) {
+  // Releases far beyond the calendar wheel force the overflow heap and the
+  // overflow->wheel migration path; a far crash rides along.
+  const auto g = net::make_ring(8);
+  const std::vector<CrashPlan> crashes{{3, 6500}};
+  expect_engines_agree(
+      g, probe_factory(3),
+      [] {
+        auto hold = std::make_unique<HoldbackScheduler>(
+            std::make_unique<SynchronousScheduler>(1), /*release=*/6000);
+        hold->hold_sender(0);
+        hold->hold_edge(4, 5);
+        return hold;
+      },
+      crashes, StopWhen::kQuiescent, 1000000);
+}
+
+TEST(EngineDifferential, UnreliableOverlay) {
+  const std::size_t n = 10;
+  const auto g = net::make_ring(n);
+  net::Graph overlay(n);
+  for (NodeId u = 0; u + 2 < n; ++u) overlay.add_edge(u, u + 2);
+  expect_engines_agree(
+      g, probe_factory(5),
+      [] {
+        return std::make_unique<LossyScheduler>(
+            std::make_unique<UniformRandomScheduler>(5, 21), 0.6, 77);
+      },
+      {}, StopWhen::kQuiescent, 100000, &overlay);
+}
+
+// --- determinism ---------------------------------------------------------
+
+TEST(EngineDeterminism, SameSeedSameDigest) {
+  const auto g = net::make_ring(10);
+  const auto once = [&] {
+    UniformRandomScheduler sched(8, 4242);
+    return run_traced<Network>(g, probe_factory(7), sched, {{4, 9}},
+                               StopWhen::kQuiescent, 100000);
+  };
+  const auto a = once();
+  const auto b = once();
+  expect_equal(a, b);
+  EXPECT_NE(a.trace, 0u);
+}
+
+TEST(EngineDeterminism, DifferentSeedDifferentDigest) {
+  const auto g = net::make_ring(10);
+  const auto once = [&](std::uint64_t seed) {
+    UniformRandomScheduler sched(8, seed);
+    return run_traced<Network>(g, probe_factory(7), sched, {},
+                               StopWhen::kQuiescent, 100000);
+  };
+  EXPECT_NE(once(1).trace, once(2).trace);
+}
+
+// --- payload pool reuse and lifetime ------------------------------------
+
+TEST(PayloadPool, AcquireReleaseReuse) {
+  PayloadPool pool;
+  const util::Buffer a{1, 2, 3};
+  const util::Buffer b{9};
+  const auto s0 = pool.acquire(a);
+  const auto s1 = pool.acquire(b);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(pool.at(s0), a);
+  EXPECT_EQ(pool.at(s1), b);
+  EXPECT_EQ(pool.slot_count(), 2u);
+  EXPECT_EQ(pool.live_count(), 2u);
+  pool.release(s0);
+  EXPECT_EQ(pool.live_count(), 1u);
+  const auto s2 = pool.acquire(b);  // must recycle s0
+  EXPECT_EQ(s2, s0);
+  EXPECT_EQ(pool.at(s2), b);
+  EXPECT_EQ(pool.slot_count(), 2u);
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.acquires(), 3u);
+}
+
+TEST(PayloadPool, EngineRecyclesSlotsAcrossBroadcasts) {
+  // 3 nodes x 50 broadcasts each: at most one live flight per sender, so
+  // the pool should plateau at <= 3 slots and recycle for the rest.
+  const auto g = net::make_clique(3);
+  SynchronousScheduler sched(1);
+  Network net(g, probe_factory(50), sched);
+  net.run(StopWhen::kQuiescent, 100000);
+  EXPECT_EQ(net.stats().broadcasts, 150u);
+  EXPECT_LE(net.payload_pool().slot_count(), 3u);
+  EXPECT_EQ(net.payload_pool().acquires(), 150u);
+  EXPECT_GE(net.payload_pool().reuses(), 147u);
+  // Every flight drained: every slot returned.
+  EXPECT_EQ(net.payload_pool().live_count(), 0u);
+}
+
+TEST(PayloadPool, SlotsHeldExactlyWhileInFlight) {
+  const auto g = net::make_clique(3);
+  MaxDelayScheduler sched(10);
+  Network net(g, probe_factory(1), sched);
+  net.run(StopWhen::kQuiescent, 5);  // mid-flight: deliveries due at t=10
+  EXPECT_EQ(net.payload_pool().live_count(), 3u);
+  EXPECT_EQ(net.in_flight_from(0), 2u);
+  net.run(StopWhen::kQuiescent, 1000);
+  EXPECT_EQ(net.payload_pool().live_count(), 0u);
+  EXPECT_EQ(net.in_flight_from(0), 0u);
+}
+
+// --- zero-allocation steady state ---------------------------------------
+
+/// Broadcasts forever from a reused buffer; never allocates in callbacks.
+class SteadyPinger final : public Process {
+ public:
+  SteadyPinger() : payload_(8, 0xAB) {}
+
+  void on_start(Context& ctx) override { ctx.broadcast(payload_); }
+  void on_receive(const Packet&, Context&) override {}
+  void on_ack(Context& ctx) override { ctx.broadcast(payload_); }
+  std::unique_ptr<Process> clone() const override {
+    return std::make_unique<SteadyPinger>(*this);
+  }
+  void digest(util::Hasher& h) const override { h.mix_u64(payload_.size()); }
+
+ private:
+  util::Buffer payload_;
+};
+
+TEST(EngineAllocation, SteadyStateCycleAllocatesNothingSynchronous) {
+  const auto g = net::make_ring(16);
+  SynchronousScheduler sched(1);
+  Network net(g, [](NodeId) { return std::make_unique<SteadyPinger>(); },
+              sched);
+  // Warm-up: grows pool slots, lane/pending/scratch capacities.
+  net.run(StopWhen::kQuiescent, 50);
+  const std::uint64_t before = g_alloc_count;
+  net.run(StopWhen::kQuiescent, 2000);
+  const std::uint64_t after = g_alloc_count;
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state broadcast->deliver->ack cycle allocated";
+  EXPECT_GT(net.stats().deliveries, 30000u);  // the cycle really ran
+}
+
+TEST(EngineAllocation, SteadyStateCycleAllocatesNothingRandomDelays) {
+  const auto g = net::make_ring(8);
+  UniformRandomScheduler sched(6, 31337);
+  Network net(g, [](NodeId) { return std::make_unique<SteadyPinger>(); },
+              sched);
+  // Warm-up long enough for the rare dense ticks of the random delay
+  // distribution to have grown every bucket lane to its high-water mark.
+  net.run(StopWhen::kQuiescent, 4000);
+  const std::uint64_t before = g_alloc_count;
+  net.run(StopWhen::kQuiescent, 12000);
+  const std::uint64_t after = g_alloc_count;
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_GT(net.stats().deliveries, 10000u);
+}
+
+}  // namespace
+}  // namespace amac::mac

@@ -18,7 +18,7 @@ void expect_within_contract(const BroadcastSchedule& s, Time fack) {
 
 TEST(Schedulers, SynchronousLockstep) {
   SynchronousScheduler sched(5);
-  const auto s = sched.schedule(0, 10, kNeighbors);
+  const auto s = sched.make_schedule(0, 10, kNeighbors);
   EXPECT_EQ(s.ack_delay, 5u);
   ASSERT_EQ(s.receive_delays.size(), 3u);
   for (const auto& [v, d] : s.receive_delays) EXPECT_EQ(d, 5u);
@@ -27,7 +27,7 @@ TEST(Schedulers, SynchronousLockstep) {
 
 TEST(Schedulers, MaxDelayAllAtFack) {
   MaxDelayScheduler sched(7);
-  const auto s = sched.schedule(2, 0, kNeighbors);
+  const auto s = sched.make_schedule(2, 0, kNeighbors);
   EXPECT_EQ(s.ack_delay, 7u);
   for (const auto& [v, d] : s.receive_delays) EXPECT_EQ(d, 7u);
 }
@@ -35,7 +35,7 @@ TEST(Schedulers, MaxDelayAllAtFack) {
 TEST(Schedulers, UniformRandomWithinContract) {
   UniformRandomScheduler sched(16, 42);
   for (int i = 0; i < 200; ++i) {
-    const auto s = sched.schedule(0, i, kNeighbors);
+    const auto s = sched.make_schedule(0, i, kNeighbors);
     expect_within_contract(s, 16);
     ASSERT_EQ(s.receive_delays.size(), kNeighbors.size());
   }
@@ -45,8 +45,8 @@ TEST(Schedulers, UniformRandomDeterministicPerSeed) {
   UniformRandomScheduler a(16, 7);
   UniformRandomScheduler b(16, 7);
   for (int i = 0; i < 50; ++i) {
-    const auto sa = a.schedule(0, i, kNeighbors);
-    const auto sb = b.schedule(0, i, kNeighbors);
+    const auto sa = a.make_schedule(0, i, kNeighbors);
+    const auto sb = b.make_schedule(0, i, kNeighbors);
     EXPECT_EQ(sa.ack_delay, sb.ack_delay);
     EXPECT_EQ(sa.receive_delays, sb.receive_delays);
   }
@@ -54,8 +54,8 @@ TEST(Schedulers, UniformRandomDeterministicPerSeed) {
 
 TEST(Schedulers, SkewedStablePerEdge) {
   SkewedScheduler sched(9, 3);
-  const auto s1 = sched.schedule(0, 0, kNeighbors);
-  const auto s2 = sched.schedule(0, 55, kNeighbors);
+  const auto s1 = sched.make_schedule(0, 0, kNeighbors);
+  const auto s2 = sched.make_schedule(0, 55, kNeighbors);
   EXPECT_EQ(s1.receive_delays, s2.receive_delays);
   expect_within_contract(s1, 9);
 }
@@ -64,7 +64,7 @@ TEST(Schedulers, SkewedVariesAcrossEdges) {
   SkewedScheduler sched(64, 12);
   std::vector<NodeId> many;
   for (NodeId v = 1; v <= 32; ++v) many.push_back(v);
-  const auto s = sched.schedule(0, 0, many);
+  const auto s = sched.make_schedule(0, 0, many);
   Time lo = 64;
   Time hi = 1;
   for (const auto& [v, d] : s.receive_delays) {
@@ -78,7 +78,7 @@ TEST(Schedulers, HoldbackDelaysHeldSender) {
   auto base = std::make_unique<SynchronousScheduler>(1);
   HoldbackScheduler sched(std::move(base), /*release=*/50);
   sched.hold_sender(0);
-  const auto s = sched.schedule(0, 10, kNeighbors);
+  const auto s = sched.make_schedule(0, 10, kNeighbors);
   for (const auto& [v, d] : s.receive_delays) EXPECT_EQ(10 + d, 50u);
   EXPECT_GE(s.ack_delay, 40u);  // ack after held deliveries
 }
@@ -87,7 +87,7 @@ TEST(Schedulers, HoldbackLeavesOthersSynchronous) {
   auto base = std::make_unique<SynchronousScheduler>(1);
   HoldbackScheduler sched(std::move(base), 50);
   sched.hold_sender(0);
-  const auto s = sched.schedule(5, 10, kNeighbors);
+  const auto s = sched.make_schedule(5, 10, kNeighbors);
   for (const auto& [v, d] : s.receive_delays) EXPECT_EQ(d, 1u);
   EXPECT_EQ(s.ack_delay, 1u);
 }
@@ -96,7 +96,7 @@ TEST(Schedulers, HoldbackEdgeGranularity) {
   auto base = std::make_unique<SynchronousScheduler>(1);
   HoldbackScheduler sched(std::move(base), 20);
   sched.hold_edge(0, 2);
-  const auto s = sched.schedule(0, 0, kNeighbors);
+  const auto s = sched.make_schedule(0, 0, kNeighbors);
   for (const auto& [v, d] : s.receive_delays) {
     if (v == 2) {
       EXPECT_EQ(d, 20u);
@@ -110,14 +110,42 @@ TEST(Schedulers, HoldbackNoEffectAfterRelease) {
   auto base = std::make_unique<SynchronousScheduler>(1);
   HoldbackScheduler sched(std::move(base), 20);
   sched.hold_sender(0);
-  const auto s = sched.schedule(0, /*now=*/30, kNeighbors);
+  const auto s = sched.make_schedule(0, /*now=*/30, kNeighbors);
   for (const auto& [v, d] : s.receive_delays) EXPECT_EQ(d, 1u);
+}
+
+TEST(Schedulers, HoldbackFackCachedAndInvalidated) {
+  auto base = std::make_unique<SynchronousScheduler>(3);
+  HoldbackScheduler sched(std::move(base), /*release=*/20);
+  EXPECT_EQ(sched.fack(), 23u);  // release + base fack
+  sched.hold_sender_until(1, 100);
+  EXPECT_EQ(sched.fack(), 103u);  // cache invalidated by the new hold
+  sched.hold_edge(0, 2);          // release 20: does not raise the max
+  EXPECT_EQ(sched.fack(), 103u);
+  sched.hold_sender_until(2, 500);
+  EXPECT_EQ(sched.fack(), 503u);
+  EXPECT_EQ(sched.fack(), 503u);  // stable on repeated (cached) queries
+}
+
+TEST(Schedulers, ScratchScheduleReusesCapacity) {
+  UniformRandomScheduler sched(5, 8);
+  BroadcastSchedule scratch;
+  sched.schedule(0, 0, kNeighbors, scratch);
+  ASSERT_EQ(scratch.receive_delays.size(), kNeighbors.size());
+  const auto capacity = scratch.receive_delays.capacity();
+  const auto* data = scratch.receive_delays.data();
+  for (int i = 0; i < 100; ++i) {
+    sched.schedule(0, i, kNeighbors, scratch);
+    ASSERT_EQ(scratch.receive_delays.size(), kNeighbors.size());
+  }
+  EXPECT_EQ(scratch.receive_delays.capacity(), capacity);
+  EXPECT_EQ(scratch.receive_delays.data(), data);
 }
 
 TEST(Schedulers, ScriptedExactDelays) {
   ScriptedScheduler sched;
   sched.script(0, 0, /*ack=*/5, {{1, 2}, {2, 5}});
-  const auto s = sched.schedule(0, 0, kNeighbors);
+  const auto s = sched.make_schedule(0, 0, kNeighbors);
   EXPECT_EQ(s.ack_delay, 5u);
   for (const auto& [v, d] : s.receive_delays) {
     if (v == 1) {
@@ -136,19 +164,19 @@ TEST(Schedulers, ScriptedFallbackSynchronous) {
   ScriptedScheduler sched;
   sched.script(0, 1, 9, {{1, 9}});
   // Broadcast 0 of node 0 is unscripted -> synchronous round of 1.
-  const auto s0 = sched.schedule(0, 0, kNeighbors);
+  const auto s0 = sched.make_schedule(0, 0, kNeighbors);
   EXPECT_EQ(s0.ack_delay, 1u);
   // Broadcast 1 uses the script.
-  const auto s1 = sched.schedule(0, 0, kNeighbors);
+  const auto s1 = sched.make_schedule(0, 0, kNeighbors);
   EXPECT_EQ(s1.ack_delay, 9u);
 }
 
 TEST(Schedulers, ScriptedPerSenderCounters) {
   ScriptedScheduler sched;
   sched.script(1, 0, 4, {{0, 4}});
-  const auto s0 = sched.schedule(0, 0, {1});  // node 0, unscripted
+  const auto s0 = sched.make_schedule(0, 0, {1});  // node 0, unscripted
   EXPECT_EQ(s0.ack_delay, 1u);
-  const auto s1 = sched.schedule(1, 0, {0});  // node 1 broadcast 0: scripted
+  const auto s1 = sched.make_schedule(1, 0, {0});  // node 1 broadcast 0: scripted
   EXPECT_EQ(s1.ack_delay, 4u);
 }
 
