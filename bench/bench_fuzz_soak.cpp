@@ -1,0 +1,185 @@
+// Fuzz soak entry point: the CI fuzz lane and the command-line replay tool.
+//
+//   ./bench_fuzz_soak --count 1000                 # soak seeds [1, 1000]
+//   ./bench_fuzz_soak --seed-base 5000 --count 200 # a different corpus
+//   ./bench_fuzz_soak --replay <spec-or-seed>      # one scenario, verbose
+//   ./bench_fuzz_soak --replay <spec> --expect-digest 0xABCD  # CI pinning
+//
+// Exit status: 0 when every scenario upholds its properties (and, for
+// --replay --expect-digest, the digest matches); 1 otherwise. On any
+// violation a minimal self-contained repro line is printed; paste it back
+// via --replay to reproduce the identical run. See fuzz/fuzzer.hpp for the
+// full fuzzing HOWTO.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fuzz/fuzzer.hpp"
+
+namespace {
+
+using namespace amac;
+
+struct CliOptions {
+  fuzz::SoakOptions soak;
+  std::string replay;
+  std::uint64_t expect_digest = 0;
+  bool has_expect_digest = false;
+  std::size_t progress_every = 0;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--count N] [--seed-base S] [--differential-every K]\n"
+      "          [--no-shrink] [--max-shrink-attempts A] [--progress-every P]\n"
+      "          [--replay SPEC] [--expect-digest HEX]\n",
+      argv0);
+  return 2;
+}
+
+void print_report(const fuzz::Scenario& s, const fuzz::RunReport& r) {
+  std::printf("scenario  %s\n", fuzz::format_spec(s).c_str());
+  std::printf("verdict   %s\n", r.verdict.summary().c_str());
+  std::printf("result    failure=%s end_time=%llu broadcasts=%llu "
+              "deliveries=%llu acks=%llu mid_flight_crashes=%zu\n",
+              fuzz::failure_name(r.failure),
+              static_cast<unsigned long long>(r.end_time),
+              static_cast<unsigned long long>(r.stats.broadcasts),
+              static_cast<unsigned long long>(r.stats.deliveries),
+              static_cast<unsigned long long>(r.stats.acks),
+              r.mid_flight_crashes);
+  std::printf("digest    fingerprint=0x%016llx trace=0x%016llx\n",
+              static_cast<unsigned long long>(r.fingerprint),
+              static_cast<unsigned long long>(r.trace_digest));
+  if (r.differential_ran) {
+    std::printf("reference fingerprint=0x%016llx (%s)\n",
+                static_cast<unsigned long long>(r.reference_fingerprint),
+                r.failure == fuzz::FailureKind::kDifferential ? "MISMATCH"
+                                                              : "match");
+  }
+  if (!r.detail.empty()) std::printf("detail    %s\n", r.detail.c_str());
+}
+
+int run_replay(const CliOptions& cli) {
+  const auto scenario = fuzz::parse_spec(cli.replay);
+  if (!scenario) {
+    std::fprintf(stderr, "error: malformed --replay spec: %s\n",
+                 cli.replay.c_str());
+    return 2;
+  }
+  fuzz::RunOptions options;
+  options.differential = true;  // replays are rare: always cross-check
+  const auto report = fuzz::run_scenario(*scenario, options);
+  print_report(*scenario, report);
+
+  bool ok = report.failure == fuzz::FailureKind::kNone;
+  if (cli.has_expect_digest && report.fingerprint != cli.expect_digest) {
+    std::printf("EXPECTED  fingerprint=0x%016llx -- MISMATCH\n",
+                static_cast<unsigned long long>(cli.expect_digest));
+    ok = false;
+  }
+  if (!ok && report.failure != fuzz::FailureKind::kNone) {
+    const auto shrunk = fuzz::shrink_scenario(*scenario, report.failure);
+    std::printf("minimal   %s\n", fuzz::format_spec(shrunk.scenario).c_str());
+  }
+  return ok ? 0 : 1;
+}
+
+int run_soak_cli(const CliOptions& cli) {
+  fuzz::SoakOptions options = cli.soak;
+  if (cli.progress_every != 0) {
+    options.on_scenario = [&](std::size_t index, const fuzz::Scenario& s,
+                              const fuzz::RunReport& r) {
+      if ((index + 1) % cli.progress_every == 0) {
+        std::printf("  [%zu/%zu] last=%s failure=%s\n", index + 1,
+                    cli.soak.count, harness::algorithm_name(s.algorithm),
+                    fuzz::failure_name(r.failure));
+        std::fflush(stdout);
+      }
+    };
+  }
+  const auto result = fuzz::run_soak(options);
+
+  std::printf("fuzz soak: %zu scenarios (seeds %llu..%llu), %zu differential "
+              "replays\n",
+              result.runs,
+              static_cast<unsigned long long>(options.seed_base),
+              static_cast<unsigned long long>(options.seed_base +
+                                              options.count - 1),
+              result.differential_runs);
+  for (std::size_t i = 0; i < harness::kAlgorithmCount; ++i) {
+    std::printf("  %-10s %zu\n",
+                harness::algorithm_name(static_cast<harness::Algorithm>(i)),
+                result.per_algorithm[i]);
+  }
+  std::printf("  crash scenarios: %zu (mid-flight cancellations in %zu)\n",
+              result.crash_scenarios, result.mid_flight_crash_scenarios);
+  std::printf("  corpus digest: 0x%016llx\n",
+              static_cast<unsigned long long>(result.corpus_digest));
+
+  if (!result.ok()) {
+    for (const auto& f : result.failures) {
+      std::printf("VIOLATION kind=%s\n  spec    %s\n  minimal %s\n  %s\n",
+                  fuzz::failure_name(f.report.failure),
+                  fuzz::format_spec(f.scenario).c_str(),
+                  fuzz::format_spec(f.minimal).c_str(),
+                  f.report.detail.c_str());
+      std::printf("  replay: ./bench_fuzz_soak --replay '%s'\n",
+                  fuzz::format_spec(f.minimal).c_str());
+    }
+    std::printf("FAIL: %zu violation(s)\n", result.failures.size());
+    return 1;
+  }
+  std::printf("OK: zero property violations\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = std::string(argv[i]);
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--count") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.soak.count = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed-base") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.soak.seed_base = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--differential-every") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.soak.differential_every = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--no-shrink") {
+      cli.soak.shrink_failures = false;
+    } else if (arg == "--max-shrink-attempts") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.soak.max_shrink_attempts = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--progress-every") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.progress_every = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.replay = v;
+    } else if (arg == "--expect-digest") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.expect_digest = std::strtoull(v, nullptr, 0);
+      cli.has_expect_digest = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!cli.replay.empty()) return run_replay(cli);
+  return run_soak_cli(cli);
+}

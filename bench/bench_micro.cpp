@@ -54,11 +54,9 @@ class Pinger final : public mac::Process {
 /// Shared engine workload driver: Net is mac::Network (calendar queue) or
 /// mac::ReferenceNetwork (legacy heap baseline).
 template <typename Net, typename MakeScheduler>
-void run_engine_benchmark(benchmark::State& state,
-                          const MakeScheduler& make_scheduler,
-                          mac::Time max_time) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto g = net::make_ring(n);
+void run_engine_benchmark_on(benchmark::State& state, const net::Graph& g,
+                             const MakeScheduler& make_scheduler,
+                             mac::Time max_time) {
   const mac::ProcessFactory factory = [](NodeId) {
     return std::make_unique<Pinger>(50);
   };
@@ -77,6 +75,15 @@ void run_engine_benchmark(benchmark::State& state,
   state.counters["peak_events"] =
       benchmark::Counter(static_cast<double>(peak_events));
   state.SetLabel("deliveries/iter=" + std::to_string(deliveries));
+}
+
+template <typename Net, typename MakeScheduler>
+void run_engine_benchmark(benchmark::State& state,
+                          const MakeScheduler& make_scheduler,
+                          mac::Time max_time) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_engine_benchmark_on<Net>(state, net::make_ring(n), make_scheduler,
+                               max_time);
 }
 
 void BM_EngineSyncRounds(benchmark::State& state) {
@@ -102,6 +109,56 @@ void BM_RefEngineRandomScheduler(benchmark::State& state) {
       state, [] { return mac::UniformRandomScheduler(8, 42); }, 100000);
 }
 BENCHMARK(BM_RefEngineRandomScheduler)->Arg(16)->Arg(64)->Arg(256);
+
+/// Receiver-side contention on a dense clique: the scheduler's per-receiver
+/// next-free-tick table is hit (max in-degree) times per broadcast, so this
+/// isolates the ContentionScheduler state-lookup cost (std::map vs flat
+/// vector, see ROADMAP perf trajectory).
+void BM_EngineContention(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_engine_benchmark_on<mac::Network>(
+      state, net::make_clique(n),
+      [n] {
+        return mac::ContentionScheduler(3, 4 * static_cast<mac::Time>(n) + 16,
+                                        1234);
+      },
+      200000);
+}
+BENCHMARK(BM_EngineContention)->Arg(16)->Arg(64);
+
+void BM_RefEngineContention(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_engine_benchmark_on<mac::ReferenceNetwork>(
+      state, net::make_clique(n),
+      [n] {
+        return mac::ContentionScheduler(3, 4 * static_cast<mac::Time>(n) + 16,
+                                        1234);
+      },
+      200000);
+}
+BENCHMARK(BM_RefEngineContention)->Arg(16)->Arg(64);
+
+/// Scheduler-only: one schedule() call per iteration against a dense
+/// neighborhood, isolating the per-receiver next-free-tick lookups from
+/// engine event traffic.
+void BM_ContentionSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<NodeId> neighbors(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    neighbors[i] = static_cast<NodeId>(i + 1);
+  }
+  mac::ContentionScheduler sched(3, 4 * static_cast<mac::Time>(n) + 16, 99);
+  mac::BroadcastSchedule out;
+  mac::Time now = 0;
+  for (auto _ : state) {
+    sched.schedule(0, now, neighbors, out);
+    now += out.ack_delay;  // keep delays within the declared bound
+    benchmark::DoNotOptimize(out.receive_delays.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(neighbors.size()));
+}
+BENCHMARK(BM_ContentionSchedule)->Arg(64)->Arg(256);
 
 void BM_SerdeVarintRoundTrip(benchmark::State& state) {
   util::Rng rng(1);

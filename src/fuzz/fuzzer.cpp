@@ -1,0 +1,292 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <optional>
+#include <sstream>
+#include <type_traits>
+
+#include "mac/reference_engine.hpp"
+#include "verify/invariants.hpp"
+
+namespace amac::fuzz {
+
+namespace {
+
+/// Raw observations from one engine execution; fingerprint covers every
+/// field plus per-node decisions, so two observations are behaviorally
+/// identical iff their fingerprints match (up to hash collision).
+struct Observation {
+  verify::ConsensusVerdict verdict;
+  mac::EngineStats stats;
+  mac::Time end_time = 0;
+  bool condition_met = false;
+  std::uint64_t trace_digest = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t monitor_checks = 0;
+  bool monitor_violated = false;
+  std::string monitor_report;
+  std::size_t mid_flight_crashes = 0;
+};
+
+template <typename Net>
+Observation run_on_engine(const Scenario& s, bool with_monitor) {
+  BuiltScenario b = build_scenario(s);
+  const std::size_t count = b.graph.node_count();
+  Net net(b.graph, b.factory, *b.scheduler);
+  net.enable_trace_digest();
+  for (const auto& plan : b.crashes) net.schedule_crash(plan);
+  // Late holds: the calendar wheel was sized from the pre-hold fack() at
+  // construction, so the held deliveries must take the overflow-heap path.
+  if (s.late_holds) apply_holds(s, b);
+
+  Observation obs;
+  // The Lemma 4.2 monitor reads calendar-engine internals; differential
+  // replays on the reference engine skip it (it observes, never steers, so
+  // its absence cannot change the reference run).
+  std::optional<verify::ResponseConservationMonitor> monitor;
+  if constexpr (std::is_same_v<Net, mac::Network>) {
+    if (with_monitor && s.algorithm == harness::Algorithm::kWPaxos) {
+      monitor.emplace(b.ids);
+    }
+  }
+  std::vector<bool> seen_crashed(count, false);
+  const bool watch_crashes = !b.crashes.empty();
+  if (monitor.has_value() || watch_crashes) {
+    net.set_post_event_hook([&](Net& n) {
+      if (watch_crashes) {
+        for (NodeId u = 0; u < count; ++u) {
+          if (!seen_crashed[u] && n.crashed(u)) {
+            seen_crashed[u] = true;
+            // A crash with copies still pending exercises the non-atomic
+            // broadcast cancellation path (some neighbors receive, some
+            // never do).
+            if (n.in_flight_from(u) > 0) ++obs.mid_flight_crashes;
+          }
+        }
+      }
+      if constexpr (std::is_same_v<Net, mac::Network>) {
+        if (monitor.has_value()) monitor->check(n);
+      }
+    });
+  }
+
+  const auto result = net.run(mac::StopWhen::kAllDecided, s.horizon);
+  obs.verdict = verify::check_consensus(net, b.inputs);
+  obs.stats = net.stats();
+  obs.end_time = result.end_time;
+  obs.condition_met = result.condition_met;
+  obs.trace_digest = net.trace_digest();
+  if (monitor.has_value()) {
+    obs.monitor_checks = monitor->checks_performed();
+    obs.monitor_violated = monitor->violated();
+    obs.monitor_report = monitor->report();
+  }
+
+  util::Hasher h;
+  h.mix_u64(obs.trace_digest);
+  obs.verdict.digest(h);
+  h.mix_u64(obs.stats.broadcasts);
+  h.mix_u64(obs.stats.dropped_busy);
+  h.mix_u64(obs.stats.deliveries);
+  h.mix_u64(obs.stats.acks);
+  h.mix_u64(obs.stats.payload_bytes);
+  h.mix_u64(obs.stats.max_payload_bytes);
+  h.mix_u64(obs.stats.peak_events);
+  h.mix_u64(obs.end_time);
+  h.mix_bool(obs.condition_met);
+  for (NodeId u = 0; u < count; ++u) {
+    const auto& d = net.decision(u);
+    h.mix_bool(d.decided);
+    h.mix_i64(d.value);
+    h.mix_u64(d.time);
+    h.mix_bool(net.crashed(u));
+  }
+  obs.fingerprint = h.digest();
+  return obs;
+}
+
+}  // namespace
+
+const char* failure_name(FailureKind k) {
+  switch (k) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kAgreement: return "agreement";
+    case FailureKind::kValidity: return "validity";
+    case FailureKind::kTermination: return "termination";
+    case FailureKind::kInvariant: return "invariant";
+    case FailureKind::kDifferential: return "differential";
+  }
+  AMAC_ASSERT(false);
+  return "?";
+}
+
+RunReport run_scenario(const Scenario& s, const RunOptions& options) {
+  const Observation obs = run_on_engine<mac::Network>(s, options.with_monitor);
+
+  RunReport r;
+  r.verdict = obs.verdict;
+  r.stats = obs.stats;
+  r.end_time = obs.end_time;
+  r.condition_met = obs.condition_met;
+  r.trace_digest = obs.trace_digest;
+  r.fingerprint = obs.fingerprint;
+  r.monitor_checks = obs.monitor_checks;
+  r.mid_flight_crashes = obs.mid_flight_crashes;
+
+  if (!obs.verdict.agreement) {
+    r.failure = FailureKind::kAgreement;
+    r.detail = "agreement violated: " + obs.verdict.summary();
+  } else if (!obs.verdict.validity) {
+    r.failure = FailureKind::kValidity;
+    r.detail = "validity violated: " + obs.verdict.summary();
+  } else if (obs.monitor_violated) {
+    r.failure = FailureKind::kInvariant;
+    r.detail = obs.monitor_report;
+  } else if (termination_expected(s) && !obs.condition_met) {
+    r.failure = FailureKind::kTermination;
+    std::ostringstream os;
+    os << "termination expected but run stopped at t=" << obs.end_time
+       << " (horizon " << s.horizon << "): " << obs.verdict.summary();
+    r.detail = os.str();
+  }
+
+  if (options.differential && r.failure == FailureKind::kNone) {
+    const Observation ref =
+        run_on_engine<mac::ReferenceNetwork>(s, /*with_monitor=*/false);
+    r.differential_ran = true;
+    r.reference_fingerprint = ref.fingerprint;
+    if (ref.fingerprint != obs.fingerprint) {
+      r.failure = FailureKind::kDifferential;
+      std::ostringstream os;
+      os << "engine divergence: calendar fingerprint " << std::hex
+         << obs.fingerprint << " (trace " << obs.trace_digest
+         << ") vs reference " << ref.fingerprint << " (trace "
+         << ref.trace_digest << ")";
+      r.detail = os.str();
+    }
+  }
+  return r;
+}
+
+// ---- shrinking ----------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] std::vector<Scenario> shrink_candidates(const Scenario& s) {
+  std::vector<Scenario> out;
+  const auto add = [&](Scenario cand) {
+    normalize_scenario(cand);
+    if (format_spec(cand) != format_spec(s)) out.push_back(std::move(cand));
+  };
+  // Biggest reductions first: the greedy loop restarts after every
+  // acceptance, so early wins compound.
+  if (s.n >= 4) {
+    Scenario cand = s;
+    cand.n = s.n / 2;
+    add(std::move(cand));
+  }
+  if (s.n >= 3) {
+    Scenario cand = s;
+    cand.n = s.n - 1;
+    add(std::move(cand));
+  }
+  for (std::size_t i = 0; i < s.crashes.size(); ++i) {
+    Scenario cand = s;
+    cand.crashes.erase(cand.crashes.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+    add(std::move(cand));
+  }
+  for (std::size_t i = 0; i < s.holds.size(); ++i) {
+    Scenario cand = s;
+    cand.holds.erase(cand.holds.begin() + static_cast<std::ptrdiff_t>(i));
+    add(std::move(cand));
+  }
+  if (s.fack > 1) {
+    Scenario cand = s;
+    cand.fack = s.fack / 2;
+    add(std::move(cand));
+    cand = s;
+    cand.fack = s.fack - 1;
+    add(std::move(cand));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const Scenario& s, FailureKind kind,
+                             const RunOptions& options,
+                             const ShrinkOptions& shrink) {
+  AMAC_EXPECTS(kind != FailureKind::kNone);
+  // Differential divergences need the differential replay to reproduce;
+  // every other kind shrinks faster without it.
+  RunOptions run_options = options;
+  run_options.differential = kind == FailureKind::kDifferential;
+
+  ShrinkResult res;
+  res.scenario = s;
+  res.report = run_scenario(s, run_options);
+  ++res.attempts;
+  AMAC_EXPECTS(res.report.failure == kind);
+
+  bool improved = true;
+  while (improved && res.attempts < shrink.max_attempts) {
+    improved = false;
+    for (const Scenario& cand : shrink_candidates(res.scenario)) {
+      if (res.attempts >= shrink.max_attempts) break;
+      ++res.attempts;
+      RunReport rep = run_scenario(cand, run_options);
+      if (rep.failure == kind) {
+        res.scenario = cand;
+        res.report = std::move(rep);
+        ++res.reductions;
+        improved = true;
+        break;  // restart the candidate scan from the smaller scenario
+      }
+    }
+  }
+  return res;
+}
+
+// ---- soak loop ----------------------------------------------------------
+
+SoakResult run_soak(const SoakOptions& options) {
+  SoakResult result;
+  util::Hasher corpus;
+  for (std::size_t i = 0; i < options.count; ++i) {
+    const std::uint64_t seed = options.seed_base + i;
+    const Scenario s = generate_scenario(seed);
+
+    RunOptions run_options;
+    run_options.differential = options.differential_every != 0 &&
+                               i % options.differential_every == 0;
+    const RunReport report = run_scenario(s, run_options);
+
+    ++result.runs;
+    if (run_options.differential) ++result.differential_runs;
+    ++result.per_algorithm[static_cast<std::size_t>(s.algorithm)];
+    if (!s.crashes.empty()) ++result.crash_scenarios;
+    if (report.mid_flight_crashes > 0) ++result.mid_flight_crash_scenarios;
+    corpus.mix_u64(report.fingerprint);
+
+    if (report.failure != FailureKind::kNone) {
+      SoakFailure failure;
+      failure.scenario = s;
+      failure.minimal = s;
+      failure.report = report;
+      if (options.shrink_failures) {
+        ShrinkOptions shrink;
+        shrink.max_attempts = options.max_shrink_attempts;
+        auto shrunk =
+            shrink_scenario(s, report.failure, run_options, shrink);
+        failure.minimal = std::move(shrunk.scenario);
+        failure.report = std::move(shrunk.report);
+      }
+      result.failures.push_back(std::move(failure));
+    }
+    if (options.on_scenario) options.on_scenario(i, s, report);
+  }
+  result.corpus_digest = corpus.digest();
+  return result;
+}
+
+}  // namespace amac::fuzz

@@ -1,0 +1,162 @@
+// The adversarial scenario fuzzer: property-based testing for the whole
+// stack. generate -> run on the calendar engine -> check the paper's
+// properties -> (sampled) differential replay on the frozen reference
+// engine -> on violation, shrink to a minimal one-line repro.
+//
+// Oracles checked per scenario:
+//   * agreement + validity (verify::check_consensus) — demanded for EVERY
+//     generated scenario: the paper's safety properties are quantified over
+//     all schedules and crash patterns inside each algorithm's envelope;
+//   * termination — demanded exactly when termination_expected(s): the
+//     scenario is inside the algorithm's liveness envelope (crash-free for
+//     the deterministic algorithms, <= f crashes for Ben-Or);
+//   * Lemma 4.2 response conservation (verify::ResponseConservationMonitor)
+//     on every wPAXOS scenario, checked after every engine event;
+//   * engine equivalence — a sampled subset of scenarios is replayed on
+//     mac::ReferenceNetwork (the frozen PR-1 baseline) and the run
+//     fingerprints (event-trace digest + verdict digest + stats + decisions)
+//     must match bit for bit.
+//
+// ---------------------------------------------------------------------------
+// Fuzzing HOWTO
+//
+// Run a soak (release build; 500+ scenarios is a couple of seconds):
+//
+//   ./bench_fuzz_soak --count 1000 --seed-base 1 --differential-every 7
+//
+// Every scenario is derived from one seed; a violation prints a line like
+//
+//   VIOLATION kind=agreement spec=amacfuzz1:seed=42:alg=...:crashes=3@7
+//   minimal  spec=amacfuzz1:seed=42:alg=...:n=3:...
+//
+// Reproduce either one (bit-identical run, same digest) with
+//
+//   ./bench_fuzz_soak --replay 'amacfuzz1:seed=42:alg=...'
+//   ./bench_fuzz_soak --replay 42          # bare seed = generated scenario
+//
+// How the corpus is pinned: the CI smoke lane and tests/test_fuzz_smoke.cpp
+// run the FIXED seed range [1, N] (seed-base 1), so the corpus only changes
+// when the generator itself changes — a generator edit shows up as a
+// reviewable corpus-digest change in the smoke test, never as silent drift.
+// Scenarios that once exposed bugs are pinned FOREVER as full spec lines
+// (not bare seeds) in tests/test_fuzz_regressions.cpp, immune to generator
+// evolution.
+//
+// Extending coverage: a new algorithm joins by extending
+// harness::Algorithm + algorithm_factory and teaching generate_scenario its
+// envelope (topology/scheduler/crash constraints); a new scheduler joins
+// via SchedulerKind + build_scenario. Everything downstream — oracle,
+// differential replay, shrinking, soak lane, repro specs — is inherited.
+// ---------------------------------------------------------------------------
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/scenario.hpp"
+#include "verify/checker.hpp"
+
+namespace amac::fuzz {
+
+enum class FailureKind : std::uint8_t {
+  kNone = 0,
+  kAgreement = 1,     ///< two nodes decided differently
+  kValidity = 2,      ///< a decided value was nobody's input
+  kTermination = 3,   ///< liveness expected but some node never decided
+  kInvariant = 4,     ///< Lemma 4.2 response-conservation monitor tripped
+  kDifferential = 5,  ///< calendar vs reference engine fingerprint mismatch
+};
+
+[[nodiscard]] const char* failure_name(FailureKind k);
+
+struct RunOptions {
+  bool differential = false;  ///< also replay on the reference engine
+  bool with_monitor = true;   ///< wPAXOS Lemma 4.2 monitor (wpaxos only)
+};
+
+/// Everything observed from one scenario execution.
+struct RunReport {
+  verify::ConsensusVerdict verdict;
+  mac::EngineStats stats;
+  mac::Time end_time = 0;
+  bool condition_met = false;
+  std::uint64_t trace_digest = 0;  ///< engine event-trace digest
+  std::uint64_t fingerprint = 0;   ///< trace + verdict + stats + decisions
+  std::uint64_t monitor_checks = 0;
+  std::size_t mid_flight_crashes = 0;  ///< crashes that cancelled in-flight
+                                       ///< deliveries (the non-atomic
+                                       ///< broadcast edge case)
+  bool differential_ran = false;
+  std::uint64_t reference_fingerprint = 0;  ///< when differential_ran
+  FailureKind failure = FailureKind::kNone;
+  std::string detail;  ///< human-readable failure description
+};
+
+/// Builds, runs, and judges one scenario (deterministic: same scenario,
+/// same report bit for bit).
+[[nodiscard]] RunReport run_scenario(const Scenario& s,
+                                     const RunOptions& options = {});
+
+// ---- shrinking ----------------------------------------------------------
+
+struct ShrinkOptions {
+  std::size_t max_attempts = 150;  ///< total candidate re-runs
+};
+
+struct ShrinkResult {
+  Scenario scenario;           ///< the minimal still-failing scenario
+  RunReport report;            ///< its failing report
+  std::size_t attempts = 0;    ///< candidate runs spent
+  std::size_t reductions = 0;  ///< accepted shrink steps
+};
+
+/// Greedy scenario minimization: repeatedly tries dropping crashes and
+/// holds, halving/decrementing n, and lowering the delay bound, keeping any
+/// transform after which the run still fails with the SAME FailureKind.
+/// Requires run_scenario(s, options).failure == kind.
+[[nodiscard]] ShrinkResult shrink_scenario(const Scenario& s,
+                                           FailureKind kind,
+                                           const RunOptions& options = {},
+                                           const ShrinkOptions& shrink = {});
+
+// ---- soak loop ----------------------------------------------------------
+
+struct SoakOptions {
+  std::uint64_t seed_base = 1;
+  std::size_t count = 500;
+  /// Every k-th scenario is replayed differentially on the reference
+  /// engine (0 disables differential sampling).
+  std::size_t differential_every = 7;
+  bool shrink_failures = true;
+  std::size_t max_shrink_attempts = 150;
+  /// Progress callback after every scenario (may be empty).
+  std::function<void(std::size_t index, const Scenario&, const RunReport&)>
+      on_scenario;
+};
+
+struct SoakFailure {
+  Scenario scenario;
+  Scenario minimal;  ///< == scenario when shrinking is off
+  RunReport report;  ///< report of `minimal`
+};
+
+struct SoakResult {
+  std::size_t runs = 0;
+  std::size_t differential_runs = 0;
+  std::array<std::size_t, harness::kAlgorithmCount> per_algorithm{};
+  std::size_t crash_scenarios = 0;
+  std::size_t mid_flight_crash_scenarios = 0;
+  std::uint64_t corpus_digest = 0;  ///< fold of every run fingerprint: the
+                                    ///< one number that pins the corpus
+  std::vector<SoakFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs scenarios for seeds [seed_base, seed_base + count), collecting
+/// failures (each shrunk to a minimal repro when enabled).
+[[nodiscard]] SoakResult run_soak(const SoakOptions& options);
+
+}  // namespace amac::fuzz

@@ -1,0 +1,579 @@
+#include "fuzz/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <limits>
+#include <sstream>
+
+#include "net/topologies.hpp"
+#include "util/hash.hpp"
+
+namespace amac::fuzz {
+
+namespace {
+
+using harness::Algorithm;
+
+// Salts separating the derived random streams. Every stream is
+// Rng(hash(seed, salt)), so the dimensions can't alias each other and a
+// shrink step that changes one dimension leaves the others' draws intact.
+constexpr std::uint64_t kGenSalt = 0xF022ED11;
+constexpr std::uint64_t kTopoSalt = 0x70601061;
+constexpr std::uint64_t kInputSalt = 0x1A9B75C1;
+constexpr std::uint64_t kIdSalt = 0x1DA551;
+constexpr std::uint64_t kSchedSalt = 0x5C4EDD1E;
+
+[[nodiscard]] std::uint64_t sub_seed(std::uint64_t seed, std::uint64_t salt) {
+  util::Hasher h;
+  h.mix_u64(seed);
+  h.mix_u64(salt);
+  return h.digest();
+}
+
+[[nodiscard]] std::uint32_t min_nodes(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kRing: return 3;
+    case TopologyKind::kTorus: return 9;  // 3x3
+    default: return 2;
+  }
+}
+
+[[nodiscard]] net::Graph build_graph(const Scenario& s) {
+  util::Rng rng(sub_seed(s.seed, kTopoSalt));
+  const std::size_t n = std::max(s.n, min_nodes(s.topology));
+  switch (s.topology) {
+    case TopologyKind::kClique: return net::make_clique(n);
+    case TopologyKind::kLine: return net::make_line(n);
+    case TopologyKind::kRing: return net::make_ring(n);
+    case TopologyKind::kStar: return net::make_star(n);
+    case TopologyKind::kGrid: {
+      const std::size_t w =
+          std::clamp<std::size_t>(s.aux, 1, std::max<std::size_t>(1, n));
+      const std::size_t h = std::max<std::size_t>(1, n / w);
+      if (w * h < 2) return net::make_grid(2, 1);
+      return net::make_grid(w, h);
+    }
+    case TopologyKind::kTorus: {
+      const std::size_t w = std::clamp<std::size_t>(s.aux, 3, n / 3);
+      const std::size_t h = std::max<std::size_t>(3, n / w);
+      return net::make_torus(w, h);
+    }
+    case TopologyKind::kBinaryTree: return net::make_binary_tree(n);
+    case TopologyKind::kBarbell: {
+      const std::size_t path = std::max<std::uint32_t>(1, s.aux);
+      const std::size_t k =
+          n > path ? std::max<std::size_t>(1, (n - (path - 1)) / 2) : 1;
+      return net::make_barbell(k, path);
+    }
+    case TopologyKind::kRandomConnected: {
+      const double p = 0.05 + 0.30 * rng.uniform01();
+      return net::make_random_connected(n, p, rng);
+    }
+    case TopologyKind::kRandomGeometric: {
+      const double r = 0.20 + 0.30 * rng.uniform01();
+      return net::make_random_geometric(n, r, rng);
+    }
+  }
+  AMAC_ASSERT(false);
+  return net::Graph(1);
+}
+
+[[nodiscard]] bool needs_diameter(Algorithm a) {
+  return a == Algorithm::kAnonymous || a == Algorithm::kStability;
+}
+
+[[nodiscard]] bool synchronous_only(Algorithm a) {
+  // Theorems 3.3 / 3.9: outside the synchronous scheduler these algorithms
+  // genuinely violate agreement, so the generator never pairs them with an
+  // adversarial scheduler (hand-written specs still can, to reproduce the
+  // paper's counterexamples).
+  return a == Algorithm::kAnonymous || a == Algorithm::kStability;
+}
+
+[[nodiscard]] bool single_hop_only(Algorithm a) {
+  return a == Algorithm::kTwoPhase || a == Algorithm::kBenOr;
+}
+
+}  // namespace
+
+const char* topology_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kClique: return "clique";
+    case TopologyKind::kLine: return "line";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kBinaryTree: return "tree";
+    case TopologyKind::kBarbell: return "barbell";
+    case TopologyKind::kRandomConnected: return "randconn";
+    case TopologyKind::kRandomGeometric: return "geo";
+  }
+  AMAC_ASSERT(false);
+  return "?";
+}
+
+const char* scheduler_name(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kSynchronous: return "sync";
+    case SchedulerKind::kMaxDelay: return "maxdelay";
+    case SchedulerKind::kUniformRandom: return "uniform";
+    case SchedulerKind::kSkewed: return "skewed";
+    case SchedulerKind::kContention: return "contention";
+    case SchedulerKind::kHoldback: return "holdback";
+  }
+  AMAC_ASSERT(false);
+  return "?";
+}
+
+const char* input_pattern_name(InputPattern p) {
+  switch (p) {
+    case InputPattern::kAllZero: return "all0";
+    case InputPattern::kAllOne: return "all1";
+    case InputPattern::kAlternating: return "alt";
+    case InputPattern::kSplit: return "split";
+    case InputPattern::kRandom: return "random";
+    case InputPattern::kMultivalued: return "multi";
+  }
+  AMAC_ASSERT(false);
+  return "?";
+}
+
+const char* id_assignment_name(IdAssignment a) {
+  return a == IdAssignment::kIdentity ? "identity" : "perm";
+}
+
+bool termination_expected(const Scenario& s) {
+  switch (s.algorithm) {
+    case Algorithm::kTwoPhase:
+    case Algorithm::kFlooding:
+    case Algorithm::kWPaxos:
+    case Algorithm::kAnonymous:
+    case Algorithm::kStability:
+      // Deterministic algorithms: Theorem 3.2 says one crash may already
+      // cost liveness, so the oracle demands termination only crash-free.
+      return s.crashes.empty();
+    case Algorithm::kBenOr:
+      // Randomized: lives up to its declared f (normalize keeps f < n/2).
+      return s.crashes.size() <= s.benor_f;
+  }
+  AMAC_ASSERT(false);
+  return false;
+}
+
+void normalize_scenario(Scenario& s) {
+  s.n = std::max(s.n, min_nodes(s.topology));
+  if (s.fack < 1) s.fack = 1;
+  if (s.scheduler != SchedulerKind::kHoldback) {
+    s.holds.clear();
+    s.late_holds = false;
+  }
+  const std::size_t count = build_graph(s).node_count();
+  std::erase_if(s.crashes, [&](const CrashSpec& c) { return c.node >= count; });
+  std::erase_if(s.holds, [&](const HoldSpec& h) { return h.sender >= count; });
+  if (s.algorithm == Algorithm::kBenOr) {
+    const std::size_t max_f = (count - 1) / 2;
+    s.benor_f = std::min(s.benor_f, max_f);
+    if (s.crashes.size() > s.benor_f) s.crashes.resize(s.benor_f);
+  }
+}
+
+Scenario generate_scenario(std::uint64_t seed) {
+  util::Rng rng(sub_seed(seed, kGenSalt));
+  Scenario s;
+  s.seed = seed;
+  s.algorithm = static_cast<Algorithm>(rng.uniform(0, 5));
+
+  // Topology: single-hop algorithms get the clique; the rest roam the
+  // whole family.
+  if (single_hop_only(s.algorithm)) {
+    s.topology = TopologyKind::kClique;
+  } else {
+    s.topology =
+        static_cast<TopologyKind>(rng.uniform(0, kTopologyKindCount - 1));
+  }
+  switch (s.topology) {
+    case TopologyKind::kGrid: {
+      s.aux = static_cast<std::uint32_t>(rng.uniform(2, 4));
+      s.n = s.aux * static_cast<std::uint32_t>(rng.uniform(2, 4));
+      break;
+    }
+    case TopologyKind::kTorus: {
+      s.aux = static_cast<std::uint32_t>(rng.uniform(3, 4));
+      s.n = s.aux * static_cast<std::uint32_t>(rng.uniform(3, 4));
+      break;
+    }
+    case TopologyKind::kBarbell: {
+      s.aux = static_cast<std::uint32_t>(rng.uniform(1, 3));
+      s.n = static_cast<std::uint32_t>(rng.uniform(4, 12));
+      break;
+    }
+    default: {
+      const std::uint32_t lo = min_nodes(s.topology);
+      const std::uint32_t hi = s.algorithm == Algorithm::kBenOr ? 9 : 14;
+      s.n = static_cast<std::uint32_t>(rng.uniform(lo, std::max(lo, hi)));
+      break;
+    }
+  }
+
+  // Scheduler: Theorem 3.3/3.9 algorithms are synchronous-only.
+  if (synchronous_only(s.algorithm)) {
+    s.scheduler = SchedulerKind::kSynchronous;
+  } else {
+    s.scheduler =
+        static_cast<SchedulerKind>(rng.uniform(0, kSchedulerKindCount - 1));
+  }
+  s.fack = s.scheduler == SchedulerKind::kSynchronous
+               ? rng.uniform(1, 4)
+               : s.scheduler == SchedulerKind::kContention
+                     ? rng.uniform(1, 3)  // contention: base delay
+                     : rng.uniform(2, 6);
+
+  if (s.scheduler == SchedulerKind::kHoldback) {
+    const std::size_t hold_count = rng.uniform(1, 3);
+    for (std::size_t i = 0; i < hold_count; ++i) {
+      HoldSpec h;
+      h.sender = static_cast<NodeId>(rng.uniform(0, s.n - 1));
+      h.release = rng.uniform(s.fack + 1, 20 * s.fack + 40);
+      s.holds.push_back(h);
+    }
+    s.late_holds = rng.chance(0.5);
+  }
+
+  // Inputs: binary patterns everywhere; multivalued only where the
+  // algorithm supports general values.
+  const bool multi_ok = s.algorithm == Algorithm::kFlooding ||
+                        s.algorithm == Algorithm::kWPaxos;
+  s.inputs = static_cast<InputPattern>(
+      rng.uniform(0, multi_ok ? kInputPatternCount - 1
+                              : kInputPatternCount - 2));
+  s.ids = rng.chance(0.5) ? IdAssignment::kPermuted : IdAssignment::kIdentity;
+
+  // Crash schedule, inside each algorithm's envelope. Crash times target
+  // the first few ack windows, where broadcasts are mid-flight.
+  const std::size_t count = build_graph(s).node_count();
+  const auto draw_crashes = [&](std::size_t how_many) {
+    for (std::size_t i = 0; i < how_many; ++i) {
+      CrashSpec c;
+      c.node = static_cast<NodeId>(rng.uniform(0, count - 1));
+      c.when = rng.uniform(1, 6 * s.fack + 2 * count);
+      s.crashes.push_back(c);
+    }
+  };
+  switch (s.algorithm) {
+    case Algorithm::kFlooding:
+    case Algorithm::kWPaxos:
+      // Safety-only territory: a third of the runs get crashes.
+      if (rng.chance(0.33)) draw_crashes(rng.uniform(1, 2));
+      break;
+    case Algorithm::kBenOr: {
+      s.benor_f = rng.uniform(0, (count - 1) / 2);
+      if (s.benor_f > 0) draw_crashes(rng.uniform(0, s.benor_f));
+      break;
+    }
+    default:
+      break;  // crash-intolerant: generator keeps them crash-free
+  }
+
+  normalize_scenario(s);
+  // Liveness runs get a generous horizon; safety-only runs are cut short
+  // once the interesting (crash-interleaved) prefix has played out.
+  s.horizon = termination_expected(s) ? 1'000'000 : 30'000;
+  return s;
+}
+
+// ---- spec round-trip ----------------------------------------------------
+
+std::string format_spec(const Scenario& s) {
+  std::ostringstream os;
+  os << "amacfuzz1:seed=" << s.seed
+     << ":alg=" << harness::algorithm_name(s.algorithm)
+     << ":topo=" << topology_name(s.topology) << ":n=" << s.n
+     << ":aux=" << s.aux << ":sched=" << scheduler_name(s.scheduler)
+     << ":fack=" << s.fack << ":late=" << (s.late_holds ? 1 : 0)
+     << ":in=" << input_pattern_name(s.inputs)
+     << ":ids=" << id_assignment_name(s.ids) << ":f=" << s.benor_f
+     << ":hz=" << s.horizon;
+  if (!s.crashes.empty()) {
+    os << ":crashes=";
+    for (std::size_t i = 0; i < s.crashes.size(); ++i) {
+      if (i) os << ",";
+      os << s.crashes[i].node << "@" << s.crashes[i].when;
+    }
+  }
+  if (!s.holds.empty()) {
+    os << ":holds=";
+    for (std::size_t i = 0; i < s.holds.size(); ++i) {
+      if (i) os << ",";
+      os << s.holds[i].sender << "@" << s.holds[i].release;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+[[nodiscard]] bool parse_u64(std::string_view v, std::uint64_t& out) {
+  const auto* end = v.data() + v.size();
+  const auto res = std::from_chars(v.data(), end, out);
+  return res.ec == std::errc{} && res.ptr == end;
+}
+
+/// Parses "a@b,c@d" pair lists (crashes, holds).
+template <typename Pair>
+[[nodiscard]] bool parse_at_pairs(std::string_view v,
+                                  std::vector<Pair>& out) {
+  while (!v.empty()) {
+    const std::size_t comma = v.find(',');
+    const std::string_view item = v.substr(0, comma);
+    const std::size_t at = item.find('@');
+    if (at == std::string_view::npos) return false;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (!parse_u64(item.substr(0, at), a) ||
+        !parse_u64(item.substr(at + 1), b)) {
+      return false;
+    }
+    if (a > std::numeric_limits<NodeId>::max()) return false;
+    out.push_back(Pair{static_cast<NodeId>(a), b});
+    if (comma == std::string_view::npos) break;
+    v.remove_prefix(comma + 1);
+  }
+  return true;
+}
+
+template <typename Enum>
+[[nodiscard]] bool parse_enum(std::string_view v, std::size_t count,
+                              const char* (*name)(Enum), Enum& out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto e = static_cast<Enum>(i);
+    if (v == name(e)) {
+      out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Scenario> parse_spec(std::string_view spec) {
+  // Convenience: a bare integer replays generate_scenario(seed).
+  if (!spec.empty() &&
+      spec.find_first_not_of("0123456789") == std::string_view::npos) {
+    std::uint64_t seed = 0;
+    if (!parse_u64(spec, seed)) return std::nullopt;
+    return generate_scenario(seed);
+  }
+
+  Scenario s;
+  s.crashes.clear();
+  s.holds.clear();
+  bool first = true;
+  // Required scalar fields; crashes/holds stay optional.
+  std::uint32_t seen = 0;
+  constexpr std::uint32_t kAllScalar = (1u << 12) - 1;
+
+  while (!spec.empty()) {
+    const std::size_t colon = spec.find(':');
+    const std::string_view token = spec.substr(0, colon);
+    spec = colon == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(colon + 1);
+    if (first) {
+      if (token != "amacfuzz1") return std::nullopt;
+      first = false;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view val = token.substr(eq + 1);
+    std::uint64_t u = 0;
+    if (key == "seed") {
+      if (!parse_u64(val, u)) return std::nullopt;
+      s.seed = u;
+      seen |= 1u << 0;
+    } else if (key == "alg") {
+      const auto a = harness::algorithm_from_name(val);
+      if (!a) return std::nullopt;
+      s.algorithm = *a;
+      seen |= 1u << 1;
+    } else if (key == "topo") {
+      if (!parse_enum(val, kTopologyKindCount, topology_name, s.topology)) {
+        return std::nullopt;
+      }
+      seen |= 1u << 2;
+    } else if (key == "n") {
+      if (!parse_u64(val, u) || u == 0 || u > 4096) return std::nullopt;
+      s.n = static_cast<std::uint32_t>(u);
+      seen |= 1u << 3;
+    } else if (key == "aux") {
+      if (!parse_u64(val, u) || u > 4096) return std::nullopt;
+      s.aux = static_cast<std::uint32_t>(u);
+      seen |= 1u << 4;
+    } else if (key == "sched") {
+      if (!parse_enum(val, kSchedulerKindCount, scheduler_name,
+                      s.scheduler)) {
+        return std::nullopt;
+      }
+      seen |= 1u << 5;
+    } else if (key == "fack") {
+      if (!parse_u64(val, u) || u == 0) return std::nullopt;
+      s.fack = u;
+      seen |= 1u << 6;
+    } else if (key == "late") {
+      if (!parse_u64(val, u) || u > 1) return std::nullopt;
+      s.late_holds = u == 1;
+      seen |= 1u << 7;
+    } else if (key == "in") {
+      if (!parse_enum(val, kInputPatternCount, input_pattern_name,
+                      s.inputs)) {
+        return std::nullopt;
+      }
+      seen |= 1u << 8;
+    } else if (key == "ids") {
+      if (val == "identity") {
+        s.ids = IdAssignment::kIdentity;
+      } else if (val == "perm") {
+        s.ids = IdAssignment::kPermuted;
+      } else {
+        return std::nullopt;
+      }
+      seen |= 1u << 9;
+    } else if (key == "f") {
+      if (!parse_u64(val, u)) return std::nullopt;
+      s.benor_f = u;
+      seen |= 1u << 10;
+    } else if (key == "hz") {
+      if (!parse_u64(val, u) || u == 0) return std::nullopt;
+      s.horizon = u;
+      seen |= 1u << 11;
+    } else if (key == "crashes") {
+      if (!parse_at_pairs(val, s.crashes)) return std::nullopt;
+    } else if (key == "holds") {
+      if (!parse_at_pairs(val, s.holds)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (first || seen != kAllScalar) return std::nullopt;
+  return s;
+}
+
+// ---- materialization ----------------------------------------------------
+
+BuiltScenario build_scenario(const Scenario& s) {
+  BuiltScenario b;
+  b.graph = build_graph(s);
+  const std::size_t count = b.graph.node_count();
+
+  {
+    util::Rng in_rng(sub_seed(s.seed, kInputSalt));
+    switch (s.inputs) {
+      case InputPattern::kAllZero:
+        b.inputs = harness::inputs_all(count, 0);
+        break;
+      case InputPattern::kAllOne:
+        b.inputs = harness::inputs_all(count, 1);
+        break;
+      case InputPattern::kAlternating:
+        b.inputs = harness::inputs_alternating(count);
+        break;
+      case InputPattern::kSplit:
+        b.inputs = harness::inputs_split(count);
+        break;
+      case InputPattern::kRandom:
+        b.inputs = harness::inputs_random(count, in_rng);
+        break;
+      case InputPattern::kMultivalued:
+        b.inputs = harness::inputs_multivalued(count, 6, in_rng);
+        break;
+    }
+  }
+  {
+    util::Rng id_rng(sub_seed(s.seed, kIdSalt));
+    b.ids = s.ids == IdAssignment::kPermuted
+                ? harness::permuted_ids(count, id_rng)
+                : harness::identity_ids(count);
+  }
+
+  const std::uint64_t sched_seed = sub_seed(s.seed, kSchedSalt);
+  switch (s.scheduler) {
+    case SchedulerKind::kSynchronous:
+      b.scheduler = std::make_unique<mac::SynchronousScheduler>(s.fack);
+      break;
+    case SchedulerKind::kMaxDelay:
+      b.scheduler = std::make_unique<mac::MaxDelayScheduler>(s.fack);
+      break;
+    case SchedulerKind::kUniformRandom:
+      b.scheduler =
+          std::make_unique<mac::UniformRandomScheduler>(s.fack, sched_seed);
+      break;
+    case SchedulerKind::kSkewed:
+      b.scheduler = std::make_unique<mac::SkewedScheduler>(s.fack, sched_seed);
+      break;
+    case SchedulerKind::kContention: {
+      // `fack` is the base delay; the declared bound covers the worst
+      // queue a receiver's in-degree can build up, with generous slack
+      // (the contract check aborts on a real overrun).
+      std::size_t max_deg = 0;
+      for (NodeId u = 0; u < count; ++u) {
+        max_deg = std::max(max_deg, b.graph.degree(u));
+      }
+      const mac::Time bound =
+          s.fack * static_cast<mac::Time>(max_deg + 2) + 32;
+      b.scheduler =
+          std::make_unique<mac::ContentionScheduler>(s.fack, bound, sched_seed);
+      break;
+    }
+    case SchedulerKind::kHoldback: {
+      auto base =
+          std::make_unique<mac::UniformRandomScheduler>(s.fack, sched_seed);
+      // Late-hold scenarios must construct the scheduler with a small
+      // default release: the engine sizes its calendar wheel from fack()
+      // at Network construction, so only a pre-hold bound that does NOT
+      // already cover the releases forces the held deliveries onto the
+      // overflow-heap path this mode exists to exercise.
+      mac::Time release = 1;
+      if (!s.late_holds) {
+        for (const auto& h : s.holds) release = std::max(release, h.release);
+      }
+      auto hold =
+          std::make_unique<mac::HoldbackScheduler>(std::move(base), release);
+      b.holdback = hold.get();
+      b.scheduler = std::move(hold);
+      if (!s.late_holds) apply_holds(s, b);
+      break;
+    }
+  }
+
+  harness::AlgorithmParams params;
+  params.inputs = b.inputs;
+  params.ids = b.ids;
+  params.benor_f = s.benor_f;
+  params.seed = s.seed;
+  if (s.algorithm == harness::Algorithm::kAnonymous ||
+      s.algorithm == harness::Algorithm::kStability) {
+    params.diameter = b.graph.diameter();
+  }
+  // The Lemma 4.2 monitor needs response tracking; it does not change the
+  // algorithm's messages, so both engines of a differential pair see
+  // identical traffic either way.
+  params.wpaxos.track_responses = s.algorithm == harness::Algorithm::kWPaxos;
+  b.factory = harness::algorithm_factory(s.algorithm, std::move(params));
+
+  for (const auto& c : s.crashes) {
+    if (c.node < count) b.crashes.push_back(mac::CrashPlan{c.node, c.when});
+  }
+  return b;
+}
+
+void apply_holds(const Scenario& s, BuiltScenario& b) {
+  if (b.holdback == nullptr) return;
+  const std::size_t count = b.graph.node_count();
+  for (const auto& h : s.holds) {
+    if (h.sender < count) b.holdback->hold_sender_until(h.sender, h.release);
+  }
+}
+
+}  // namespace amac::fuzz

@@ -1,0 +1,166 @@
+// Scenario model for the adversarial fuzzer: one plain-data record that
+// fully determines a simulated consensus run — algorithm, topology family,
+// scheduler family and parameters, crash schedule, holdback schedule, input
+// pattern, id assignment — plus the master seed every derived random stream
+// (topology wiring, inputs, ids, scheduler delays, Ben-Or coins) is drawn
+// from. Same Scenario => bit-identical run, on either engine.
+//
+// Scenarios exist in two representations:
+//   * the struct below (what the runner and shrinker manipulate), and
+//   * a one-line textual spec (`format_spec` / `parse_spec`, round-trip
+//     exact) used for `--replay` command lines and the pinned regression
+//     corpus. A violation report therefore fits in one copy-pastable line.
+//
+// `generate_scenario(seed)` draws every dimension from a single util::Rng
+// stream and only emits combinations inside the algorithms' guarantee
+// envelopes (e.g. the Theorem 3.3/3.9 algorithms only ever get the
+// synchronous scheduler, crash schedules only go to crash-tolerant or
+// safety-only-checked algorithms). Hand-written specs may step outside the
+// envelope — that is how the paper's own counterexample schedules are
+// reproduced with the same tooling (see tests/test_fuzz_regressions.cpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "mac/engine.hpp"
+#include "mac/schedulers.hpp"
+#include "net/graph.hpp"
+
+namespace amac::fuzz {
+
+enum class TopologyKind : std::uint8_t {
+  kClique = 0,
+  kLine = 1,
+  kRing = 2,
+  kStar = 3,
+  kGrid = 4,
+  kTorus = 5,
+  kBinaryTree = 6,
+  kBarbell = 7,
+  kRandomConnected = 8,
+  kRandomGeometric = 9,
+};
+inline constexpr std::size_t kTopologyKindCount = 10;
+
+enum class SchedulerKind : std::uint8_t {
+  kSynchronous = 0,
+  kMaxDelay = 1,
+  kUniformRandom = 2,
+  kSkewed = 3,
+  kContention = 4,
+  kHoldback = 5,  ///< UniformRandom base + per-sender release holds
+};
+inline constexpr std::size_t kSchedulerKindCount = 6;
+
+enum class InputPattern : std::uint8_t {
+  kAllZero = 0,
+  kAllOne = 1,
+  kAlternating = 2,
+  kSplit = 3,
+  kRandom = 4,
+  kMultivalued = 5,  ///< values in [0, 6); general-value algorithms only
+};
+inline constexpr std::size_t kInputPatternCount = 6;
+
+enum class IdAssignment : std::uint8_t { kIdentity = 0, kPermuted = 1 };
+
+struct CrashSpec {
+  NodeId node = kNoNode;
+  mac::Time when = 0;
+};
+
+struct HoldSpec {
+  NodeId sender = kNoNode;
+  mac::Time release = 0;
+};
+
+struct Scenario {
+  std::uint64_t seed = 0;  ///< master seed for every derived random stream
+  harness::Algorithm algorithm = harness::Algorithm::kFlooding;
+  TopologyKind topology = TopologyKind::kRing;
+  std::uint32_t n = 4;    ///< requested size (actual count may derive, e.g.
+                          ///< grid width x height); see build_scenario
+  std::uint32_t aux = 0;  ///< grid/torus width, barbell path length
+  SchedulerKind scheduler = SchedulerKind::kSynchronous;
+  mac::Time fack = 1;     ///< scheduler delay bound (sync: round length)
+  bool late_holds = false;  ///< apply holds AFTER Network construction, so
+                            ///< the calendar wheel is sized from the
+                            ///< pre-hold bound and held deliveries take the
+                            ///< overflow-heap path
+  InputPattern inputs = InputPattern::kAlternating;
+  IdAssignment ids = IdAssignment::kIdentity;
+  std::size_t benor_f = 0;  ///< Ben-Or crash-tolerance parameter
+  mac::Time horizon = 100000;
+  std::vector<CrashSpec> crashes;
+  std::vector<HoldSpec> holds;  ///< kHoldback only
+};
+
+// ---- enum names (spec tokens) ------------------------------------------
+
+[[nodiscard]] const char* topology_name(TopologyKind k);
+[[nodiscard]] const char* scheduler_name(SchedulerKind k);
+[[nodiscard]] const char* input_pattern_name(InputPattern p);
+[[nodiscard]] const char* id_assignment_name(IdAssignment a);
+
+// ---- generation ---------------------------------------------------------
+
+/// Deterministically expands `seed` into a scenario inside the guarantee
+/// envelope (see header comment). Every draw comes from one Rng stream
+/// seeded with `seed`, so the generated corpus is pinned by seed alone.
+[[nodiscard]] Scenario generate_scenario(std::uint64_t seed);
+
+/// True when the scenario's combination of algorithm, scheduler, and crash
+/// schedule is one the algorithm guarantees termination for (the oracle
+/// demands termination exactly then; safety is demanded always).
+[[nodiscard]] bool termination_expected(const Scenario& s);
+
+/// Clamps a (possibly transformed) scenario back into well-formedness:
+/// minimum sizes per topology, crash/hold node ids in range, Ben-Or's
+/// f < n/2. Shrinking applies this after every transform; build_scenario
+/// expects an already-normalized scenario.
+void normalize_scenario(Scenario& s);
+
+// ---- spec round-trip ----------------------------------------------------
+
+/// One-line textual form, `amacfuzz1:seed=...:alg=...:...`. Round-trip
+/// exact: parse_spec(format_spec(s)) reproduces `s` field for field.
+[[nodiscard]] std::string format_spec(const Scenario& s);
+
+/// Parses a spec line (or, as a convenience, a bare decimal integer, which
+/// means generate_scenario(seed)). Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Scenario> parse_spec(std::string_view spec);
+
+// ---- materialization ----------------------------------------------------
+
+/// A scenario turned into live objects, ready to construct a Network (or
+/// ReferenceNetwork). Build is deterministic: building twice yields
+/// behaviorally identical object graphs, which is what makes differential
+/// replay and shrinking sound.
+struct BuiltScenario {
+  net::Graph graph;
+  std::vector<mac::Value> inputs;
+  std::vector<std::uint64_t> ids;  ///< engine index -> algorithm id
+  std::unique_ptr<mac::Scheduler> scheduler;
+  mac::HoldbackScheduler* holdback = nullptr;  ///< non-null iff kHoldback
+  mac::ProcessFactory factory;
+  std::vector<mac::CrashPlan> crashes;  ///< in-range subset of s.crashes
+
+  BuiltScenario() : graph(1) {}
+};
+
+/// Materializes the scenario. Out-of-range crash/hold node ids (possible in
+/// hand-edited specs) are dropped, mirroring normalize_scenario. When
+/// `s.late_holds` is false the holds are applied here; when true the caller
+/// applies them after engine construction via `apply_holds`.
+[[nodiscard]] BuiltScenario build_scenario(const Scenario& s);
+
+/// Applies the scenario's holds to the built holdback scheduler (no-op for
+/// other scheduler kinds). Used for the late-hold path.
+void apply_holds(const Scenario& s, BuiltScenario& b);
+
+}  // namespace amac::fuzz

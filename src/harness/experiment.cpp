@@ -116,6 +116,51 @@ mac::ProcessFactory benor_factory(std::vector<mac::Value> inputs,
   };
 }
 
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kTwoPhase: return "two_phase";
+    case Algorithm::kFlooding: return "flooding";
+    case Algorithm::kWPaxos: return "wpaxos";
+    case Algorithm::kAnonymous: return "anonymous";
+    case Algorithm::kStability: return "stability";
+    case Algorithm::kBenOr: return "benor";
+  }
+  AMAC_ASSERT(false);
+  return "?";
+}
+
+std::optional<Algorithm> algorithm_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+    const auto a = static_cast<Algorithm>(i);
+    if (name == algorithm_name(a)) return a;
+  }
+  return std::nullopt;
+}
+
+mac::ProcessFactory algorithm_factory(Algorithm algorithm,
+                                      AlgorithmParams params) {
+  AMAC_EXPECTS(params.ids.size() == params.inputs.size());
+  switch (algorithm) {
+    case Algorithm::kTwoPhase:
+      return two_phase_factory(std::move(params.inputs));
+    case Algorithm::kFlooding:
+      return flooding_factory(std::move(params.inputs));
+    case Algorithm::kWPaxos:
+      return wpaxos_factory(std::move(params.inputs), std::move(params.ids),
+                            params.wpaxos);
+    case Algorithm::kAnonymous:
+      return anonymous_factory(std::move(params.inputs), params.diameter);
+    case Algorithm::kStability:
+      return stability_factory(std::move(params.inputs), params.diameter,
+                               std::move(params.ids));
+    case Algorithm::kBenOr:
+      return benor_factory(std::move(params.inputs), params.benor_f,
+                           params.seed);
+  }
+  AMAC_ASSERT(false);
+  return {};
+}
+
 Outcome run_consensus(const net::Graph& graph,
                       const mac::ProcessFactory& factory,
                       mac::Scheduler& scheduler,

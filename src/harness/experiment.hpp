@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/anonymous.hpp"
@@ -68,6 +70,45 @@ namespace amac::harness {
 [[nodiscard]] mac::ProcessFactory benor_factory(std::vector<mac::Value> inputs,
                                                 std::size_t f,
                                                 std::uint64_t seed);
+
+// ---- algorithm dispatch ------------------------------------------------
+//
+// Uniform handle on every consensus algorithm in the library, so sweeps
+// (the fuzz generator, benches, tests) can quantify over "all algorithms"
+// instead of hand-listing factories. Each enumerator's model assumptions
+// (topology class, scheduler class, crash tolerance) are documented in the
+// algorithm's own header; fuzz::generate_scenario is the one place that
+// encodes which combinations the guarantees cover.
+
+enum class Algorithm : std::uint8_t {
+  kTwoPhase = 0,   ///< single hop (clique), no crashes, any scheduler
+  kFlooding = 1,   ///< any connected graph, knows n, no crashes
+  kWPaxos = 2,     ///< any connected graph; safe always, live without crashes
+  kAnonymous = 3,  ///< synchronous scheduler only (Theorem 3.3 otherwise)
+  kStability = 4,  ///< synchronous scheduler only (Theorem 3.9 otherwise)
+  kBenOr = 5,      ///< clique; tolerates f < n/2 crashes (randomized)
+};
+
+inline constexpr std::size_t kAlgorithmCount = 6;
+
+[[nodiscard]] const char* algorithm_name(Algorithm a);
+[[nodiscard]] std::optional<Algorithm> algorithm_from_name(
+    std::string_view name);
+
+/// Everything any algorithm's factory might need; unused fields are ignored
+/// per algorithm (e.g. `diameter` only matters to the D-knowledge ones).
+struct AlgorithmParams {
+  std::vector<mac::Value> inputs;
+  std::vector<std::uint64_t> ids;  ///< same size as inputs
+  std::uint32_t diameter = 0;      ///< anonymous/stability: the D bound
+  std::size_t benor_f = 0;         ///< BenOr: crash-tolerance parameter
+  std::uint64_t seed = 0;          ///< BenOr: coin-seed derivation base
+  core::wpaxos::WPaxosConfig wpaxos;
+};
+
+/// One factory constructor for the whole suite.
+[[nodiscard]] mac::ProcessFactory algorithm_factory(Algorithm algorithm,
+                                                    AlgorithmParams params);
 
 // ---- runner -------------------------------------------------------------
 

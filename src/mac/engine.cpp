@@ -176,7 +176,7 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
     e.sender = u;
     for (const auto& [v, delay] : sched.receive_delays) {
       AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
-      AMAC_ENSURES(graph_->has_edge(u, v));
+      AMAC_CHECK_ENSURES(graph_->has_edge(u, v));
       e.t = now_ + delay;
       e.seq = next_seq_++;
       e.node = v;
@@ -187,7 +187,7 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
     }
     for (const auto& [v, delay] : best_effort) {
       AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
-      AMAC_ENSURES(overlay_->has_edge(u, v));
+      AMAC_CHECK_ENSURES(overlay_->has_edge(u, v));
       e.t = now_ + delay;
       e.seq = next_seq_++;
       e.node = v;

@@ -74,6 +74,7 @@ void ContentionScheduler::schedule(NodeId /*sender*/, Time now,
   out.ack_delay = 1;
   for (const NodeId v : neighbors) {
     Time at = now + rng_.uniform(1, base_);
+    if (v >= next_free_.size()) next_free_.resize(v + 1, 0);
     auto& free_at = next_free_[v];
     at = std::max(at, free_at);
     free_at = at + 1;

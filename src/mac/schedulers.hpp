@@ -172,7 +172,10 @@ class ContentionScheduler final : public Scheduler {
   Time base_;
   Time fack_bound_;
   util::Rng rng_;
-  std::map<NodeId, Time> next_free_;  ///< receiver -> next decodable tick
+  /// receiver -> next decodable tick, indexed by NodeId and grown on
+  /// demand (nodes are dense 0..n-1, so a flat vector replaces the former
+  /// std::map and its per-lookup log factor; absent entries mean 0).
+  std::vector<Time> next_free_;
 };
 
 /// Dual-graph adversary: wraps a base scheduler (which keeps deciding the

@@ -37,3 +37,23 @@ namespace amac::util {
   ((cond) ? static_cast<void>(0)                                           \
           : ::amac::util::contract_failure("assertion", #cond, __FILE__,   \
                                            __LINE__))
+
+// Expensive contract checks (non-constant cost on a hot path, e.g. the
+// O(degree) Graph::has_edge scan per scheduled delivery in
+// Network::start_broadcast). These are compiled out of optimized builds so
+// release fuzz soaks and benchmarks don't pay for them; debug builds (and
+// any build configured with -DAMAC_CHECK=1, see the AMAC_EXPENSIVE_CHECKS
+// CMake option) keep them. The condition is NOT evaluated when disabled.
+#ifndef AMAC_CHECK
+#ifdef NDEBUG
+#define AMAC_CHECK 0
+#else
+#define AMAC_CHECK 1
+#endif
+#endif
+
+#if AMAC_CHECK
+#define AMAC_CHECK_ENSURES(cond) AMAC_ENSURES(cond)
+#else
+#define AMAC_CHECK_ENSURES(cond) static_cast<void>(0)
+#endif

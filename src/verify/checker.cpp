@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "mac/reference_engine.hpp"
+
 namespace amac::verify {
 
 std::string ConsensusVerdict::summary() const {
@@ -14,8 +16,23 @@ std::string ConsensusVerdict::summary() const {
   return os.str();
 }
 
-ConsensusVerdict check_consensus(const mac::Network& net,
-                                 const std::vector<mac::Value>& inputs) {
+void ConsensusVerdict::digest(util::Hasher& h) const {
+  h.mix_bool(termination);
+  h.mix_bool(agreement);
+  h.mix_bool(validity);
+  h.mix_bool(decision.has_value());
+  h.mix_i64(decision.value_or(-1));
+  h.mix_u64(first_decision);
+  h.mix_u64(last_decision);
+}
+
+namespace {
+
+/// Shared implementation over any engine exposing node_count / decision /
+/// crashed (mac::Network and mac::ReferenceNetwork).
+template <typename Net>
+ConsensusVerdict check_consensus_impl(const Net& net,
+                                      const std::vector<mac::Value>& inputs) {
   AMAC_EXPECTS(inputs.size() == net.node_count());
   ConsensusVerdict v;
   v.termination = true;
@@ -46,10 +63,16 @@ ConsensusVerdict check_consensus(const mac::Network& net,
       v.last_decision = std::max(v.last_decision, d.time);
     }
   }
-  // Crashed nodes may have decided before crashing; agreement covers them.
+  // Crashed nodes may have decided before crashing; agreement and validity
+  // cover those decisions too (a decision is irrevocable the moment it is
+  // made — a later crash cannot retract it).
   for (NodeId u = 0; u < net.node_count(); ++u) {
     const auto& d = net.decision(u);
     if (net.crashed(u) && d.decided) {
+      if (std::none_of(inputs.begin(), inputs.end(),
+                       [&](mac::Value in) { return in == d.value; })) {
+        v.validity = false;
+      }
       if (any_decision && d.value != common) v.agreement = false;
       if (!any_decision) {
         any_decision = true;
@@ -59,6 +82,18 @@ ConsensusVerdict check_consensus(const mac::Network& net,
   }
   if (any_decision && v.agreement) v.decision = common;
   return v;
+}
+
+}  // namespace
+
+ConsensusVerdict check_consensus(const mac::Network& net,
+                                 const std::vector<mac::Value>& inputs) {
+  return check_consensus_impl(net, inputs);
+}
+
+ConsensusVerdict check_consensus(const mac::ReferenceNetwork& net,
+                                 const std::vector<mac::Value>& inputs) {
+  return check_consensus_impl(net, inputs);
 }
 
 }  // namespace amac::verify

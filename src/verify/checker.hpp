@@ -8,6 +8,10 @@
 
 #include "mac/engine.hpp"
 
+namespace amac::mac {
+class ReferenceNetwork;  // reference_engine.hpp
+}  // namespace amac::mac
+
 namespace amac::verify {
 
 struct ConsensusVerdict {
@@ -22,11 +26,23 @@ struct ConsensusVerdict {
     return termination && agreement && validity;
   }
   [[nodiscard]] std::string summary() const;
+
+  /// Folds the verdict into `h` (property bits, decided value, decision
+  /// times). Differential harnesses combine this with the engine trace
+  /// digest into one run fingerprint, so "same verdict" is part of the
+  /// bit-identical replay check rather than a separate field-by-field diff.
+  void digest(util::Hasher& h) const;
 };
 
 /// Inspects a network after `run` and checks the three consensus properties
 /// against the given initial values (indexed by node).
 [[nodiscard]] ConsensusVerdict check_consensus(
     const mac::Network& net, const std::vector<mac::Value>& inputs);
+
+/// Same oracle over the frozen reference engine, so differential replays
+/// (fuzz/) can assert verdict equality across engines, not just trace
+/// digests.
+[[nodiscard]] ConsensusVerdict check_consensus(
+    const mac::ReferenceNetwork& net, const std::vector<mac::Value>& inputs);
 
 }  // namespace amac::verify

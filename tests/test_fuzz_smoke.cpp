@@ -1,0 +1,146 @@
+// Fuzz smoke lane (tier-1): the pinned seed corpus must run clean.
+//
+//   * the generator stays inside every algorithm's guarantee envelope;
+//   * spec lines round-trip exactly (the --replay contract);
+//   * replaying a scenario is bit-identical, run to run and spec to spec;
+//   * a sampled subset matches the frozen reference engine exactly;
+//   * the 504-scenario corpus (seeds 1..504, the same range the CI fuzz
+//     lane soaks) produces zero property violations across all six
+//     algorithms.
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.hpp"
+#include "net/graph.hpp"
+
+namespace amac::fuzz {
+namespace {
+
+using harness::Algorithm;
+
+TEST(FuzzSpec, RoundTripsExactly) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    const std::string spec = format_spec(s);
+    const auto parsed = parse_spec(spec);
+    ASSERT_TRUE(parsed.has_value()) << spec;
+    EXPECT_EQ(format_spec(*parsed), spec);
+  }
+}
+
+TEST(FuzzSpec, BareSeedMeansGeneratedScenario) {
+  const auto parsed = parse_spec("42");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(format_spec(*parsed), format_spec(generate_scenario(42)));
+}
+
+TEST(FuzzSpec, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_spec("").has_value());
+  EXPECT_FALSE(parse_spec("amacfuzz1").has_value());  // missing fields
+  EXPECT_FALSE(parse_spec("amacfuzz2:seed=1").has_value());
+  EXPECT_FALSE(parse_spec("amacfuzz1:seed=x:alg=wpaxos").has_value());
+  const std::string good = format_spec(generate_scenario(7));
+  EXPECT_TRUE(parse_spec(good).has_value());
+  EXPECT_FALSE(parse_spec(good + ":bogus=1").has_value());
+}
+
+TEST(FuzzGenerator, StaysInsideGuaranteeEnvelopes) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    const BuiltScenario b = build_scenario(s);
+    const std::size_t count = b.graph.node_count();
+    ASSERT_GE(count, 2u);
+    ASSERT_TRUE(b.graph.is_connected());
+    ASSERT_EQ(b.inputs.size(), count);
+    ASSERT_EQ(b.ids.size(), count);
+
+    // Theorem 3.3/3.9 algorithms only ever face the synchronous scheduler.
+    if (s.algorithm == Algorithm::kAnonymous ||
+        s.algorithm == Algorithm::kStability) {
+      EXPECT_EQ(s.scheduler, SchedulerKind::kSynchronous);
+      EXPECT_TRUE(s.crashes.empty());
+    }
+    // Single-hop algorithms stay on the clique.
+    if (s.algorithm == Algorithm::kTwoPhase ||
+        s.algorithm == Algorithm::kBenOr) {
+      EXPECT_EQ(s.topology, TopologyKind::kClique);
+    }
+    if (s.algorithm == Algorithm::kTwoPhase) EXPECT_TRUE(s.crashes.empty());
+    if (s.algorithm == Algorithm::kBenOr) {
+      EXPECT_LT(2 * s.benor_f, count);
+      EXPECT_LE(s.crashes.size(), s.benor_f);
+    }
+    for (const auto& c : s.crashes) EXPECT_LT(c.node, count);
+    if (s.scheduler != SchedulerKind::kHoldback) {
+      EXPECT_TRUE(s.holds.empty());
+      EXPECT_FALSE(s.late_holds);
+    }
+  }
+}
+
+TEST(FuzzReplay, BitIdenticalRunToRunAndSpecToSpec) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    const RunReport a = run_scenario(s);
+    const RunReport b = run_scenario(s);
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << format_spec(s);
+    EXPECT_EQ(a.trace_digest, b.trace_digest);
+
+    const auto replayed = parse_spec(format_spec(s));
+    ASSERT_TRUE(replayed.has_value());
+    const RunReport c = run_scenario(*replayed);
+    EXPECT_EQ(a.fingerprint, c.fingerprint) << format_spec(s);
+    EXPECT_EQ(a.trace_digest, c.trace_digest);
+  }
+}
+
+TEST(FuzzDifferential, SampledScenariosMatchReferenceEngine) {
+  RunOptions options;
+  options.differential = true;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    const RunReport r = run_scenario(s, options);
+    ASSERT_TRUE(r.differential_ran);
+    EXPECT_EQ(r.failure, FailureKind::kNone)
+        << format_spec(s) << "\n" << r.detail;
+    EXPECT_EQ(r.fingerprint, r.reference_fingerprint) << format_spec(s);
+    // The Lemma 4.2 monitor really runs on every wPAXOS scenario.
+    if (s.algorithm == Algorithm::kWPaxos) {
+      EXPECT_GT(r.monitor_checks, 0u) << format_spec(s);
+    }
+  }
+}
+
+TEST(FuzzSoak, PinnedCorpusRunsCleanAcrossAllSixAlgorithms) {
+  SoakOptions options;
+  options.seed_base = 1;
+  options.count = 504;  // >= 500-scenario acceptance floor; 72 differential
+  options.differential_every = 7;
+  const SoakResult result = run_soak(options);
+
+  EXPECT_EQ(result.runs, 504u);
+  EXPECT_EQ(result.differential_runs, 72u);
+  for (std::size_t i = 0; i < harness::kAlgorithmCount; ++i) {
+    EXPECT_GE(result.per_algorithm[i], 40u)
+        << "algorithm " << harness::algorithm_name(static_cast<Algorithm>(i))
+        << " under-sampled";
+  }
+  EXPECT_GT(result.crash_scenarios, 0u);
+  EXPECT_GT(result.mid_flight_crash_scenarios, 0u)
+      << "corpus no longer exercises crash-during-in-flight-ack";
+  for (const auto& f : result.failures) {
+    ADD_FAILURE() << "violation kind="
+                  << failure_name(f.report.failure) << "\n  spec    "
+                  << format_spec(f.scenario) << "\n  minimal "
+                  << format_spec(f.minimal) << "\n  " << f.report.detail;
+  }
+
+  // The corpus digest folds every run fingerprint: rerunning the soak must
+  // reproduce it exactly (full-pipeline determinism), so any generator or
+  // engine behavior change is a visible, reviewable digest change.
+  SoakOptions again = options;
+  again.differential_every = 0;  // differential replay never alters runs
+  EXPECT_EQ(run_soak(again).corpus_digest, result.corpus_digest);
+}
+
+}  // namespace
+}  // namespace amac::fuzz

@@ -13,8 +13,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <functional>
 #include <new>
 #include <queue>
+#include <type_traits>
 
 #include "helpers.hpp"
 #include "mac/calendar_queue.hpp"
@@ -157,10 +159,14 @@ template <typename Net>
 RunRecord run_traced(const net::Graph& g, const ProcessFactory& factory,
                      Scheduler& sched, const std::vector<CrashPlan>& crashes,
                      StopWhen until, Time horizon,
-                     const net::Graph* overlay = nullptr) {
+                     const net::Graph* overlay = nullptr,
+                     const std::function<void()>& post_construct = {}) {
   Net net(g, factory, sched, overlay);
   net.enable_trace_digest();
   for (const auto& plan : crashes) net.schedule_crash(plan);
+  // E.g. scheduler mutations that must not influence construction-time
+  // decisions like calendar-wheel sizing (late holdback holds).
+  if (post_construct) post_construct();
   const auto result = net.run(until, horizon);
   RunRecord rec;
   rec.trace = net.trace_digest();
@@ -244,6 +250,34 @@ TEST(EngineDifferential, HoldbackFarFutureReleases) {
         return hold;
       },
       crashes, StopWhen::kQuiescent, 1000000);
+}
+
+TEST(EngineDifferential, LateHoldsOverflowTheWheel) {
+  // Holds registered AFTER Network construction: the calendar wheel was
+  // sized from the pre-hold fack() (release 4 + sync 1 => a 16-bucket
+  // wheel), so the release-deferred deliveries at t~7000 exceed the wheel
+  // window and must ride the overflow heap — while staying bit-identical
+  // to the reference heap engine, which never saw a wheel at all.
+  const auto g = net::make_ring(8);
+  const std::vector<CrashPlan> crashes{{5, 7100}};
+  const auto run_one = [&](auto net_tag) {
+    using Net = typename decltype(net_tag)::type;
+    auto hold = std::make_unique<HoldbackScheduler>(
+        std::make_unique<SynchronousScheduler>(1), /*release=*/4);
+    return run_traced<Net>(g, probe_factory(3), *hold, crashes,
+                           StopWhen::kQuiescent, 1000000, nullptr, [&hold] {
+                             hold->hold_sender_until(1, 7000);
+                             // Uses the construction-time release (4).
+                             hold->hold_edge(3, 4);
+                           });
+  };
+  const auto a = run_one(std::type_identity<Network>{});
+  const auto b = run_one(std::type_identity<ReferenceNetwork>{});
+  expect_equal(a, b);
+  EXPECT_GT(a.stats.deliveries, 0u);
+  // The held deliveries really did land after the release tick (i.e. far
+  // beyond the 16-bucket wheel sized at construction).
+  EXPECT_GE(a.end_time, 7000u);
 }
 
 TEST(EngineDifferential, UnreliableOverlay) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hpp"
+#include "mac/reference_engine.hpp"
 #include "mac/schedulers.hpp"
 #include "net/topologies.hpp"
 
@@ -55,6 +56,31 @@ TEST(Checker, DetectsDisagreement) {
   EXPECT_TRUE(v.validity);
   EXPECT_FALSE(v.ok());
   EXPECT_FALSE(v.decision.has_value());
+}
+
+TEST(Checker, DetectsInvalidDecisionByNodeThatLaterCrashes) {
+  // Every decider of the invalid value crashes afterwards; the survivor
+  // never decides. The decision was irrevocable before the crash, so
+  // validity must still be flagged.
+  const auto g = net::make_clique(2);
+  mac::SynchronousScheduler sched(1);
+  mac::Network net(g, deciders({{7, true}, {0, false}}), sched);
+  net.schedule_crash(mac::CrashPlan{0, 2});
+  net.run(mac::StopWhen::kAllDecided, 10);
+  const auto v = check_consensus(net, {0, 1});
+  EXPECT_FALSE(v.validity);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(Checker, CrashedDecidersStillCountForValidityOnReferenceEngine) {
+  // Same oracle, reference engine overload.
+  const auto g = net::make_clique(2);
+  mac::SynchronousScheduler sched(1);
+  mac::ReferenceNetwork net(g, deciders({{7, true}, {0, false}}), sched);
+  net.schedule_crash(mac::CrashPlan{0, 2});
+  net.run(mac::StopWhen::kAllDecided, 10);
+  const auto v = check_consensus(net, {0, 1});
+  EXPECT_FALSE(v.validity);
 }
 
 TEST(Checker, DetectsNonTermination) {
