@@ -50,6 +50,11 @@ void print_report(const fuzz::Scenario& s, const fuzz::RunReport& r) {
               static_cast<unsigned long long>(r.stats.deliveries),
               static_cast<unsigned long long>(r.stats.acks),
               r.mid_flight_crashes);
+  std::printf("calendar  wheel=%llu overflow=%llu resizes=%llu span=%zu\n",
+              static_cast<unsigned long long>(r.stats.wheel_pushes),
+              static_cast<unsigned long long>(r.stats.overflow_pushes),
+              static_cast<unsigned long long>(r.stats.wheel_resizes),
+              r.stats.wheel_span);
   std::printf("digest    fingerprint=0x%016llx trace=0x%016llx\n",
               static_cast<unsigned long long>(r.fingerprint),
               static_cast<unsigned long long>(r.trace_digest));
@@ -93,9 +98,14 @@ int run_soak_cli(const CliOptions& cli) {
     options.on_scenario = [&](std::size_t index, const fuzz::Scenario& s,
                               const fuzz::RunReport& r) {
       if ((index + 1) % cli.progress_every == 0) {
-        std::printf("  [%zu/%zu] last=%s failure=%s\n", index + 1,
-                    cli.soak.count, harness::algorithm_name(s.algorithm),
-                    fuzz::failure_name(r.failure));
+        std::printf("  [%zu/%zu] last=%s failure=%s wheel=%llu overflow=%llu "
+                    "resizes=%llu\n",
+                    index + 1, cli.soak.count,
+                    harness::algorithm_name(s.algorithm),
+                    fuzz::failure_name(r.failure),
+                    static_cast<unsigned long long>(r.stats.wheel_pushes),
+                    static_cast<unsigned long long>(r.stats.overflow_pushes),
+                    static_cast<unsigned long long>(r.stats.wheel_resizes));
         std::fflush(stdout);
       }
     };
@@ -116,6 +126,11 @@ int run_soak_cli(const CliOptions& cli) {
   }
   std::printf("  crash scenarios: %zu (mid-flight cancellations in %zu)\n",
               result.crash_scenarios, result.mid_flight_crash_scenarios);
+  std::printf("  calendar events: %llu wheel / %llu overflow heap "
+              "(overflow path in %zu scenarios, wheel resized in %zu)\n",
+              static_cast<unsigned long long>(result.wheel_events),
+              static_cast<unsigned long long>(result.overflow_events),
+              result.overflow_scenarios, result.resized_scenarios);
   std::printf("  corpus digest: 0x%016llx\n",
               static_cast<unsigned long long>(result.corpus_digest));
 

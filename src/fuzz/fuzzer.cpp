@@ -266,6 +266,10 @@ SoakResult run_soak(const SoakOptions& options) {
     ++result.per_algorithm[static_cast<std::size_t>(s.algorithm)];
     if (!s.crashes.empty()) ++result.crash_scenarios;
     if (report.mid_flight_crashes > 0) ++result.mid_flight_crash_scenarios;
+    result.wheel_events += report.stats.wheel_pushes;
+    result.overflow_events += report.stats.overflow_pushes;
+    if (report.stats.overflow_pushes > 0) ++result.overflow_scenarios;
+    if (report.stats.wheel_resizes > 0) ++result.resized_scenarios;
     corpus.mix_u64(report.fingerprint);
 
     if (report.failure != FailureKind::kNone) {

@@ -148,6 +148,14 @@ struct SoakResult {
   std::array<std::size_t, harness::kAlgorithmCount> per_algorithm{};
   std::size_t crash_scenarios = 0;
   std::size_t mid_flight_crash_scenarios = 0;
+  /// Calendar-path coverage: how the corpus's events split between the
+  /// wheel and the overflow heap, and how many scenarios exercised the
+  /// overflow and self-resize paths (late holds, far crash plans). Surfaced
+  /// in the soak summary so CI logs show the resize path really ran.
+  std::uint64_t wheel_events = 0;
+  std::uint64_t overflow_events = 0;
+  std::size_t overflow_scenarios = 0;  ///< scenarios with >= 1 heap event
+  std::size_t resized_scenarios = 0;   ///< scenarios where the wheel resized
   std::uint64_t corpus_digest = 0;  ///< fold of every run fingerprint: the
                                     ///< one number that pins the corpus
   std::vector<SoakFailure> failures;

@@ -17,6 +17,11 @@
 //     lane 1 (acks), then lane 2 (crashes) realizes the (t, kind, seq)
 //     ordering contract exactly. Lanes are reusable vectors (cleared, not
 //     freed), so steady-state operation allocates nothing.
+//   * `push_batch` is the fan-out fast path: when a broadcast schedule is
+//     uniform, all of its deliver events share one tick, so the engine
+//     reserves a contiguous span in that bucket's lane once and fills the
+//     events in place — one bounds check and one bucket lookup for the
+//     whole fan-out instead of per event.
 //   * `occupancy_` is a bitmap over buckets; finding the next non-empty
 //     tick is a word-wise circular scan from the cursor.
 //   * Events with t >= base_ + W go to `overflow_`, a (t, kind, seq)
@@ -26,8 +31,30 @@
 //     interleave with already-bucketed ones, so migration inserts by `seq`
 //     (the only non-append path, and only on the rare rebase).
 //
+// Self-resizing. The wheel is first sized from the constructor's horizon
+// hint (the scheduler's F_ack at engine construction). Some schedulers'
+// effective bound grows later — HoldbackScheduler holds registered after
+// construction push deliveries far past the original window — and without
+// intervention every such event pays the overflow heap's log factor
+// forever. The queue therefore tracks, for each overflow push, the
+// observed horizon (e.t - base_); once kResizeOverflowTrigger overflow
+// pushes with a resizable horizon (< kMaxResizedWheel / 2, which excludes
+// kForever-style sentinels) have accumulated, it rebuilds the wheel at the
+// power-of-two span covering twice the observed horizon (capped at
+// kMaxResizedWheel buckets) in O(pending events): occupied buckets carry
+// over tick by tick (appends stay seq-sorted because each old bucket holds
+// one tick), then overflow events now inside the window migrate in via
+// wheel_insert, whose insert-by-seq fallback handles the tick shared with
+// a carried-over bucket (possible: the cursor may have advanced past an
+// overflow event's tick without migrating it, while newer same-tick pushes
+// went to the wheel). The rebuild allocates; the steady state after it
+// does not. `set_resize_enabled(false)` pins the original span for A/B
+// benchmarks of the overflow-heap fallback.
+//
 // The pop order is bit-identical to a binary heap ordered by
-// (t, kind, seq) — proved by the calendar-vs-reference differential test.
+// (t, kind, seq) — proved by the calendar-vs-reference differential test
+// and the property suite in tests/test_calendar_queue.cpp; resizing only
+// relocates storage, never reorders.
 #pragma once
 
 #include <array>
@@ -44,7 +71,8 @@ class CalendarQueue {
  public:
   /// `horizon_hint` is the scheduler's F_ack: the wheel is sized to cover a
   /// couple of ack windows. Oversized hints (e.g. a HoldbackScheduler's
-  /// release-inflated bound) are clamped; far events just use the overflow.
+  /// release-inflated bound) are clamped; far events use the overflow until
+  /// sustained pressure triggers a resize.
   explicit CalendarQueue(Time horizon_hint) {
     std::size_t want = 16;
     const Time target = horizon_hint >= kMaxWheel / 2
@@ -60,6 +88,19 @@ class CalendarQueue {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t peak_size() const { return peak_; }
 
+  /// Accounting for engine stats, benches, and the fuzzer's coverage
+  /// summary: which path (wheel vs overflow heap) events took, and whether
+  /// the self-resize ran.
+  [[nodiscard]] std::uint64_t wheel_pushes() const { return wheel_pushes_; }
+  [[nodiscard]] std::uint64_t overflow_pushes() const {
+    return overflow_pushes_;
+  }
+  [[nodiscard]] std::uint64_t resizes() const { return resizes_; }
+  [[nodiscard]] Time span() const { return wheel_span(); }
+
+  /// Disables the self-resize (A/B benching of the overflow-heap fallback).
+  void set_resize_enabled(bool enabled) { resize_enabled_ = enabled; }
+
   void push(const Event& e) {
     AMAC_EXPECTS(e.t >= base_);
     ++size_;
@@ -68,9 +109,39 @@ class CalendarQueue {
     // could overflow for sentinel times near kForever.
     if (e.t - base_ < wheel_span()) {
       wheel_insert(e);
+      ++wheel_pushes_;
     } else {
-      overflow_.push(e);
+      overflow_push(e);
     }
+  }
+
+  /// Fan-out fast path: reserves `count` contiguous event slots in the
+  /// bucket lane for tick `t` of `kind` and returns the span for the caller
+  /// to fill — with strictly ascending seq values that are globally newer
+  /// than every previously pushed event (the engine's push counter
+  /// guarantees this), keeping the lane seq-sorted. Returns nullptr when
+  /// `t` is outside the wheel window; the caller then falls back to
+  /// per-event push (overflow path). The span is valid until the next queue
+  /// operation.
+  [[nodiscard]] Event* push_batch(Time t, EventKind kind, std::size_t count) {
+    AMAC_EXPECTS(t >= base_ && count > 0);
+    if (t - base_ >= wheel_span()) return nullptr;
+    Bucket& b = buckets_[t & mask_];
+    if (b.count == 0) {
+      b.tick = t;
+      set_occupied(t & mask_);
+    } else {
+      AMAC_ENSURES(b.tick == t);
+    }
+    auto& lane = b.lane[static_cast<std::size_t>(kind)];
+    const std::size_t offset = lane.size();
+    lane.resize(offset + count);
+    b.count += count;
+    wheel_count_ += count;
+    size_ += count;
+    if (size_ > peak_) peak_ = size_;
+    wheel_pushes_ += count;
+    return lane.data() + offset;
   }
 
   /// Time of the next event to pop. Requires !empty(). Advances the cursor
@@ -110,7 +181,14 @@ class CalendarQueue {
 
  private:
   static constexpr std::size_t kLanes = 3;
-  static constexpr std::size_t kMaxWheel = 4096;
+  static constexpr std::size_t kMaxWheel = 4096;  ///< construction-time cap
+  /// Resize cap: the self-resize may grow the wheel past the construction
+  /// clamp, but never beyond this (a 64k-bucket ring is ~memory-noise;
+  /// horizons past half of it — crash sentinels at kForever — stay on the
+  /// heap, which handles them fine).
+  static constexpr std::size_t kMaxResizedWheel = std::size_t{1} << 16;
+  /// Overflow pushes with a resizable horizon tolerated before rebuilding.
+  static constexpr std::size_t kResizeOverflowTrigger = 32;
 
   struct Bucket {
     std::array<std::vector<Event>, kLanes> lane;
@@ -152,6 +230,62 @@ class CalendarQueue {
     }
     ++b.count;
     ++wheel_count_;
+  }
+
+  void overflow_push(const Event& e) {
+    overflow_.push(e);
+    ++overflow_pushes_;
+    const Time horizon = e.t - base_;
+    // Sentinel-ish horizons (crash plans at kForever, anything past half
+    // the resize cap) can never be absorbed by a bigger wheel: they don't
+    // count toward the resize pressure.
+    if (horizon >= kMaxResizedWheel / 2) return;
+    if (horizon > observed_horizon_) observed_horizon_ = horizon;
+    if (!resize_enabled_) return;
+    if (++resizable_overflow_ >= kResizeOverflowTrigger) {
+      resizable_overflow_ = 0;
+      resize_to_cover(observed_horizon_);
+    }
+  }
+
+  /// Rebuilds the wheel at the power-of-two span covering `horizon` (twice
+  /// over, for headroom), carrying every pending event across and pulling
+  /// newly-in-window overflow events in. O(pending events); allocates (the
+  /// one permitted allocation — steady state after it is clean again).
+  void resize_to_cover(Time horizon) {
+    std::size_t want = buckets_.size();
+    const Time target = 2 * horizon + 4;
+    while (want < target && want < kMaxResizedWheel) want <<= 1;
+    if (want == buckets_.size()) return;  // already at the cap
+
+    ++resizes_;
+    std::vector<Bucket> old = std::move(buckets_);
+    buckets_ = std::vector<Bucket>(want);
+    mask_ = want - 1;
+    occupancy_.assign((want + 63) / 64, 0);
+    wheel_count_ = 0;
+    // Carry the old wheel over. Each old bucket holds one tick and lanes
+    // are seq-sorted past head, so re-inserting in lane order appends.
+    for (Bucket& b : old) {
+      if (b.count == 0) continue;
+      for (std::size_t k = 0; k < kLanes; ++k) {
+        const auto& lane = b.lane[k];
+        for (std::size_t i = b.head[k]; i < lane.size(); ++i) {
+          wheel_insert(lane[i]);
+        }
+      }
+    }
+    // Pull in overflow events now inside the window. Usually their ticks
+    // are past every carried-over bucket, but not always: the cursor can
+    // advance past an overflow event's tick without migrating it (the
+    // rebase only fires when the heap holds the global minimum), and newer
+    // pushes at that tick then land in the wheel — so a migrated event may
+    // carry an older seq into an occupied bucket. wheel_insert's
+    // insert-by-seq branch keeps the lane ordered either way.
+    while (!overflow_.empty() && overflow_.top().t - base_ < wheel_span()) {
+      wheel_insert(overflow_.top());
+      overflow_.pop();
+    }
   }
 
   /// Sets base_ to the tick of the queue minimum, migrating overflow events
@@ -208,6 +342,12 @@ class CalendarQueue {
   std::size_t wheel_count_ = 0;
   std::size_t size_ = 0;
   std::size_t peak_ = 0;
+  std::uint64_t wheel_pushes_ = 0;
+  std::uint64_t overflow_pushes_ = 0;
+  std::uint64_t resizes_ = 0;
+  Time observed_horizon_ = 0;          ///< max resizable overflow horizon
+  std::size_t resizable_overflow_ = 0; ///< overflow pushes since last resize
+  bool resize_enabled_ = true;
   std::priority_queue<Event, std::vector<Event>, EventAfter> overflow_;
 };
 

@@ -142,7 +142,7 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
   BroadcastSchedule& sched = schedule_scratch_;
   scheduler_->schedule(u, now_, neighbors, sched);
   AMAC_ENSURES(sched.ack_delay >= 1);
-  AMAC_ENSURES(sched.receive_delays.size() == neighbors.size());
+  AMAC_ENSURES(sched.size() == neighbors.size());
 
   auto& best_effort = unreliable_scratch_;
   best_effort.clear();
@@ -151,7 +151,7 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
                                     sched.ack_delay, best_effort);
   }
 
-  if (!sched.receive_delays.empty() || !best_effort.empty()) {
+  if (!sched.empty() || !best_effort.empty()) {
     // Acquire a flight slot + pooled payload only when someone will hear
     // the broadcast; pending/lane capacity is recycled across broadcasts.
     std::uint32_t slot;
@@ -174,24 +174,53 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
     e.broadcast_id = id;
     e.flight_slot = slot;
     e.sender = u;
-    for (const auto& [v, delay] : sched.receive_delays) {
-      AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
-      AMAC_CHECK_ENSURES(graph_->has_edge(u, v));
-      e.t = now_ + delay;
-      e.seq = next_seq_++;
-      e.node = v;
-      e.reliable = true;
-      events_.push(e);
-      flight.pending.push_back(v);
-      ++flight.undrained_events;
+    e.reliable = true;
+    const std::size_t fanout = sched.size();
+#if AMAC_CHECK
+    for (std::size_t i = 0; i < fanout; ++i) {
+      AMAC_CHECK_ENSURES(graph_->has_edge(u, sched.receivers[i]));
     }
+#endif
+    if (sched.uniform && fanout > 0) {
+      // Dense fast path: one tick for the whole fan-out, so the pending
+      // list is a bulk copy and the wheel bucket is reserved once.
+      AMAC_ENSURES(sched.uniform_delay >= 1 &&
+                   sched.uniform_delay <= sched.ack_delay);
+      e.t = now_ + sched.uniform_delay;
+      flight.pending.assign(sched.receivers.begin(), sched.receivers.end());
+      flight.undrained_events += fanout;
+      if (Event* span = events_.push_batch(e.t, e.kind, fanout)) {
+        for (std::size_t i = 0; i < fanout; ++i) {
+          e.seq = next_seq_++;
+          e.node = sched.receivers[i];
+          span[i] = e;
+        }
+      } else {
+        for (std::size_t i = 0; i < fanout; ++i) {  // beyond wheel: overflow
+          e.seq = next_seq_++;
+          e.node = sched.receivers[i];
+          events_.push(e);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < fanout; ++i) {
+        const Time delay = sched.delays[i];
+        AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
+        e.t = now_ + delay;
+        e.seq = next_seq_++;
+        e.node = sched.receivers[i];
+        events_.push(e);
+        flight.pending.push_back(sched.receivers[i]);
+        ++flight.undrained_events;
+      }
+    }
+    e.reliable = false;
     for (const auto& [v, delay] : best_effort) {
       AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
       AMAC_CHECK_ENSURES(overlay_->has_edge(u, v));
       e.t = now_ + delay;
       e.seq = next_seq_++;
       e.node = v;
-      e.reliable = false;
       events_.push(e);
       flight.pending.push_back(v);
       ++flight.undrained_events;
@@ -291,6 +320,10 @@ RunResult Network::run(StopWhen until, Time max_time) {
   };
   const auto finish = [&](bool met) {
     stats_.peak_events = events_.peak_size();
+    stats_.wheel_pushes = events_.wheel_pushes();
+    stats_.overflow_pushes = events_.overflow_pushes();
+    stats_.wheel_resizes = events_.resizes();
+    stats_.wheel_span = static_cast<std::size_t>(events_.span());
     return RunResult{met, now_};
   };
 

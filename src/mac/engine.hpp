@@ -30,6 +30,26 @@
 // spill-over for far-future events (crash plans, holdback releases). Bucket
 // lane vectors are cleared, never freed, so steady state allocates nothing.
 //
+// Self-resizing wheel. The initial wheel span comes from fack() at
+// construction; schedulers whose effective bound grows later (Holdback
+// holds registered post-construction) would otherwise pay the overflow
+// heap's log factor for every far event forever. The queue counts overflow
+// pushes whose horizon a bigger wheel could absorb, and after a threshold
+// rebuilds itself at the span covering the observed horizon in O(pending
+// events) — one allocation, then allocation-free steady state again. Pop
+// order is unaffected, so trace digests are bit-identical with the resize
+// on, off (set_wheel_resize_enabled), or against ReferenceNetwork. The
+// wheel_* fields of EngineStats report which path events took and whether
+// a resize ran (benches and the fuzzer's soak summary read them).
+//
+// SoA broadcast fan-out. BroadcastSchedule is struct-of-arrays: parallel
+// receivers[] / delays[] written by every scheduler into the engine's
+// scratch, plus a dense uniform form (receivers[] + one shared delay) for
+// lock-step schedulers. start_broadcast fans out with a tight two-array
+// loop; in the uniform case all deliver events share one tick, so the
+// engine batch-reserves the calendar bucket lane once (CalendarQueue::
+// push_batch) and fills the events in place — no per-event bucket lookup.
+//
 // Payload pool. A broadcast copies its payload into a reusable PayloadPool
 // slot (payload_pool.hpp); deliver events carry the owning flight's slot
 // index instead of a shared_ptr, and receivers get the bytes by reference.
@@ -81,6 +101,10 @@ struct Decision {
 };
 
 /// Aggregate accounting across a run.
+///
+/// The wheel_* fields describe the calendar queue only (always 0 on
+/// ReferenceNetwork, which has no wheel); differential fingerprints and
+/// cross-engine equality checks must not include them.
 struct EngineStats {
   std::uint64_t broadcasts = 0;
   std::uint64_t dropped_busy = 0;  ///< broadcasts discarded while busy
@@ -89,6 +113,10 @@ struct EngineStats {
   std::uint64_t payload_bytes = 0;
   std::size_t max_payload_bytes = 0;
   std::size_t peak_events = 0;  ///< high-water mark of queued events
+  std::uint64_t wheel_pushes = 0;     ///< events placed directly in the wheel
+  std::uint64_t overflow_pushes = 0;  ///< events spilled to the overflow heap
+  std::uint64_t wheel_resizes = 0;    ///< self-resize rebuilds that ran
+  std::size_t wheel_span = 0;         ///< final wheel size in buckets
 };
 
 /// When `run` should stop (besides the time horizon).
@@ -122,6 +150,13 @@ class Network {
   /// Registers a crash before running. Multiple crashes are allowed (the
   /// paper's impossibility needs one; the engine does not restrict).
   void schedule_crash(const CrashPlan& plan);
+
+  /// Disables the calendar wheel's self-resize, pinning the overflow-heap
+  /// fallback for far events. A/B benchmark support (BM_EngineLateHolds*);
+  /// pop order — and therefore every digest — is identical either way.
+  void set_wheel_resize_enabled(bool enabled) {
+    events_.set_resize_enabled(enabled);
+  }
 
   /// Invoked after every processed event; used by invariant monitors
   /// (e.g. the Lemma 4.2 response-count conservation check).

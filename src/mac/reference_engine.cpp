@@ -130,16 +130,20 @@ void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
 
   const auto& neighbors = graph_->neighbors(u);
   // Faithful to the original engine: one schedule allocation per broadcast.
+  // (The schedule is SoA now, but this engine still walks it entry by entry
+  // in emission order — identical event sequence, no fast paths.)
   BroadcastSchedule sched;
   scheduler_->schedule(u, now_, neighbors, sched);
   AMAC_ENSURES(sched.ack_delay >= 1);
-  AMAC_ENSURES(sched.receive_delays.size() == neighbors.size());
+  AMAC_ENSURES(sched.size() == neighbors.size());
 
   auto shared = std::make_shared<const util::Buffer>(payload);
   Flight flight;
   flight.sender = u;
   flight.payload = shared;
-  for (const auto& [v, delay] : sched.receive_delays) {
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    const NodeId v = sched.receivers[i];
+    const Time delay = sched.delay(i);
     AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
     AMAC_ENSURES(graph_->has_edge(u, v));
     push_event(RefEvent{now_ + delay, RefEventKind::kDeliver, next_seq_++, v,

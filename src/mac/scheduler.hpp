@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "mac/types.hpp"
+#include "util/assert.hpp"
 
 namespace amac::mac {
 
@@ -26,14 +27,66 @@ namespace amac::mac {
 /// Contract: ack_delay >= 1, and 1 <= delay <= ack_delay for every receive
 /// (receives happen within the [broadcast, ack] interval; the engine orders
 /// same-tick receives before acks).
+///
+/// Struct-of-arrays layout: `receivers[i]` gets the message `delay(i)` ticks
+/// after the broadcast. Two forms share the type:
+///   * dense/uniform — every receiver shares one delay (`uniform` set,
+///     `delays` empty, `uniform_delay` holds the value). Schedulers that
+///     emit lock-step delays (synchronous rounds, max-delay) fill this form
+///     with a single bulk receiver copy, and the engine fans the broadcast
+///     out through a batch push into one calendar-wheel bucket;
+///   * per-receiver — `delays[i]` parallels `receivers[i]` (`uniform`
+///     clear). The engine's fan-out loop then reads two flat arrays instead
+///     of chasing (node, delay) pairs.
+/// Either way, entry order is the scheduler's emission order — the engine
+/// assigns event seq numbers in this order, so it is part of the
+/// deterministic trace contract.
 struct BroadcastSchedule {
   Time ack_delay = 1;
-  std::vector<std::pair<NodeId, Time>> receive_delays;
+  std::vector<NodeId> receivers;
+  std::vector<Time> delays;  ///< empty iff `uniform`
+  Time uniform_delay = 0;    ///< every receiver's delay, iff `uniform`
+  bool uniform = false;
 
-  /// Reusable-scratch reset: clears the delays but keeps their capacity.
+  /// Reusable-scratch reset: clears the arrays but keeps their capacity.
   void reset() {
     ack_delay = 1;
-    receive_delays.clear();
+    receivers.clear();
+    delays.clear();
+    uniform_delay = 0;
+    uniform = false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return receivers.size(); }
+  [[nodiscard]] bool empty() const { return receivers.empty(); }
+
+  [[nodiscard]] Time delay(std::size_t i) const {
+    return uniform ? uniform_delay : delays[i];
+  }
+
+  /// Dense fast path: all of `neighbors` receive after the same delay. One
+  /// bulk copy of the receiver ids; no per-receiver delay storage.
+  void assign_uniform(const std::vector<NodeId>& neighbors, Time d) {
+    receivers.assign(neighbors.begin(), neighbors.end());
+    delays.clear();
+    uniform_delay = d;
+    uniform = true;
+  }
+
+  /// Appends one per-receiver entry (requires the per-receiver form).
+  void push(NodeId v, Time d) {
+    AMAC_EXPECTS(!uniform);
+    receivers.push_back(v);
+    delays.push_back(d);
+  }
+
+  /// Converts the dense form into explicit per-receiver delays so a caller
+  /// (e.g. HoldbackScheduler) can adjust individual entries. No-op when
+  /// already per-receiver.
+  void densify() {
+    if (!uniform) return;
+    delays.assign(receivers.size(), uniform_delay);
+    uniform = false;
   }
 };
 

@@ -9,7 +9,7 @@ void SynchronousScheduler::schedule(NodeId /*sender*/, Time /*now*/,
                                     BroadcastSchedule& out) {
   out.reset();
   out.ack_delay = round_;
-  for (const NodeId v : neighbors) out.receive_delays.emplace_back(v, round_);
+  out.assign_uniform(neighbors, round_);
 }
 
 void MaxDelayScheduler::schedule(NodeId /*sender*/, Time /*now*/,
@@ -17,7 +17,7 @@ void MaxDelayScheduler::schedule(NodeId /*sender*/, Time /*now*/,
                                  BroadcastSchedule& out) {
   out.reset();
   out.ack_delay = fack_;
-  for (const NodeId v : neighbors) out.receive_delays.emplace_back(v, fack_);
+  out.assign_uniform(neighbors, fack_);
 }
 
 void UniformRandomScheduler::schedule(NodeId /*sender*/, Time /*now*/,
@@ -25,9 +25,7 @@ void UniformRandomScheduler::schedule(NodeId /*sender*/, Time /*now*/,
                                       BroadcastSchedule& out) {
   out.reset();
   out.ack_delay = rng_.uniform(1, fack_);
-  for (const NodeId v : neighbors) {
-    out.receive_delays.emplace_back(v, rng_.uniform(1, out.ack_delay));
-  }
+  for (const NodeId v : neighbors) out.push(v, rng_.uniform(1, out.ack_delay));
 }
 
 Time SkewedScheduler::edge_delay(NodeId from, NodeId to) const {
@@ -45,7 +43,7 @@ void SkewedScheduler::schedule(NodeId sender, Time /*now*/,
   out.ack_delay = 1;
   for (const NodeId v : neighbors) {
     const Time d = edge_delay(sender, v);
-    out.receive_delays.emplace_back(v, d);
+    out.push(v, d);
     out.ack_delay = std::max(out.ack_delay, d);
   }
 }
@@ -54,14 +52,32 @@ void HoldbackScheduler::schedule(NodeId sender, Time now,
                                  const std::vector<NodeId>& neighbors,
                                  BroadcastSchedule& out) {
   base_->schedule(sender, now, neighbors, out);
+  // Fast path: no live hold can adjust this broadcast — a hold moves a
+  // delivery iff its release is beyond now + 1 (delays are >= 1) — so the
+  // base schedule (and its dense/uniform form, if any) passes through
+  // untouched. Expired holds therefore re-enable the engine's batch
+  // fan-out instead of densifying forever.
   const auto sender_hold = held_senders_.find(sender);
-  for (auto& [receiver, delay] : out.receive_delays) {
+  const bool sender_live =
+      sender_hold != held_senders_.end() && sender_hold->second > now + 1;
+  bool edge_live = false;
+  for (auto it = held_edges_.lower_bound({sender, 0});
+       it != held_edges_.end() && it->first.first == sender; ++it) {
+    if (it->second > now + 1) {
+      edge_live = true;
+      break;
+    }
+  }
+  if (!sender_live && !edge_live) return;
+  out.densify();  // holds adjust individual entries
+  for (std::size_t i = 0; i < out.receivers.size(); ++i) {
     Time release = 0;
     if (sender_hold != held_senders_.end()) release = sender_hold->second;
-    if (const auto edge_hold = held_edges_.find({sender, receiver});
+    if (const auto edge_hold = held_edges_.find({sender, out.receivers[i]});
         edge_hold != held_edges_.end()) {
       release = std::max(release, edge_hold->second);
     }
+    Time& delay = out.delays[i];
     if (now + delay < release) delay = release - now;
     out.ack_delay = std::max(out.ack_delay, delay);
   }
@@ -80,7 +96,7 @@ void ContentionScheduler::schedule(NodeId /*sender*/, Time now,
     free_at = at + 1;
     const Time delay = at - now;
     AMAC_ENSURES(delay <= fack_bound_);  // raise fack_bound for this density
-    out.receive_delays.emplace_back(v, delay);
+    out.push(v, delay);
     out.ack_delay = std::max(out.ack_delay, delay);
   }
 }
@@ -118,7 +134,7 @@ void ScriptedScheduler::schedule(NodeId sender, Time /*now*/,
   const auto it = script_.find({sender, index});
   if (it == script_.end()) {
     out.ack_delay = 1;
-    for (const NodeId v : neighbors) out.receive_delays.emplace_back(v, 1);
+    out.assign_uniform(neighbors, 1);
     return;
   }
   const Entry& entry = it->second;
@@ -128,7 +144,7 @@ void ScriptedScheduler::schedule(NodeId sender, Time /*now*/,
     for (const auto& [receiver, d] : entry.delays) {
       if (receiver == v) delay = d;
     }
-    out.receive_delays.emplace_back(v, delay);
+    out.push(v, delay);
   }
 }
 

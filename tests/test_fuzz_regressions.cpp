@@ -67,6 +67,55 @@ TEST(FuzzRegressions, CrashDuringInFlightAckStaysCleanAndBitIdentical) {
   }
 }
 
+// Surfaced by scanning generated seeds for late_holds && wheel_resizes > 0:
+// holdback holds applied AFTER Network construction (late=1), so the
+// calendar wheel was sized from the pre-hold fack() and the held
+// deliveries pile onto the overflow heap until the self-resize rebuilds
+// the wheel mid-run. Pinned as full specs: the resize path must keep
+// firing — and stay bit-identical to the (wheel-less) reference engine —
+// no matter how the generator or the resize policy evolves.
+constexpr const char* kLateHoldResizeSpecs[] = {
+    // Flooding on a 14-clique, three staggered holds: 32 overflow pushes,
+    // then the wheel grows to span the ~136-tick release horizon.
+    "amacfuzz1:seed=43:alg=flooding:topo=clique:n=14:aux=0:sched=holdback:"
+    "fack=5:late=1:in=alt:ids=perm:f=0:hz=1000000:holds=9@129,11@59,12@136",
+    // Two-phase commit with tightly clustered releases: the smallest
+    // horizon that still crosses the resize threshold.
+    "amacfuzz1:seed=378:alg=two_phase:topo=clique:n=11:aux=0:sched=holdback:"
+    "fack=2:late=1:in=all0:ids=perm:f=0:hz=1000000:holds=6@50,9@46,1@44",
+    // Flooding with a crash riding alongside the late holds: the resize
+    // interleaves with mid-flight cancellation.
+    "amacfuzz1:seed=3849:alg=flooding:topo=clique:n=14:aux=0:sched=holdback:"
+    "fack=4:late=1:in=all1:ids=perm:f=0:hz=30000:crashes=12@19:"
+    "holds=13@56,2@96,7@96",
+};
+
+TEST(FuzzRegressions, LateHoldsForceWheelResizeAndStayBitIdentical) {
+  RunOptions options;
+  options.differential = true;
+  for (const char* spec : kLateHoldResizeSpecs) {
+    const auto scenario = parse_spec(spec);
+    ASSERT_TRUE(scenario.has_value()) << spec;
+    ASSERT_TRUE(scenario->late_holds) << spec;
+
+    const RunReport r = run_scenario(*scenario, options);
+    // The pinned property: the late holds really spill past the
+    // construction-sized wheel, the self-resize runs, and every oracle
+    // (safety, liveness, engine equivalence) stays green.
+    EXPECT_GE(r.stats.wheel_resizes, 1u) << spec;
+    EXPECT_GT(r.stats.overflow_pushes, 0u) << spec;
+    EXPECT_GT(r.stats.wheel_span, 16u) << spec;  // grew past pre-hold size
+    EXPECT_EQ(r.failure, FailureKind::kNone) << spec << "\n" << r.detail;
+    ASSERT_TRUE(r.differential_ran);
+    EXPECT_EQ(r.fingerprint, r.reference_fingerprint)
+        << "engine divergence on " << spec;
+
+    // Replays of a pinned spec are bit-identical.
+    EXPECT_EQ(run_scenario(*scenario, options).trace_digest, r.trace_digest)
+        << spec;
+  }
+}
+
 TEST(FuzzOracle, DetectsTheorem33StyleAgreementViolation) {
   // AnonymousMinFlood under a holdback adversary — outside the generator's
   // envelope, inside the spec language: node 0 (the only 0-input) has every

@@ -418,5 +418,59 @@ TEST(EngineAllocation, SteadyStateCycleAllocatesNothingRandomDelays) {
   EXPECT_GT(net.stats().deliveries, 10000u);
 }
 
+TEST(EngineAllocation, SoAUniformFanoutBatchPathAllocatesNothing) {
+  // Dense clique + MaxDelayScheduler: every broadcast takes the SoA dense
+  // fast path (uniform schedule -> CalendarQueue::push_batch, bulk pending
+  // copy). After warm-up the whole fan-out cycle must be allocation-free,
+  // and every delivery must have been pushed through the wheel (batch
+  // reservations count as wheel pushes; nothing spills to the heap).
+  const auto g = net::make_clique(12);
+  MaxDelayScheduler sched(4);
+  Network net(g, [](NodeId) { return std::make_unique<SteadyPinger>(); },
+              sched);
+  net.run(StopWhen::kQuiescent, 100);
+  const std::uint64_t before = g_alloc_count;
+  net.run(StopWhen::kQuiescent, 4000);
+  const std::uint64_t after = g_alloc_count;
+  EXPECT_EQ(after - before, 0u)
+      << "uniform (batch) fan-out path allocated in steady state";
+  EXPECT_GT(net.stats().deliveries, 100000u);
+  EXPECT_EQ(net.stats().overflow_pushes, 0u);
+  EXPECT_GT(net.stats().wheel_pushes, 0u);
+  EXPECT_EQ(net.stats().wheel_resizes, 0u);
+}
+
+TEST(EngineAllocation, WheelResizeMidRunThenSteadyStateIsAllocationFree) {
+  // Late Holdback holds (registered after construction, so the wheel was
+  // sized from the tiny pre-hold fack) push every held delivery onto the
+  // overflow heap until the self-resize kicks in. The resize itself may
+  // allocate — it rebuilds the bucket ring, and each bucket of the larger
+  // ring warms its lane capacity on first use, exactly like the original
+  // warm-up — but after one full revolution of the resized wheel the
+  // steady-state cycle must be allocation-free again.
+  const auto g = net::make_clique(8);
+  auto hold = std::make_unique<HoldbackScheduler>(
+      std::make_unique<SynchronousScheduler>(1), /*release=*/4);
+  Network net(g, [](NodeId) { return std::make_unique<SteadyPinger>(); },
+              *hold);
+  // Every sender held until t=300: the on_start broadcasts of 8 cliqued
+  // nodes schedule 8 * (7 deliveries + 1 ack) = 64 far events against a
+  // wheel sized for fack() = 5 — enough resizable overflow pressure to
+  // cross the rebuild threshold mid-burst (the wheel grows to cover the
+  // ~300-tick horizon: 1024 buckets).
+  for (NodeId u = 0; u < 8; ++u) hold->hold_sender_until(u, 300);
+  net.run(StopWhen::kQuiescent, 2000);  // held burst + resize + a full
+                                        // revolution of the resized ring
+  EXPECT_GE(net.stats().wheel_resizes, 1u);
+  EXPECT_GT(net.stats().overflow_pushes, 0u);
+  EXPECT_GT(net.stats().wheel_span, 16u);  // grew past the pre-hold sizing
+  const std::uint64_t before = g_alloc_count;
+  net.run(StopWhen::kQuiescent, 8000);
+  const std::uint64_t after = g_alloc_count;
+  EXPECT_EQ(after - before, 0u)
+      << "steady state after a wheel resize allocated";
+  EXPECT_GT(net.stats().deliveries, 30000u);
+}
+
 }  // namespace
 }  // namespace amac::mac

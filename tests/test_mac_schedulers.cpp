@@ -10,26 +10,46 @@ const std::vector<NodeId> kNeighbors{1, 2, 3};
 void expect_within_contract(const BroadcastSchedule& s, Time fack) {
   EXPECT_GE(s.ack_delay, 1u);
   EXPECT_LE(s.ack_delay, fack);
-  for (const auto& [v, d] : s.receive_delays) {
-    EXPECT_GE(d, 1u);
-    EXPECT_LE(d, s.ack_delay);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s.delay(i), 1u);
+    EXPECT_LE(s.delay(i), s.ack_delay);
   }
+}
+
+/// The delays of `s` as a flat vector (uniform or per-receiver form).
+std::vector<Time> all_delays(const BroadcastSchedule& s) {
+  std::vector<Time> out;
+  for (std::size_t i = 0; i < s.size(); ++i) out.push_back(s.delay(i));
+  return out;
 }
 
 TEST(Schedulers, SynchronousLockstep) {
   SynchronousScheduler sched(5);
   const auto s = sched.make_schedule(0, 10, kNeighbors);
   EXPECT_EQ(s.ack_delay, 5u);
-  ASSERT_EQ(s.receive_delays.size(), 3u);
-  for (const auto& [v, d] : s.receive_delays) EXPECT_EQ(d, 5u);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.receivers, kNeighbors);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.delay(i), 5u);
   EXPECT_EQ(sched.fack(), 5u);
+}
+
+TEST(Schedulers, SynchronousEmitsDenseUniformForm) {
+  // The SoA fast path: lock-step schedulers fill receivers[] plus one
+  // shared delay, no per-receiver delay array.
+  SynchronousScheduler sched(3);
+  const auto s = sched.make_schedule(0, 0, kNeighbors);
+  EXPECT_TRUE(s.uniform);
+  EXPECT_EQ(s.uniform_delay, 3u);
+  EXPECT_TRUE(s.delays.empty());
+  EXPECT_EQ(s.receivers, kNeighbors);
 }
 
 TEST(Schedulers, MaxDelayAllAtFack) {
   MaxDelayScheduler sched(7);
   const auto s = sched.make_schedule(2, 0, kNeighbors);
   EXPECT_EQ(s.ack_delay, 7u);
-  for (const auto& [v, d] : s.receive_delays) EXPECT_EQ(d, 7u);
+  EXPECT_TRUE(s.uniform);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.delay(i), 7u);
 }
 
 TEST(Schedulers, UniformRandomWithinContract) {
@@ -37,7 +57,8 @@ TEST(Schedulers, UniformRandomWithinContract) {
   for (int i = 0; i < 200; ++i) {
     const auto s = sched.make_schedule(0, i, kNeighbors);
     expect_within_contract(s, 16);
-    ASSERT_EQ(s.receive_delays.size(), kNeighbors.size());
+    ASSERT_EQ(s.size(), kNeighbors.size());
+    ASSERT_EQ(s.delays.size(), s.receivers.size());  // parallel arrays
   }
 }
 
@@ -48,7 +69,8 @@ TEST(Schedulers, UniformRandomDeterministicPerSeed) {
     const auto sa = a.make_schedule(0, i, kNeighbors);
     const auto sb = b.make_schedule(0, i, kNeighbors);
     EXPECT_EQ(sa.ack_delay, sb.ack_delay);
-    EXPECT_EQ(sa.receive_delays, sb.receive_delays);
+    EXPECT_EQ(sa.receivers, sb.receivers);
+    EXPECT_EQ(all_delays(sa), all_delays(sb));
   }
 }
 
@@ -56,7 +78,8 @@ TEST(Schedulers, SkewedStablePerEdge) {
   SkewedScheduler sched(9, 3);
   const auto s1 = sched.make_schedule(0, 0, kNeighbors);
   const auto s2 = sched.make_schedule(0, 55, kNeighbors);
-  EXPECT_EQ(s1.receive_delays, s2.receive_delays);
+  EXPECT_EQ(s1.receivers, s2.receivers);
+  EXPECT_EQ(all_delays(s1), all_delays(s2));
   expect_within_contract(s1, 9);
 }
 
@@ -67,9 +90,9 @@ TEST(Schedulers, SkewedVariesAcrossEdges) {
   const auto s = sched.make_schedule(0, 0, many);
   Time lo = 64;
   Time hi = 1;
-  for (const auto& [v, d] : s.receive_delays) {
-    lo = std::min(lo, d);
-    hi = std::max(hi, d);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    lo = std::min(lo, s.delay(i));
+    hi = std::max(hi, s.delay(i));
   }
   EXPECT_LT(lo, hi);
 }
@@ -79,7 +102,8 @@ TEST(Schedulers, HoldbackDelaysHeldSender) {
   HoldbackScheduler sched(std::move(base), /*release=*/50);
   sched.hold_sender(0);
   const auto s = sched.make_schedule(0, 10, kNeighbors);
-  for (const auto& [v, d] : s.receive_delays) EXPECT_EQ(10 + d, 50u);
+  EXPECT_FALSE(s.uniform);  // holds densified the schedule to adjust it
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(10 + s.delay(i), 50u);
   EXPECT_GE(s.ack_delay, 40u);  // ack after held deliveries
 }
 
@@ -88,7 +112,45 @@ TEST(Schedulers, HoldbackLeavesOthersSynchronous) {
   HoldbackScheduler sched(std::move(base), 50);
   sched.hold_sender(0);
   const auto s = sched.make_schedule(5, 10, kNeighbors);
-  for (const auto& [v, d] : s.receive_delays) EXPECT_EQ(d, 1u);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.delay(i), 1u);
+  EXPECT_EQ(s.ack_delay, 1u);
+}
+
+TEST(Schedulers, HoldbackPreservesUniformFastPathWhenNoHoldApplies) {
+  // No hold names this sender and no edge holds exist: the base's dense
+  // uniform schedule must pass through untouched (the engine's batch
+  // fan-out depends on it).
+  auto base = std::make_unique<SynchronousScheduler>(2);
+  HoldbackScheduler sched(std::move(base), 50);
+  sched.hold_sender(7);
+  const auto s = sched.make_schedule(0, 0, kNeighbors);
+  EXPECT_TRUE(s.uniform);
+  EXPECT_EQ(s.uniform_delay, 2u);
+  EXPECT_EQ(s.ack_delay, 2u);
+}
+
+TEST(Schedulers, HoldbackRestoresUniformFastPathAfterRelease) {
+  // Expired holds (release <= now + 1 can never move a delay >= 1) must
+  // not densify: once every hold for a sender has released, the engine's
+  // batch fan-out re-engages for the rest of the run.
+  auto base = std::make_unique<SynchronousScheduler>(1);
+  HoldbackScheduler sched(std::move(base), /*release=*/20);
+  sched.hold_sender(0);
+  sched.hold_edge(0, 2);
+  EXPECT_FALSE(sched.make_schedule(0, 10, kNeighbors).uniform);  // live hold
+  const auto after = sched.make_schedule(0, /*now=*/30, kNeighbors);
+  EXPECT_TRUE(after.uniform);
+  EXPECT_EQ(after.uniform_delay, 1u);
+}
+
+TEST(Schedulers, HoldbackEdgeHoldOnOtherSenderKeepsFastPath) {
+  // A live edge hold belonging to a DIFFERENT sender must not densify this
+  // sender's schedule.
+  auto base = std::make_unique<SynchronousScheduler>(1);
+  HoldbackScheduler sched(std::move(base), /*release=*/20);
+  sched.hold_edge(5, 1);
+  const auto s = sched.make_schedule(0, 0, kNeighbors);
+  EXPECT_TRUE(s.uniform);
   EXPECT_EQ(s.ack_delay, 1u);
 }
 
@@ -97,11 +159,11 @@ TEST(Schedulers, HoldbackEdgeGranularity) {
   HoldbackScheduler sched(std::move(base), 20);
   sched.hold_edge(0, 2);
   const auto s = sched.make_schedule(0, 0, kNeighbors);
-  for (const auto& [v, d] : s.receive_delays) {
-    if (v == 2) {
-      EXPECT_EQ(d, 20u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.receivers[i] == 2) {
+      EXPECT_EQ(s.delay(i), 20u);
     } else {
-      EXPECT_EQ(d, 1u);
+      EXPECT_EQ(s.delay(i), 1u);
     }
   }
 }
@@ -111,7 +173,7 @@ TEST(Schedulers, HoldbackNoEffectAfterRelease) {
   HoldbackScheduler sched(std::move(base), 20);
   sched.hold_sender(0);
   const auto s = sched.make_schedule(0, /*now=*/30, kNeighbors);
-  for (const auto& [v, d] : s.receive_delays) EXPECT_EQ(d, 1u);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.delay(i), 1u);
 }
 
 TEST(Schedulers, HoldbackFackCachedAndInvalidated) {
@@ -131,15 +193,35 @@ TEST(Schedulers, ScratchScheduleReusesCapacity) {
   UniformRandomScheduler sched(5, 8);
   BroadcastSchedule scratch;
   sched.schedule(0, 0, kNeighbors, scratch);
-  ASSERT_EQ(scratch.receive_delays.size(), kNeighbors.size());
-  const auto capacity = scratch.receive_delays.capacity();
-  const auto* data = scratch.receive_delays.data();
+  ASSERT_EQ(scratch.size(), kNeighbors.size());
+  const auto receiver_capacity = scratch.receivers.capacity();
+  const auto delay_capacity = scratch.delays.capacity();
+  const auto* receiver_data = scratch.receivers.data();
+  const auto* delay_data = scratch.delays.data();
   for (int i = 0; i < 100; ++i) {
     sched.schedule(0, i, kNeighbors, scratch);
-    ASSERT_EQ(scratch.receive_delays.size(), kNeighbors.size());
+    ASSERT_EQ(scratch.size(), kNeighbors.size());
   }
-  EXPECT_EQ(scratch.receive_delays.capacity(), capacity);
-  EXPECT_EQ(scratch.receive_delays.data(), data);
+  EXPECT_EQ(scratch.receivers.capacity(), receiver_capacity);
+  EXPECT_EQ(scratch.receivers.data(), receiver_data);
+  EXPECT_EQ(scratch.delays.capacity(), delay_capacity);
+  EXPECT_EQ(scratch.delays.data(), delay_data);
+}
+
+TEST(Schedulers, ScratchAlternatesUniformAndDenseFormsCleanly) {
+  // One scratch cycling between a uniform-form scheduler and a
+  // per-receiver one must not leak state across calls.
+  SynchronousScheduler sync(4);
+  SkewedScheduler skewed(9, 3);
+  BroadcastSchedule scratch;
+  for (int i = 0; i < 3; ++i) {
+    sync.schedule(0, 0, kNeighbors, scratch);
+    EXPECT_TRUE(scratch.uniform);
+    EXPECT_TRUE(scratch.delays.empty());
+    skewed.schedule(0, 0, kNeighbors, scratch);
+    EXPECT_FALSE(scratch.uniform);
+    ASSERT_EQ(scratch.delays.size(), kNeighbors.size());
+  }
 }
 
 TEST(Schedulers, ScriptedExactDelays) {
@@ -147,15 +229,15 @@ TEST(Schedulers, ScriptedExactDelays) {
   sched.script(0, 0, /*ack=*/5, {{1, 2}, {2, 5}});
   const auto s = sched.make_schedule(0, 0, kNeighbors);
   EXPECT_EQ(s.ack_delay, 5u);
-  for (const auto& [v, d] : s.receive_delays) {
-    if (v == 1) {
-      EXPECT_EQ(d, 2u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.receivers[i] == 1) {
+      EXPECT_EQ(s.delay(i), 2u);
     }
-    if (v == 2) {
-      EXPECT_EQ(d, 5u);
+    if (s.receivers[i] == 2) {
+      EXPECT_EQ(s.delay(i), 5u);
     }
-    if (v == 3) {
-      EXPECT_EQ(d, 1u);  // unlisted receivers default to 1
+    if (s.receivers[i] == 3) {
+      EXPECT_EQ(s.delay(i), 1u);  // unlisted receivers default to 1
     }
   }
 }
@@ -166,6 +248,7 @@ TEST(Schedulers, ScriptedFallbackSynchronous) {
   // Broadcast 0 of node 0 is unscripted -> synchronous round of 1.
   const auto s0 = sched.make_schedule(0, 0, kNeighbors);
   EXPECT_EQ(s0.ack_delay, 1u);
+  EXPECT_TRUE(s0.uniform);
   // Broadcast 1 uses the script.
   const auto s1 = sched.make_schedule(0, 0, kNeighbors);
   EXPECT_EQ(s1.ack_delay, 9u);

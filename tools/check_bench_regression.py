@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Cheap bench-regression gate over BENCH_engine.json.
+
+Compares ns_per_op of selected benchmarks in a freshly produced
+BENCH_engine.json against the committed baseline
+(bench/BENCH_baseline.json) and fails when any regresses past the
+allowed ratio. CI runs this right after the bench smoke step, so a hot-path
+regression fails the build with the offending numbers in the log instead of
+silently drifting across PRs.
+
+Usage:
+  check_bench_regression.py CURRENT.json BASELINE.json \
+      --bench 'BM_EngineSyncRounds/256' [--bench ...] [--max-ratio 1.5] \
+      [--relative-to 'BM_RefEngineSyncRounds/256']
+
+With --relative-to, each gated benchmark is first normalized by the named
+reference benchmark FROM THE SAME FILE (current/current and
+baseline/baseline) before the ratios are compared. Since the frozen
+reference engine runs the identical workload in the same process, the
+normalized number measures the code, not the runner: a slow shared CI VM
+scales both engines equally and cancels out. Without the flag the raw
+ns_per_op values are compared — only meaningful when current and baseline
+come from comparable machines.
+
+The ratio is deliberately generous (default 1.5x): CI machines are noisy
+and heterogeneous; the gate exists to catch step-function regressions
+(an accidental O(n) in the event loop), not percent-level drift — the
+uploaded BENCH_engine.json artifact tracks that.
+"""
+import argparse
+import json
+import sys
+
+
+def load_ns_per_op(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "amac-bench-v1":
+        sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
+    return {row["name"]: row["ns_per_op"] for row in doc["benchmarks"]}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_engine.json")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument("--bench", action="append", required=True,
+                        help="benchmark name to gate (repeatable)")
+    parser.add_argument("--max-ratio", type=float, default=1.5,
+                        help="fail when current/baseline exceeds this")
+    parser.add_argument("--relative-to", default=None,
+                        help="normalize by this benchmark from the same "
+                             "file before comparing (machine-independent)")
+    args = parser.parse_args()
+
+    current = load_ns_per_op(args.current)
+    baseline = load_ns_per_op(args.baseline)
+
+    def metric(table: dict, path: str, name: str):
+        if name not in table:
+            print(f"FAIL {name}: missing from {path}")
+            return None
+        value = table[name]
+        if args.relative_to is not None:
+            if args.relative_to not in table:
+                print(f"FAIL {args.relative_to}: missing from {path}")
+                return None
+            value /= table[args.relative_to]
+        return value
+
+    unit = f"x {args.relative_to}" if args.relative_to else "ns/op"
+    failed = False
+    for name in args.bench:
+        cur = metric(current, args.current, name)
+        base = metric(baseline, args.baseline, name)
+        if cur is None or base is None:
+            failed = True
+            continue
+        ratio = cur / base
+        verdict = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"{verdict:4} {name}: {cur:.4g} {unit} vs baseline "
+              f"{base:.4g} {unit} (ratio {ratio:.2f}, "
+              f"limit {args.max_ratio:.2f})")
+        if ratio > args.max_ratio:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
