@@ -2,20 +2,27 @@
 //
 //   ./bench_fuzz_soak --count 1000                 # soak seeds [1, 1000]
 //   ./bench_fuzz_soak --seed-base 5000 --count 200 # a different corpus
+//   ./bench_fuzz_soak --count 20000 --mutate 0.35  # coverage-steered soak
 //   ./bench_fuzz_soak --replay <spec-or-seed>      # one scenario, verbose
 //   ./bench_fuzz_soak --replay <spec> --expect-digest 0xABCD  # CI pinning
+//   ./bench_fuzz_soak ... --corpus-out corpus.txt  # dump mutation corpus
+//   ./bench_fuzz_soak ... --corpus-in corpus.txt   # pre-seed it
 //
 // Exit status: 0 when every scenario upholds its properties (and, for
-// --replay --expect-digest, the digest matches); 1 otherwise. On any
-// violation a minimal self-contained repro line is printed; paste it back
-// via --replay to reproduce the identical run. See fuzz/fuzzer.hpp for the
-// full fuzzing HOWTO.
+// --replay --expect-digest, the digest matches); 1 otherwise; 2 on a bad
+// command line. Every numeric flag is parsed strictly: "--count abc" is a
+// usage error, never a silent zero-scenario soak. On any violation a
+// minimal self-contained repro line is printed; paste it back via --replay
+// to reproduce the identical run. See fuzz/fuzzer.hpp for the full fuzzing
+// HOWTO.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "fuzz/fuzzer.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -24,6 +31,8 @@ using namespace amac;
 struct CliOptions {
   fuzz::SoakOptions soak;
   std::string replay;
+  std::string corpus_out;
+  std::string corpus_in;
   std::uint64_t expect_digest = 0;
   bool has_expect_digest = false;
   std::size_t progress_every = 0;
@@ -33,6 +42,7 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--count N] [--seed-base S] [--differential-every K]\n"
+      "          [--mutate RATIO] [--corpus-out FILE] [--corpus-in FILE]\n"
       "          [--no-shrink] [--max-shrink-attempts A] [--progress-every P]\n"
       "          [--replay SPEC] [--expect-digest HEX]\n",
       argv0);
@@ -50,11 +60,16 @@ void print_report(const fuzz::Scenario& s, const fuzz::RunReport& r) {
               static_cast<unsigned long long>(r.stats.deliveries),
               static_cast<unsigned long long>(r.stats.acks),
               r.mid_flight_crashes);
-  std::printf("calendar  wheel=%llu overflow=%llu resizes=%llu span=%zu\n",
+  std::printf("calendar  wheel=%llu overflow=%llu resizes=%llu batch=%llu "
+              "span=%zu\n",
               static_cast<unsigned long long>(r.stats.wheel_pushes),
               static_cast<unsigned long long>(r.stats.overflow_pushes),
               static_cast<unsigned long long>(r.stats.wheel_resizes),
+              static_cast<unsigned long long>(r.stats.batch_pushes),
               r.stats.wheel_span);
+  std::printf("coverage  signature=0x%016llx\n",
+              static_cast<unsigned long long>(
+                  fuzz::coverage_signature(s, r).key()));
   std::printf("digest    fingerprint=0x%016llx trace=0x%016llx\n",
               static_cast<unsigned long long>(r.fingerprint),
               static_cast<unsigned long long>(r.trace_digest));
@@ -92,8 +107,72 @@ int run_replay(const CliOptions& cli) {
   return ok ? 0 : 1;
 }
 
+/// Loads a --corpus-in file: one spec line (or bare seed) per line; blank
+/// lines and #-comments are skipped. Returns false on unreadable files or
+/// malformed lines (the soak must not silently run with a partial corpus).
+bool load_corpus(const std::string& path, std::vector<fuzz::Scenario>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read --corpus-in file: %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto scenario = fuzz::parse_spec(line);
+    if (!scenario) {
+      std::fprintf(stderr, "error: %s:%zu: malformed corpus spec: %s\n",
+                   path.c_str(), lineno, line.c_str());
+      return false;
+    }
+    out.push_back(*scenario);
+  }
+  return true;
+}
+
+bool write_corpus(const std::string& path,
+                  const std::vector<fuzz::Scenario>& corpus) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write --corpus-out file: %s\n",
+                 path.c_str());
+    return false;
+  }
+  out << "# bench_fuzz_soak coverage corpus: one replayable spec per line\n";
+  for (const auto& s : corpus) out << fuzz::format_spec(s) << "\n";
+  return true;
+}
+
+void print_coverage_table(const fuzz::SoakResult& result) {
+  const auto& cov = result.coverage;
+  // The "distinct coverage signatures:" line is machine-parsed by the CI
+  // coverage-widening assertion; keep its shape stable.
+  std::printf("  distinct coverage signatures: %zu (novel in %zu of %zu "
+              "runs, %zu mutated)\n",
+              cov.distinct, result.novel_runs, result.runs,
+              result.mutated_runs);
+  std::printf("  coverage by scheduler:");
+  for (std::size_t i = 0; i < fuzz::kSchedulerKindCount; ++i) {
+    std::printf(" %s=%zu",
+                fuzz::scheduler_name(static_cast<fuzz::SchedulerKind>(i)),
+                cov.per_scheduler[i]);
+  }
+  std::printf("\n");
+  std::printf("  coverage by path: overflow=%zu resize=%zu batch=%zu "
+              "crashes=%zu holds=%zu (of %zu signatures)\n",
+              cov.overflow_sigs, cov.resize_sigs, cov.batch_sigs,
+              cov.crash_sigs, cov.hold_sigs, cov.distinct);
+}
+
 int run_soak_cli(const CliOptions& cli) {
   fuzz::SoakOptions options = cli.soak;
+  if (!cli.corpus_in.empty() &&
+      !load_corpus(cli.corpus_in, options.initial_corpus)) {
+    return 2;
+  }
   if (cli.progress_every != 0) {
     options.on_scenario = [&](std::size_t index, const fuzz::Scenario& s,
                               const fuzz::RunReport& r) {
@@ -113,12 +192,12 @@ int run_soak_cli(const CliOptions& cli) {
   const auto result = fuzz::run_soak(options);
 
   std::printf("fuzz soak: %zu scenarios (seeds %llu..%llu), %zu differential "
-              "replays\n",
+              "replays, mutate ratio %.2f\n",
               result.runs,
               static_cast<unsigned long long>(options.seed_base),
               static_cast<unsigned long long>(options.seed_base +
                                               options.count - 1),
-              result.differential_runs);
+              result.differential_runs, options.mutate_ratio);
   for (std::size_t i = 0; i < harness::kAlgorithmCount; ++i) {
     std::printf("  %-10s %zu\n",
                 harness::algorithm_name(static_cast<harness::Algorithm>(i)),
@@ -131,8 +210,14 @@ int run_soak_cli(const CliOptions& cli) {
               static_cast<unsigned long long>(result.wheel_events),
               static_cast<unsigned long long>(result.overflow_events),
               result.overflow_scenarios, result.resized_scenarios);
+  print_coverage_table(result);
   std::printf("  corpus digest: 0x%016llx\n",
               static_cast<unsigned long long>(result.corpus_digest));
+
+  if (!cli.corpus_out.empty() &&
+      !write_corpus(cli.corpus_out, result.corpus)) {
+    return 2;
+  }
 
   if (!result.ok()) {
     for (const auto& f : result.failures) {
@@ -155,46 +240,93 @@ int run_soak_cli(const CliOptions& cli) {
 
 int main(int argc, char** argv) {
   CliOptions cli;
-  for (int i = 1; i < argc; ++i) {
+  bool parse_error = false;
+  const auto fail_flag = [&](const std::string& flag, const char* value) {
+    std::fprintf(stderr, "error: invalid value for %s: '%s'\n", flag.c_str(),
+                 value == nullptr ? "(missing)" : value);
+    parse_error = true;
+  };
+  for (int i = 1; i < argc && !parse_error; ++i) {
     const auto arg = std::string(argv[i]);
     const auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    // Strict numeric parsing: a flag whose value does not parse IN FULL
+    // (or is missing) is a usage error — std::strtoull's silent
+    // garbage-to-0 once let "--count abc" soak zero scenarios and exit
+    // green.
+    const auto take_u64 = [&](std::uint64_t& out) {
+      const char* v = next();
+      const auto parsed =
+          v ? util::parse_u64(v) : std::optional<std::uint64_t>{};
+      if (!parsed) {
+        fail_flag(arg, v);
+        return;
+      }
+      out = *parsed;
+    };
+    const auto take_size = [&](std::size_t& out) {
+      std::uint64_t v = 0;
+      take_u64(v);
+      if (!parse_error) out = static_cast<std::size_t>(v);
+    };
     if (arg == "--count") {
-      const char* v = next();
-      if (!v) return usage(argv[0]);
-      cli.soak.count = std::strtoull(v, nullptr, 10);
+      take_size(cli.soak.count);
     } else if (arg == "--seed-base") {
-      const char* v = next();
-      if (!v) return usage(argv[0]);
-      cli.soak.seed_base = std::strtoull(v, nullptr, 10);
+      take_u64(cli.soak.seed_base);
     } else if (arg == "--differential-every") {
-      const char* v = next();
-      if (!v) return usage(argv[0]);
-      cli.soak.differential_every = std::strtoull(v, nullptr, 10);
+      take_size(cli.soak.differential_every);
     } else if (arg == "--no-shrink") {
       cli.soak.shrink_failures = false;
     } else if (arg == "--max-shrink-attempts") {
-      const char* v = next();
-      if (!v) return usage(argv[0]);
-      cli.soak.max_shrink_attempts = std::strtoull(v, nullptr, 10);
+      take_size(cli.soak.max_shrink_attempts);
     } else if (arg == "--progress-every") {
+      take_size(cli.progress_every);
+    } else if (arg == "--mutate") {
       const char* v = next();
-      if (!v) return usage(argv[0]);
-      cli.progress_every = std::strtoull(v, nullptr, 10);
+      const auto parsed = v ? util::parse_double(v) : std::optional<double>{};
+      if (!parsed || *parsed < 0.0 || *parsed > 1.0) {
+        fail_flag(arg, v);
+      } else {
+        cli.soak.mutate_ratio = *parsed;
+      }
+    } else if (arg == "--corpus-out") {
+      const char* v = next();
+      if (!v) {
+        fail_flag(arg, v);
+      } else {
+        cli.corpus_out = v;
+      }
+    } else if (arg == "--corpus-in") {
+      const char* v = next();
+      if (!v) {
+        fail_flag(arg, v);
+      } else {
+        cli.corpus_in = v;
+      }
     } else if (arg == "--replay") {
       const char* v = next();
-      if (!v) return usage(argv[0]);
-      cli.replay = v;
+      if (!v) {
+        fail_flag(arg, v);
+      } else {
+        cli.replay = v;
+      }
     } else if (arg == "--expect-digest") {
       const char* v = next();
-      if (!v) return usage(argv[0]);
-      cli.expect_digest = std::strtoull(v, nullptr, 0);
-      cli.has_expect_digest = true;
+      const auto parsed =
+          v ? util::parse_u64_any(v) : std::optional<std::uint64_t>{};
+      if (!parsed) {
+        fail_flag(arg, v);
+      } else {
+        cli.expect_digest = *parsed;
+        cli.has_expect_digest = true;
+      }
     } else {
-      return usage(argv[0]);
+      std::fprintf(stderr, "error: unknown flag: %s\n", arg.c_str());
+      parse_error = true;
     }
   }
+  if (parse_error) return usage(argv[0]);
   if (!cli.replay.empty()) return run_replay(cli);
   return run_soak_cli(cli);
 }

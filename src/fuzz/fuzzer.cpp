@@ -1,5 +1,7 @@
 #include "fuzz/fuzzer.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <optional>
 #include <sstream>
 #include <type_traits>
@@ -167,6 +169,73 @@ RunReport run_scenario(const Scenario& s, const RunOptions& options) {
   return r;
 }
 
+// ---- coverage -----------------------------------------------------------
+
+namespace {
+
+/// Quarter-log magnitude bucket: 0 -> 0, otherwise 1 + floor(log4(v)).
+/// Exact counts would make every run's signature unique and novelty
+/// meaningless; coarse magnitude buckets keep the signature space small
+/// enough that blind generation saturates it and novelty measures engine
+/// paths.
+[[nodiscard]] std::uint8_t log4_bucket(std::uint64_t v) {
+  return static_cast<std::uint8_t>((std::bit_width(v) + 1) / 2);
+}
+
+}  // namespace
+
+std::uint64_t CoverageSignature::key() const {
+  std::uint64_t k = 0;
+  const auto pack = [&k](std::uint64_t v, unsigned bits) {
+    AMAC_ASSERT(v < (std::uint64_t{1} << bits));
+    k = (k << bits) | v;
+  };
+  pack(scheduler, 4);
+  pack(wheel_bucket, 6);
+  pack(overflow_bucket, 6);
+  pack(batch_bucket, 6);
+  pack(resize_bucket, 4);
+  pack(decide_bucket, 6);
+  pack(flags, 8);
+  pack(failure, 4);
+  return k;
+}
+
+CoverageSignature coverage_signature(const Scenario& s, const RunReport& r) {
+  CoverageSignature sig;
+  sig.scheduler = static_cast<std::uint8_t>(s.scheduler);
+  sig.wheel_bucket = log4_bucket(r.stats.wheel_pushes);
+  sig.overflow_bucket = log4_bucket(r.stats.overflow_pushes);
+  sig.batch_bucket = log4_bucket(r.stats.batch_pushes);
+  sig.resize_bucket = static_cast<std::uint8_t>(
+      std::min<std::uint64_t>(r.stats.wheel_resizes, 3));
+  sig.decide_bucket =
+      log4_bucket(r.end_time / std::max<mac::Time>(s.fack, 1));
+  if (!s.crashes.empty()) sig.flags |= CoverageSignature::kHasCrashes;
+  if (r.mid_flight_crashes > 0) sig.flags |= CoverageSignature::kMidFlightCrash;
+  if (!s.holds.empty()) sig.flags |= CoverageSignature::kHasHolds;
+  if (s.late_holds) sig.flags |= CoverageSignature::kLateHolds;
+  if (termination_expected(s)) {
+    sig.flags |= CoverageSignature::kTerminationExpected;
+  }
+  if (r.condition_met) sig.flags |= CoverageSignature::kConditionMet;
+  sig.failure = static_cast<std::uint8_t>(r.failure);
+  return sig;
+}
+
+bool CoverageCorpus::observe(const CoverageSignature& sig) {
+  return seen_.insert(sig.key()).second;
+}
+
+void CoverageCorpus::admit(const Scenario& s) {
+  if (entries_.size() < max_entries_) {
+    entries_.push_back(s);
+    return;
+  }
+  entries_[next_replace_] = s;
+  next_replace_ = (next_replace_ + 1) % max_entries_;
+}
+
 // ---- shrinking ----------------------------------------------------------
 
 namespace {
@@ -228,33 +297,134 @@ ShrinkResult shrink_scenario(const Scenario& s, FailureKind kind,
   ++res.attempts;
   AMAC_EXPECTS(res.report.failure == kind);
 
-  bool improved = true;
-  while (improved && res.attempts < shrink.max_attempts) {
-    improved = false;
-    for (const Scenario& cand : shrink_candidates(res.scenario)) {
-      if (res.attempts >= shrink.max_attempts) break;
-      ++res.attempts;
-      RunReport rep = run_scenario(cand, run_options);
-      if (rep.failure == kind) {
-        res.scenario = cand;
-        res.report = std::move(rep);
+  /// Runs one candidate against the budget; non-null iff it still fails
+  /// with the same kind.
+  const auto try_candidate =
+      [&](const Scenario& cand) -> std::optional<RunReport> {
+    if (res.attempts >= shrink.max_attempts) return std::nullopt;
+    ++res.attempts;
+    RunReport rep = run_scenario(cand, run_options);
+    if (rep.failure != kind) return std::nullopt;
+    return rep;
+  };
+
+  /// Phase 2 worker: binary search for the smallest value in [floor,
+  /// current) that still reproduces the failure, committing every
+  /// successful probe. For monotone failures the committed value is the
+  /// exact threshold: one less provably does not reproduce.
+  const auto minimize_value =
+      [&](mac::Time floor, mac::Time current,
+          const std::function<void(Scenario&, mac::Time)>& set) -> bool {
+    bool reduced = false;
+    mac::Time lo = floor;
+    mac::Time hi = current;
+    while (lo < hi && res.attempts < shrink.max_attempts) {
+      const mac::Time mid = lo + (hi - lo) / 2;
+      Scenario cand = res.scenario;
+      set(cand, mid);
+      normalize_scenario(cand);
+      if (auto rep = try_candidate(cand)) {
+        res.scenario = std::move(cand);
+        res.report = std::move(*rep);
         ++res.reductions;
-        improved = true;
-        break;  // restart the candidate scan from the smaller scenario
+        reduced = true;
+        hi = mid;
+      } else {
+        lo = mid + 1;
       }
     }
+    return reduced;
+  };
+
+  bool progress = true;
+  while (progress && res.attempts < shrink.max_attempts) {
+    progress = false;
+
+    // Phase 1: greedy structural reduction (drop entries, shrink n/fack).
+    bool improved = true;
+    while (improved && res.attempts < shrink.max_attempts) {
+      improved = false;
+      for (const Scenario& cand : shrink_candidates(res.scenario)) {
+        if (auto rep = try_candidate(cand)) {
+          res.scenario = cand;
+          res.report = std::move(*rep);
+          ++res.reductions;
+          improved = true;
+          progress = true;
+          break;  // restart the candidate scan from the smaller scenario
+        }
+        if (res.attempts >= shrink.max_attempts) break;
+      }
+    }
+    if (!shrink.minimize_values) break;
+
+    // Phase 2: schedule-space value minimization over what survived.
+    // Value edits never change entry counts, so indexing by position is
+    // stable across the pass; a successful pass loops back to phase 1
+    // (a smaller release can unlock further structural drops).
+    for (std::size_t i = 0; i < res.scenario.holds.size(); ++i) {
+      progress |= minimize_value(
+          0, res.scenario.holds[i].release,
+          [i](Scenario& c, mac::Time v) { c.holds[i].release = v; });
+    }
+    for (std::size_t i = 0; i < res.scenario.crashes.size(); ++i) {
+      progress |= minimize_value(
+          0, res.scenario.crashes[i].when,
+          [i](Scenario& c, mac::Time v) { c.crashes[i].when = v; });
+    }
+    progress |= minimize_value(1, res.scenario.fack,
+                               [](Scenario& c, mac::Time v) { c.fack = v; });
   }
   return res;
 }
 
 // ---- soak loop ----------------------------------------------------------
 
+namespace {
+
+/// Folds a novel signature into the distinct-signature breakdown table.
+void note_signature(CoverageSummary& cov, const CoverageSignature& sig) {
+  ++cov.distinct;
+  if (sig.scheduler < kSchedulerKindCount) ++cov.per_scheduler[sig.scheduler];
+  if (sig.overflow_bucket > 0) ++cov.overflow_sigs;
+  if (sig.resize_bucket > 0) ++cov.resize_sigs;
+  if (sig.batch_bucket > 0) ++cov.batch_sigs;
+  if (sig.flags & CoverageSignature::kHasCrashes) ++cov.crash_sigs;
+  if (sig.flags & CoverageSignature::kHasHolds) ++cov.hold_sigs;
+}
+
+}  // namespace
+
 SoakResult run_soak(const SoakOptions& options) {
   SoakResult result;
-  util::Hasher corpus;
+  util::Hasher corpus_hash;
+  CoverageCorpus corpus(options.corpus_max);
+  for (const Scenario& s : options.initial_corpus) corpus.admit(s);
+  // The mutation stream is salted off seed_base, so a mutating soak is as
+  // reproducible as a pure one. With mutate_ratio == 0 the rng is never
+  // drawn and the run is bit-identical to the pre-mutation soak loop (the
+  // pinned 504-corpus digest depends on this).
+  util::Hasher mutate_seed;
+  mutate_seed.mix_u64(options.seed_base);
+  mutate_seed.mix_u64(0x4D757461746F72ULL);  // "Mutator"
+  util::Rng mutate_rng(mutate_seed.digest());
+
   for (std::size_t i = 0; i < options.count; ++i) {
-    const std::uint64_t seed = options.seed_base + i;
-    const Scenario s = generate_scenario(seed);
+    Scenario s;
+    bool mutated = false;
+    if (options.mutate_ratio > 0.0 && corpus.size() > 0 &&
+        mutate_rng.chance(options.mutate_ratio)) {
+      const Scenario& base =
+          corpus.entry(mutate_rng.uniform(0, corpus.size() - 1));
+      const Scenario* splice = nullptr;
+      if (corpus.size() > 1 && mutate_rng.chance(0.35)) {
+        splice = &corpus.entry(mutate_rng.uniform(0, corpus.size() - 1));
+      }
+      s = mutate_scenario(base, splice, mutate_rng);
+      mutated = true;
+    } else {
+      s = generate_scenario(options.seed_base + i);
+    }
 
     RunOptions run_options;
     run_options.differential = options.differential_every != 0 &&
@@ -262,6 +432,7 @@ SoakResult run_soak(const SoakOptions& options) {
     const RunReport report = run_scenario(s, run_options);
 
     ++result.runs;
+    if (mutated) ++result.mutated_runs;
     if (run_options.differential) ++result.differential_runs;
     ++result.per_algorithm[static_cast<std::size_t>(s.algorithm)];
     if (!s.crashes.empty()) ++result.crash_scenarios;
@@ -270,7 +441,16 @@ SoakResult run_soak(const SoakOptions& options) {
     result.overflow_events += report.stats.overflow_pushes;
     if (report.stats.overflow_pushes > 0) ++result.overflow_scenarios;
     if (report.stats.wheel_resizes > 0) ++result.resized_scenarios;
-    corpus.mix_u64(report.fingerprint);
+    corpus_hash.mix_u64(report.fingerprint);
+
+    const CoverageSignature sig = coverage_signature(s, report);
+    if (corpus.observe(sig)) {
+      ++result.novel_runs;
+      note_signature(result.coverage, sig);
+      // Only clean runs become mutation bases: mutating a known violation
+      // would just keep re-finding it.
+      if (report.failure == FailureKind::kNone) corpus.admit(s);
+    }
 
     if (report.failure != FailureKind::kNone) {
       SoakFailure failure;
@@ -289,7 +469,8 @@ SoakResult run_soak(const SoakOptions& options) {
     }
     if (options.on_scenario) options.on_scenario(i, s, report);
   }
-  result.corpus_digest = corpus.digest();
+  result.corpus = corpus.entries();
+  result.corpus_digest = corpus_hash.digest();
   return result;
 }
 

@@ -34,24 +34,62 @@
 //   ./bench_fuzz_soak --replay 'amacfuzz1:seed=42:alg=...'
 //   ./bench_fuzz_soak --replay 42          # bare seed = generated scenario
 //
+// Coverage-steered mutation: every run folds its EngineStats and run shape
+// into a CoverageSignature (which queue paths ran, how far the run went,
+// crash/hold interaction bits). Scenarios that produce a signature never
+// seen before enter a bounded in-memory corpus, and with
+//
+//   ./bench_fuzz_soak --count 20000 --mutate 0.35
+//
+// that fraction of runs is spent mutating corpus entries (perturbing one
+// fack/release/crash tick, adding/dropping/retiming a hold, splicing the
+// topology+scheduler of two entries) instead of blind generation — the
+// mutants chase schedule corners the generator's draw ranges never reach.
+// Mutants are clamped back into each algorithm's guarantee envelope, so a
+// mutant violation is always a real bug. The soak summary prints the
+// coverage table ("distinct coverage signatures: N" plus per-scheduler and
+// per-path splits); CI asserts the mutating soak strictly widens it over
+// pure generation at the same budget.
+//
+//   --corpus-out FILE   write the final corpus as spec lines (one per line)
+//   --corpus-in FILE    pre-seed the mutation corpus from such a file
+//                       (# and blank lines are skipped)
+//
+// The nightly lane (.github/workflows/nightly.yml) runs a long-horizon
+// mutating soak with a date-derived --seed-base and uploads the summary
+// and corpus as artifacts.
+//
+// Shrinking is two-phase: greedy structural reduction (drop crashes/holds,
+// shrink n, halve fack) followed by schedule-space value minimization —
+// each surviving hold release and crash time is binary-searched toward 0
+// (and fack toward 1), so the printed minimal spec carries threshold
+// VALUES, not just the fewest entries: a hold at release=37 in a minimal
+// repro means 36 provably does not reproduce (for monotone failures).
+//
 // How the corpus is pinned: the CI smoke lane and tests/test_fuzz_smoke.cpp
-// run the FIXED seed range [1, N] (seed-base 1), so the corpus only changes
-// when the generator itself changes — a generator edit shows up as a
-// reviewable corpus-digest change in the smoke test, never as silent drift.
+// run the FIXED seed range [1, N] (seed-base 1) with mutation OFF, so the
+// pinned corpus only changes when the generator itself changes — a
+// generator edit shows up as a reviewable corpus-digest change in the
+// smoke test, never as silent drift (mutation never alters seed-only
+// generation; the digest with --mutate 0 is bit-identical to PR 2/3).
 // Scenarios that once exposed bugs are pinned FOREVER as full spec lines
 // (not bare seeds) in tests/test_fuzz_regressions.cpp, immune to generator
-// evolution.
+// AND mutator evolution.
 //
 // Extending coverage: a new algorithm joins by extending
 // harness::Algorithm + algorithm_factory and teaching generate_scenario its
-// envelope (topology/scheduler/crash constraints); a new scheduler joins
-// via SchedulerKind + build_scenario. Everything downstream — oracle,
-// differential replay, shrinking, soak lane, repro specs — is inherited.
+// envelope (topology/scheduler/crash constraints) plus clamp_to_envelope
+// the same constraints; a new scheduler joins via SchedulerKind +
+// build_scenario. Everything downstream — oracle, differential replay,
+// coverage signatures, mutation, shrinking, soak lane, repro specs — is
+// inherited. A new engine-path counter becomes a coverage dimension by
+// extending CoverageSignature and coverage_signature().
 // ---------------------------------------------------------------------------
 #pragma once
 
 #include <array>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -99,10 +137,91 @@ struct RunReport {
 [[nodiscard]] RunReport run_scenario(const Scenario& s,
                                      const RunOptions& options = {});
 
+// ---- coverage -----------------------------------------------------------
+
+/// What a run exercised, folded into a small discrete signature: run-shape
+/// features read off EngineStats (wheel vs overflow vs batch traffic
+/// bucketed by magnitude, resize count, how many ack windows the run
+/// took), the scheduler kind, and the crash/hold interaction bits. Two
+/// runs with equal keys drove the same engine paths at the same order of
+/// magnitude; a never-seen key is the novelty signal that admits a
+/// scenario into the mutation corpus.
+///
+/// Deliberately NOT part of the signature: the algorithm and topology.
+/// Those dimensions are swept exhaustively by the generator anyway, and
+/// folding them in makes nearly every fresh seed "novel" — the signature
+/// must saturate under blind generation so that novelty measures engine
+/// paths, not scenario identity. Buckets are quarter-log (log4) for the
+/// same reason.
+struct CoverageSignature {
+  // Flag bits (flags field).
+  static constexpr std::uint8_t kHasCrashes = 1u << 0;
+  static constexpr std::uint8_t kMidFlightCrash = 1u << 1;
+  static constexpr std::uint8_t kHasHolds = 1u << 2;
+  static constexpr std::uint8_t kLateHolds = 1u << 3;
+  static constexpr std::uint8_t kTerminationExpected = 1u << 4;
+  static constexpr std::uint8_t kConditionMet = 1u << 5;
+
+  std::uint8_t scheduler = 0;        ///< SchedulerKind
+  std::uint8_t wheel_bucket = 0;     ///< log4 bucket of wheel pushes
+  std::uint8_t overflow_bucket = 0;  ///< log4 bucket of overflow pushes
+  std::uint8_t batch_bucket = 0;     ///< log4 bucket of batch fan-outs
+  std::uint8_t resize_bucket = 0;    ///< wheel resizes, saturated at 3
+  std::uint8_t decide_bucket = 0;    ///< log4 of end_time / fack (ack windows)
+  std::uint8_t flags = 0;            ///< kHasCrashes | ... interaction bits
+  std::uint8_t failure = 0;          ///< FailureKind
+
+  /// The packed identity: equal keys <=> equal signatures.
+  [[nodiscard]] std::uint64_t key() const;
+};
+
+/// Derives the signature of one executed scenario.
+[[nodiscard]] CoverageSignature coverage_signature(const Scenario& s,
+                                                   const RunReport& r);
+
+/// Bounded corpus of signature-novel scenarios: the mutation engine's seed
+/// pool. `observe` records a signature and reports novelty; `admit` stores
+/// a scenario as a mutation base (ring-replacing the oldest when full, so
+/// the pool tracks the novelty frontier). Signature bookkeeping and
+/// scenario storage are split because only clean (non-violating) runs may
+/// become mutation bases — mutating a known violation would just re-find it.
+class CoverageCorpus {
+ public:
+  explicit CoverageCorpus(std::size_t max_entries = 256)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  /// Records `sig`; true iff its key was never seen before.
+  bool observe(const CoverageSignature& sig);
+
+  /// Adds a mutation base (ring-replaces the oldest entry when full).
+  void admit(const Scenario& s);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const Scenario& entry(std::size_t i) const {
+    return entries_[i];
+  }
+  [[nodiscard]] const std::vector<Scenario>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t distinct_signatures() const {
+    return seen_.size();
+  }
+
+ private:
+  std::size_t max_entries_;
+  std::size_t next_replace_ = 0;
+  std::vector<Scenario> entries_;
+  std::set<std::uint64_t> seen_;
+};
+
 // ---- shrinking ----------------------------------------------------------
 
 struct ShrinkOptions {
   std::size_t max_attempts = 150;  ///< total candidate re-runs
+  /// Phase 2 (schedule-space value minimization): binary-search each
+  /// surviving hold release and crash time toward 0 and fack toward 1.
+  /// On by default; off reproduces the PR-2 structural-only shrinker.
+  bool minimize_values = true;
 };
 
 struct ShrinkResult {
@@ -112,9 +231,15 @@ struct ShrinkResult {
   std::size_t reductions = 0;  ///< accepted shrink steps
 };
 
-/// Greedy scenario minimization: repeatedly tries dropping crashes and
-/// holds, halving/decrementing n, and lowering the delay bound, keeping any
-/// transform after which the run still fails with the SAME FailureKind.
+/// Two-phase scenario minimization. Phase 1 (structural, greedy):
+/// repeatedly tries dropping crashes and holds, halving/decrementing n,
+/// and lowering the delay bound, keeping any transform after which the run
+/// still fails with the SAME FailureKind. Phase 2 (schedule-space, when
+/// ShrinkOptions::minimize_values): binary-searches each surviving hold
+/// release and crash time toward 0 and fack toward 1, so the minimal spec
+/// carries threshold values — for monotone failures, decrementing any
+/// minimized value makes the violation disappear. The phases alternate
+/// until a fixpoint or the attempt budget runs out.
 /// Requires run_scenario(s, options).failure == kind.
 [[nodiscard]] ShrinkResult shrink_scenario(const Scenario& s,
                                            FailureKind kind,
@@ -131,6 +256,16 @@ struct SoakOptions {
   std::size_t differential_every = 7;
   bool shrink_failures = true;
   std::size_t max_shrink_attempts = 150;
+  /// Fraction of runs spent mutating coverage-corpus entries instead of
+  /// generating from the seed stream. 0 (the default) disables mutation
+  /// entirely and reproduces the PR-2/3 soak bit for bit — the pinned
+  /// corpus digest depends on this. The mutation RNG is derived from
+  /// seed_base, so a mutating soak is as reproducible as a pure one.
+  double mutate_ratio = 0.0;
+  /// Bound on the mutation corpus (signature-novel scenarios kept).
+  std::size_t corpus_max = 256;
+  /// Pre-seeded mutation bases (--corpus-in), run before anything else.
+  std::vector<Scenario> initial_corpus;
   /// Progress callback after every scenario (may be empty).
   std::function<void(std::size_t index, const Scenario&, const RunReport&)>
       on_scenario;
@@ -140,6 +275,19 @@ struct SoakFailure {
   Scenario scenario;
   Scenario minimal;  ///< == scenario when shrinking is off
   RunReport report;  ///< report of `minimal`
+};
+
+/// Aggregated view of the signature space a soak explored, printed as the
+/// coverage table in the soak summary. All counts are over DISTINCT
+/// signatures, not runs.
+struct CoverageSummary {
+  std::size_t distinct = 0;
+  std::array<std::size_t, kSchedulerKindCount> per_scheduler{};
+  std::size_t overflow_sigs = 0;  ///< signatures with overflow traffic
+  std::size_t resize_sigs = 0;    ///< signatures where the wheel resized
+  std::size_t batch_sigs = 0;     ///< signatures with batch fan-outs
+  std::size_t crash_sigs = 0;     ///< signatures with crashes
+  std::size_t hold_sigs = 0;      ///< signatures with holdback holds
 };
 
 struct SoakResult {
@@ -156,6 +304,10 @@ struct SoakResult {
   std::uint64_t overflow_events = 0;
   std::size_t overflow_scenarios = 0;  ///< scenarios with >= 1 heap event
   std::size_t resized_scenarios = 0;   ///< scenarios where the wheel resized
+  std::size_t mutated_runs = 0;     ///< runs drawn from the mutation engine
+  std::size_t novel_runs = 0;       ///< runs with a never-seen signature
+  CoverageSummary coverage;         ///< distinct-signature breakdown
+  std::vector<Scenario> corpus;     ///< final mutation corpus (--corpus-out)
   std::uint64_t corpus_digest = 0;  ///< fold of every run fingerprint: the
                                     ///< one number that pins the corpus
   std::vector<SoakFailure> failures;

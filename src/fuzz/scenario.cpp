@@ -1,12 +1,12 @@
 #include "fuzz/scenario.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <limits>
 #include <sstream>
 
 #include "net/topologies.hpp"
 #include "util/hash.hpp"
+#include "util/parse.hpp"
 
 namespace amac::fuzz {
 
@@ -178,6 +178,207 @@ void normalize_scenario(Scenario& s) {
   }
 }
 
+// ---- mutation -----------------------------------------------------------
+
+const char* mutation_name(MutationOp op) {
+  switch (op) {
+    case MutationOp::kPerturbFack: return "perturb-fack";
+    case MutationOp::kPerturbHoldRelease: return "perturb-hold";
+    case MutationOp::kPerturbCrashTime: return "perturb-crash";
+    case MutationOp::kRetimeHold: return "retime-hold";
+    case MutationOp::kAddHold: return "add-hold";
+    case MutationOp::kRemoveHold: return "remove-hold";
+    case MutationOp::kAddCrash: return "add-crash";
+    case MutationOp::kRemoveCrash: return "remove-crash";
+    case MutationOp::kToggleLateHolds: return "toggle-late";
+    case MutationOp::kReseed: return "reseed";
+    case MutationOp::kSpliceTransport: return "splice";
+  }
+  AMAC_ASSERT(false);
+  return "?";
+}
+
+namespace {
+
+// Mutation value bounds. Wider than the generator's draw ranges on purpose
+// (that is where the new coverage lives) but small enough that a mutant
+// still runs in fuzz-soak time: releases stay inside the wheel's resizable
+// horizon and crash times inside every horizon the clamp can pick.
+constexpr mac::Time kMaxMutatedFack = 64;
+constexpr mac::Time kMaxMutatedRelease = 4000;
+constexpr mac::Time kMaxMutatedCrashTime = 5000;
+constexpr std::size_t kMaxMutatedHolds = 6;
+constexpr std::size_t kMaxMutatedCrashes = 4;
+constexpr std::uint32_t kMaxMutatedNodes = 24;
+
+[[nodiscard]] mac::Time clamp_time(mac::Time t, mac::Time lo, mac::Time hi) {
+  return t < lo ? lo : (t > hi ? hi : t);
+}
+
+/// Halve, double, or nudge a tick value (the perturb-* ops).
+[[nodiscard]] mac::Time perturb_time(mac::Time t, util::Rng& rng) {
+  switch (rng.uniform(0, 3)) {
+    case 0: return t / 2;
+    case 1: return t * 2;
+    case 2: return t + rng.uniform(1, 8);
+    default: return t > 1 ? t - rng.uniform(1, std::min<mac::Time>(t - 1, 8))
+                          : t + 1;
+  }
+}
+
+[[nodiscard]] bool crashes_allowed(const Scenario& s) {
+  switch (s.algorithm) {
+    case Algorithm::kFlooding:
+    case Algorithm::kWPaxos:
+      return s.crashes.size() < kMaxMutatedCrashes;
+    case Algorithm::kBenOr:
+      return s.crashes.size() < s.benor_f;
+    default:
+      return false;  // crash-intolerant: mutants stay crash-free
+  }
+}
+
+/// Applies `op` to `s` in place. Returns false when the op does not apply
+/// to this scenario's shape (no holds to drop, wrong scheduler, ...).
+bool apply_mutation(Scenario& s, MutationOp op, const Scenario* splice,
+                    util::Rng& rng) {
+  switch (op) {
+    case MutationOp::kPerturbFack:
+      s.fack = clamp_time(perturb_time(s.fack, rng), 1, kMaxMutatedFack);
+      return true;
+    case MutationOp::kPerturbHoldRelease: {
+      if (s.holds.empty()) return false;
+      auto& h = s.holds[rng.uniform(0, s.holds.size() - 1)];
+      h.release =
+          clamp_time(perturb_time(h.release, rng), 2, kMaxMutatedRelease);
+      return true;
+    }
+    case MutationOp::kPerturbCrashTime: {
+      if (s.crashes.empty()) return false;
+      auto& c = s.crashes[rng.uniform(0, s.crashes.size() - 1)];
+      c.when = clamp_time(perturb_time(c.when, rng), 1, kMaxMutatedCrashTime);
+      return true;
+    }
+    case MutationOp::kRetimeHold: {
+      if (s.holds.empty()) return false;
+      auto& h = s.holds[rng.uniform(0, s.holds.size() - 1)];
+      h.release = clamp_time(rng.uniform(2, 40 * s.fack + 200), 2,
+                             kMaxMutatedRelease);
+      return true;
+    }
+    case MutationOp::kAddHold: {
+      if (s.scheduler != SchedulerKind::kHoldback ||
+          s.holds.size() >= kMaxMutatedHolds) {
+        return false;
+      }
+      HoldSpec h;
+      h.sender = static_cast<NodeId>(rng.uniform(0, s.n - 1));
+      h.release = clamp_time(rng.uniform(s.fack + 1, 20 * s.fack + 40), 2,
+                             kMaxMutatedRelease);
+      s.holds.push_back(h);
+      return true;
+    }
+    case MutationOp::kRemoveHold:
+      if (s.holds.empty()) return false;
+      s.holds.erase(s.holds.begin() + static_cast<std::ptrdiff_t>(
+                                          rng.uniform(0, s.holds.size() - 1)));
+      return true;
+    case MutationOp::kAddCrash: {
+      if (!crashes_allowed(s)) return false;
+      CrashSpec c;
+      c.node = static_cast<NodeId>(rng.uniform(0, s.n - 1));
+      c.when = clamp_time(rng.uniform(1, 6 * s.fack + 2 * s.n), 1,
+                          kMaxMutatedCrashTime);
+      s.crashes.push_back(c);
+      return true;
+    }
+    case MutationOp::kRemoveCrash:
+      if (s.crashes.empty()) return false;
+      s.crashes.erase(s.crashes.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          rng.uniform(0, s.crashes.size() - 1)));
+      return true;
+    case MutationOp::kToggleLateHolds:
+      if (s.scheduler != SchedulerKind::kHoldback || s.holds.empty()) {
+        return false;
+      }
+      s.late_holds = !s.late_holds;
+      return true;
+    case MutationOp::kReseed:
+      s.seed = rng.uniform(1, 999'999'999);
+      return true;
+    case MutationOp::kSpliceTransport:
+      if (splice == nullptr) return false;
+      s.topology = splice->topology;
+      s.n = splice->n;
+      s.aux = splice->aux;
+      s.scheduler = splice->scheduler;
+      s.fack = splice->fack;
+      s.late_holds = splice->late_holds;
+      s.holds = splice->holds;
+      return true;
+  }
+  AMAC_ASSERT(false);
+  return false;
+}
+
+}  // namespace
+
+void clamp_to_envelope(Scenario& s) {
+  // Mirror generate_scenario's envelope: Theorem 3.3/3.9 algorithms are
+  // synchronous-only and crash-free; single-hop algorithms live on the
+  // clique; crashes only go where safety (or Ben-Or's f) covers them.
+  if (synchronous_only(s.algorithm)) {
+    s.scheduler = SchedulerKind::kSynchronous;
+    s.crashes.clear();
+  }
+  if (single_hop_only(s.algorithm)) {
+    s.topology = TopologyKind::kClique;
+    s.aux = 0;
+  }
+  switch (s.algorithm) {
+    case Algorithm::kFlooding:
+    case Algorithm::kWPaxos:
+      if (s.crashes.size() > kMaxMutatedCrashes) {
+        s.crashes.resize(kMaxMutatedCrashes);
+      }
+      break;
+    case Algorithm::kBenOr:
+      break;  // normalize_scenario enforces crashes <= f < n/2
+    default:
+      s.crashes.clear();  // crash-intolerant deterministic algorithms
+  }
+  const bool multi_ok = s.algorithm == Algorithm::kFlooding ||
+                        s.algorithm == Algorithm::kWPaxos;
+  if (!multi_ok && s.inputs == InputPattern::kMultivalued) {
+    s.inputs = InputPattern::kSplit;
+  }
+  s.fack = clamp_time(s.fack, 1, kMaxMutatedFack);
+  if (s.n > kMaxMutatedNodes) s.n = kMaxMutatedNodes;
+  for (auto& h : s.holds) h.release = clamp_time(h.release, 1, kMaxMutatedRelease);
+  for (auto& c : s.crashes) c.when = clamp_time(c.when, 1, kMaxMutatedCrashTime);
+  normalize_scenario(s);
+  // Same horizon policy as the generator: liveness runs get room, safety-
+  // only runs stop once the interesting prefix has played out.
+  s.horizon = termination_expected(s) ? 1'000'000 : 30'000;
+}
+
+Scenario mutate_scenario(const Scenario& base, const Scenario* splice,
+                         util::Rng& rng) {
+  Scenario s = base;
+  bool applied = false;
+  for (int attempt = 0; attempt < 8 && !applied; ++attempt) {
+    const auto op =
+        static_cast<MutationOp>(rng.uniform(0, kMutationOpCount - 1));
+    applied = apply_mutation(s, op, splice, rng);
+  }
+  // Every scenario admits a reseed, so a mutant never degenerates into a
+  // verbatim copy of its parent.
+  if (!applied) apply_mutation(s, MutationOp::kReseed, splice, rng);
+  clamp_to_envelope(s);
+  return s;
+}
+
 Scenario generate_scenario(std::uint64_t seed) {
   util::Rng rng(sub_seed(seed, kGenSalt));
   Scenario s;
@@ -314,9 +515,10 @@ std::string format_spec(const Scenario& s) {
 namespace {
 
 [[nodiscard]] bool parse_u64(std::string_view v, std::uint64_t& out) {
-  const auto* end = v.data() + v.size();
-  const auto res = std::from_chars(v.data(), end, out);
-  return res.ec == std::errc{} && res.ptr == end;
+  const auto parsed = util::parse_u64(v);
+  if (!parsed.has_value()) return false;
+  out = *parsed;
+  return true;
 }
 
 /// Parses "a@b,c@d" pair lists (crashes, holds).

@@ -30,6 +30,7 @@
 #include "mac/engine.hpp"
 #include "mac/schedulers.hpp"
 #include "net/graph.hpp"
+#include "util/rng.hpp"
 
 namespace amac::fuzz {
 
@@ -124,6 +125,48 @@ struct Scenario {
 /// f < n/2. Shrinking applies this after every transform; build_scenario
 /// expects an already-normalized scenario.
 void normalize_scenario(Scenario& s);
+
+// ---- mutation -----------------------------------------------------------
+
+/// One mutation step applied to a corpus scenario by the coverage-steered
+/// fuzzer (see fuzz/fuzzer.hpp). Every op goes through clamp_to_envelope
+/// afterwards, so mutants are always well-formed AND inside the mutated
+/// algorithm's guarantee envelope — a mutant "violation" is a real bug,
+/// never an expected counterexample.
+enum class MutationOp : std::uint8_t {
+  kPerturbFack = 0,      ///< nudge/halve/double the delay bound
+  kPerturbHoldRelease = 1,  ///< nudge/halve/double one hold's release tick
+  kPerturbCrashTime = 2,    ///< nudge/halve/double one crash tick
+  kRetimeHold = 3,       ///< redraw one hold's release from a wide range
+  kAddHold = 4,          ///< add one hold (holdback scenarios only)
+  kRemoveHold = 5,       ///< drop one hold
+  kAddCrash = 6,         ///< add one crash (crash-tolerant envelopes only)
+  kRemoveCrash = 7,      ///< drop one crash
+  kToggleLateHolds = 8,  ///< flip early/late hold registration
+  kReseed = 9,           ///< redraw the master seed (new wiring/inputs)
+  kSpliceTransport = 10,  ///< take topology+scheduler from a second parent
+};
+inline constexpr std::size_t kMutationOpCount = 11;
+
+[[nodiscard]] const char* mutation_name(MutationOp op);
+
+/// Clamps a mutated scenario back inside its algorithm's guarantee
+/// envelope, mirroring generate_scenario's constraints (synchronous-only
+/// algorithms lose adversarial schedulers and crashes, single-hop
+/// algorithms return to the clique, value ranges are bounded), then
+/// normalizes and recomputes the horizon. Mutation applies this after
+/// every op; hand-written specs remain free to step outside the envelope.
+void clamp_to_envelope(Scenario& s);
+
+/// Applies one randomly chosen applicable mutation to a copy of `base`
+/// (`splice`, when non-null, is the second parent for kSpliceTransport)
+/// and returns the clamped, normalized mutant. Deterministic given the
+/// rng state. The mutant keeps `base`'s seed unless kReseed fires, so its
+/// derived streams (wiring, inputs, scheduler delays) stay pinned and the
+/// spec line replays it exactly.
+[[nodiscard]] Scenario mutate_scenario(const Scenario& base,
+                                       const Scenario* splice,
+                                       util::Rng& rng);
 
 // ---- spec round-trip ----------------------------------------------------
 

@@ -15,8 +15,11 @@
 //     Global push order has monotonically increasing `seq`, so plain
 //     appends keep each lane seq-sorted; popping lane 0 (deliveries), then
 //     lane 1 (acks), then lane 2 (crashes) realizes the (t, kind, seq)
-//     ordering contract exactly. Lanes are reusable vectors (cleared, not
-//     freed), so steady-state operation allocates nothing.
+//     ordering contract exactly. Lane vectors are reused, never freed: when
+//     a bucket drains, its warmed lanes move to a spare pool and the next
+//     bucket to become occupied adopts them, so steady-state operation
+//     allocates nothing and a ring only ever warms as many lanes as it has
+//     simultaneously occupied buckets.
 //   * `push_batch` is the fan-out fast path: when a broadcast schedule is
 //     uniform, all of its deliver events share one tick, so the engine
 //     reserves a contiguous span in that bucket's lane once and fills the
@@ -47,8 +50,11 @@
 // wheel_insert, whose insert-by-seq fallback handles the tick shared with
 // a carried-over bucket (possible: the cursor may have advanced past an
 // overflow event's tick without migrating it, while newer same-tick pushes
-// went to the wheel). The rebuild allocates; the steady state after it
-// does not. `set_resize_enabled(false)` pins the original span for A/B
+// went to the wheel). The rebuild allocates the new ring, but the old
+// ring's warmed lane storage is recycled through the spare pool, so the
+// first revolution of the resized wheel reuses it instead of re-warming
+// one allocation per bucket; steady state after the rebuild is clean
+// again. `set_resize_enabled(false)` pins the original span for A/B
 // benchmarks of the overflow-heap fallback.
 //
 // The pop order is bit-identical to a binary heap ordered by
@@ -57,6 +63,7 @@
 // relocates storage, never reorders.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <queue>
@@ -89,14 +96,21 @@ class CalendarQueue {
   [[nodiscard]] std::size_t peak_size() const { return peak_; }
 
   /// Accounting for engine stats, benches, and the fuzzer's coverage
-  /// summary: which path (wheel vs overflow heap) events took, and whether
-  /// the self-resize ran.
+  /// summary: which path (wheel vs overflow heap) events took, whether the
+  /// self-resize ran, and how often the batch fan-out reservation engaged.
   [[nodiscard]] std::uint64_t wheel_pushes() const { return wheel_pushes_; }
   [[nodiscard]] std::uint64_t overflow_pushes() const {
     return overflow_pushes_;
   }
   [[nodiscard]] std::uint64_t resizes() const { return resizes_; }
+  [[nodiscard]] std::uint64_t batch_reservations() const {
+    return batch_reservations_;
+  }
   [[nodiscard]] Time span() const { return wheel_span(); }
+  /// Warmed lane vectors currently parked in the recycling pool (tests).
+  [[nodiscard]] std::size_t spare_lane_count() const {
+    return spare_lanes_.size();
+  }
 
   /// Disables the self-resize (A/B benching of the overflow-heap fallback).
   void set_resize_enabled(bool enabled) { resize_enabled_ = enabled; }
@@ -134,13 +148,21 @@ class CalendarQueue {
       AMAC_ENSURES(b.tick == t);
     }
     auto& lane = b.lane[static_cast<std::size_t>(kind)];
+    if (lane.capacity() == 0) warm_lane(lane);
     const std::size_t offset = lane.size();
+    if (lane.capacity() < offset + count) {
+      // Geometric growth: an exact-size reserve would defeat the vector's
+      // doubling and turn repeated same-tick batch reservations quadratic.
+      lane.reserve(
+          std::max({2 * lane.capacity(), offset + count, kMinLaneCapacity}));
+    }
     lane.resize(offset + count);
     b.count += count;
     wheel_count_ += count;
     size_ += count;
     if (size_ > peak_) peak_ = size_;
     wheel_pushes_ += count;
+    ++batch_reservations_;
     return lane.data() + offset;
   }
 
@@ -170,8 +192,18 @@ class CalendarQueue {
     --wheel_count_;
     --size_;
     if (b.count == 0) {
+      // Warmed lane storage circulates through the spare pool instead of
+      // staying pinned to this bucket: the next bucket to become occupied
+      // (often a different ring slot entirely, e.g. right after a resize)
+      // adopts it, so a revolution of the ring needs only as many warmed
+      // lanes as there are simultaneously occupied buckets.
       for (std::size_t k = 0; k < kLanes; ++k) {
-        b.lane[k].clear();  // keeps capacity: steady state never allocates
+        auto& lane = b.lane[k];
+        if (lane.capacity() != 0) {
+          lane.clear();
+          park_spare(std::move(lane));
+          lane = std::vector<Event>();
+        }
         b.head[k] = 0;
       }
       clear_occupied(base_ & mask_);
@@ -189,6 +221,8 @@ class CalendarQueue {
   static constexpr std::size_t kMaxResizedWheel = std::size_t{1} << 16;
   /// Overflow pushes with a resizable horizon tolerated before rebuilding.
   static constexpr std::size_t kResizeOverflowTrigger = 32;
+  /// Smallest capacity a lane vector is ever born with (see warm_lane).
+  static constexpr std::size_t kMinLaneCapacity = 16;
 
   struct Bucket {
     std::array<std::vector<Event>, kLanes> lane;
@@ -199,6 +233,39 @@ class CalendarQueue {
 
   [[nodiscard]] Time wheel_span() const {
     return static_cast<Time>(buckets_.size());
+  }
+
+  static bool lane_capacity_less(const std::vector<Event>& a,
+                                 const std::vector<Event>& b) {
+    return a.capacity() < b.capacity();
+  }
+
+  /// Gives a capacity-less lane storage: the largest parked spare when the
+  /// pool has one (adoption takes the biggest so a dense tick finds the
+  /// high-water vector instead of growing a small one), otherwise a fresh
+  /// reservation at the capacity floor so no tiny vector is ever born into
+  /// the circulating pool — either way lane capacities converge to the
+  /// demand profile after a handful of ticks instead of oscillating
+  /// through incremental doublings.
+  void warm_lane(std::vector<Event>& lane) {
+    if (!spare_lanes_.empty()) {
+      std::pop_heap(spare_lanes_.begin(), spare_lanes_.end(),
+                    lane_capacity_less);
+      lane = std::move(spare_lanes_.back());
+      spare_lanes_.pop_back();
+    } else {
+      lane.reserve(kMinLaneCapacity);
+    }
+  }
+
+  /// Parks a cleared lane vector. The pool is a max-heap on capacity, so
+  /// parking and largest-first adoption are O(log pool) — a bulk drain of
+  /// many occupied buckets (or the resize carry-over) stays linearithmic
+  /// instead of shifting a sorted vector per lane.
+  void park_spare(std::vector<Event>&& lane) {
+    spare_lanes_.push_back(std::move(lane));
+    std::push_heap(spare_lanes_.begin(), spare_lanes_.end(),
+                   lane_capacity_less);
   }
 
   void set_occupied(std::size_t idx) {
@@ -219,6 +286,7 @@ class CalendarQueue {
       AMAC_ENSURES(b.tick == e.t);
     }
     auto& lane = b.lane[static_cast<std::size_t>(e.kind)];
+    if (lane.capacity() == 0) warm_lane(lane);
     if (lane.empty() || lane.back().seq < e.seq) {
       lane.push_back(e);  // the hot path: pushes arrive in seq order
     } else {
@@ -266,12 +334,21 @@ class CalendarQueue {
     wheel_count_ = 0;
     // Carry the old wheel over. Each old bucket holds one tick and lanes
     // are seq-sorted past head, so re-inserting in lane order appends.
+    // Each bucket's warmed lane storage is recycled through the spare pool
+    // right after its events are carried across: the larger ring's buckets
+    // adopt it on first use instead of re-warming a revolution of fresh
+    // allocations.
     for (Bucket& b : old) {
-      if (b.count == 0) continue;
       for (std::size_t k = 0; k < kLanes; ++k) {
-        const auto& lane = b.lane[k];
-        for (std::size_t i = b.head[k]; i < lane.size(); ++i) {
-          wheel_insert(lane[i]);
+        auto& lane = b.lane[k];
+        if (b.count > 0) {
+          for (std::size_t i = b.head[k]; i < lane.size(); ++i) {
+            wheel_insert(lane[i]);
+          }
+        }
+        if (lane.capacity() != 0) {
+          lane.clear();
+          park_spare(std::move(lane));
         }
       }
     }
@@ -345,6 +422,13 @@ class CalendarQueue {
   std::uint64_t wheel_pushes_ = 0;
   std::uint64_t overflow_pushes_ = 0;
   std::uint64_t resizes_ = 0;
+  std::uint64_t batch_reservations_ = 0;
+  /// Cleared lane vectors whose capacity is waiting to be adopted by the
+  /// next bucket that becomes occupied. Lane storage is conserved, not
+  /// duplicated: vectors move bucket -> pool on bucket drain and pool ->
+  /// bucket on first insert, so the pool is bounded by the lane count of
+  /// the largest ring ever built.
+  std::vector<std::vector<Event>> spare_lanes_;
   Time observed_horizon_ = 0;          ///< max resizable overflow horizon
   std::size_t resizable_overflow_ = 0; ///< overflow pushes since last resize
   bool resize_enabled_ = true;

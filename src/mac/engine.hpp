@@ -102,9 +102,12 @@ struct Decision {
 
 /// Aggregate accounting across a run.
 ///
-/// The wheel_* fields describe the calendar queue only (always 0 on
-/// ReferenceNetwork, which has no wheel); differential fingerprints and
-/// cross-engine equality checks must not include them.
+/// The wheel_* and batch_pushes fields describe the calendar queue only
+/// (always 0 on ReferenceNetwork, which has no wheel); differential
+/// fingerprints and cross-engine equality checks must not include them.
+/// They are, however, exactly the run-shape features the fuzzer's
+/// CoverageSignature consumes (fuzz/fuzzer.hpp): which queue path a
+/// scenario drove is the coverage signal that steers mutation.
 struct EngineStats {
   std::uint64_t broadcasts = 0;
   std::uint64_t dropped_busy = 0;  ///< broadcasts discarded while busy
@@ -116,6 +119,8 @@ struct EngineStats {
   std::uint64_t wheel_pushes = 0;     ///< events placed directly in the wheel
   std::uint64_t overflow_pushes = 0;  ///< events spilled to the overflow heap
   std::uint64_t wheel_resizes = 0;    ///< self-resize rebuilds that ran
+  std::uint64_t batch_pushes = 0;     ///< uniform fan-outs that took the
+                                      ///< push_batch bucket reservation
   std::size_t wheel_span = 0;         ///< final wheel size in buckets
 };
 

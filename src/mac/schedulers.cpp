@@ -4,6 +4,22 @@
 
 namespace amac::mac {
 
+namespace {
+
+/// The holdback release boundary, pinned in one place: a hold can move a
+/// delivery iff its release is strictly past now + 1. Delays are >= 1, so
+/// no delivery lands before now + 1 and a release at or before that tick
+/// is already satisfied — in particular release == now + 1 must NOT
+/// stretch any delay, and an expired hold must leave the base schedule's
+/// dense uniform form untouched so the engine's batch fan-out re-engages.
+/// Exact-boundary tests: Schedulers.HoldbackReleaseBoundary* in
+/// tests/test_mac_schedulers.cpp.
+[[nodiscard]] constexpr bool hold_is_live(Time release, Time now) {
+  return release > now + 1;
+}
+
+}  // namespace
+
 void SynchronousScheduler::schedule(NodeId /*sender*/, Time /*now*/,
                                     const std::vector<NodeId>& neighbors,
                                     BroadcastSchedule& out) {
@@ -58,12 +74,12 @@ void HoldbackScheduler::schedule(NodeId sender, Time now,
   // untouched. Expired holds therefore re-enable the engine's batch
   // fan-out instead of densifying forever.
   const auto sender_hold = held_senders_.find(sender);
-  const bool sender_live =
-      sender_hold != held_senders_.end() && sender_hold->second > now + 1;
+  const bool sender_live = sender_hold != held_senders_.end() &&
+                           hold_is_live(sender_hold->second, now);
   bool edge_live = false;
   for (auto it = held_edges_.lower_bound({sender, 0});
        it != held_edges_.end() && it->first.first == sender; ++it) {
-    if (it->second > now + 1) {
+    if (hold_is_live(it->second, now)) {
       edge_live = true;
       break;
     }

@@ -1,0 +1,260 @@
+// Coverage-steered mutation fuzzing (tier-1 pins).
+//
+//   * every mutant — including chains of mutants — survives the
+//     clamp_to_envelope round-trip: spec-exact (format/parse), inside its
+//     algorithm's guarantee envelope, and buildable;
+//   * mutation is deterministic given the rng state;
+//   * CoverageSignature is stable, discriminates engine paths, and the
+//     corpus is bounded with exact novelty detection;
+//   * a mutating soak strictly widens distinct-signature coverage over
+//     pure generation at the same budget (the acceptance property the CI
+//     fuzz lane asserts at 2000 scenarios);
+//   * schedule-space shrinking minimizes a seeded violation's hold release
+//     to its exact reproduction threshold, not just to fewer holds.
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.hpp"
+
+namespace amac::fuzz {
+namespace {
+
+using harness::Algorithm;
+
+/// The envelope assertions of test_fuzz_smoke.cpp, applied to a mutant.
+void expect_in_envelope(const Scenario& s, const std::string& context) {
+  const BuiltScenario b = build_scenario(s);
+  const std::size_t count = b.graph.node_count();
+  ASSERT_GE(count, 2u) << context;
+  ASSERT_TRUE(b.graph.is_connected()) << context;
+  ASSERT_EQ(b.inputs.size(), count) << context;
+  ASSERT_EQ(b.ids.size(), count) << context;
+
+  if (s.algorithm == Algorithm::kAnonymous ||
+      s.algorithm == Algorithm::kStability) {
+    EXPECT_EQ(s.scheduler, SchedulerKind::kSynchronous) << context;
+    EXPECT_TRUE(s.crashes.empty()) << context;
+  }
+  if (s.algorithm == Algorithm::kTwoPhase ||
+      s.algorithm == Algorithm::kBenOr) {
+    EXPECT_EQ(s.topology, TopologyKind::kClique) << context;
+  }
+  if (s.algorithm == Algorithm::kTwoPhase) {
+    EXPECT_TRUE(s.crashes.empty()) << context;
+  }
+  if (s.algorithm == Algorithm::kBenOr) {
+    EXPECT_LT(2 * s.benor_f, count) << context;
+    EXPECT_LE(s.crashes.size(), s.benor_f) << context;
+  }
+  for (const auto& c : s.crashes) EXPECT_LT(c.node, count) << context;
+  for (const auto& h : s.holds) EXPECT_LT(h.sender, count) << context;
+  if (s.scheduler != SchedulerKind::kHoldback) {
+    EXPECT_TRUE(s.holds.empty()) << context;
+    EXPECT_FALSE(s.late_holds) << context;
+  }
+  EXPECT_GE(s.fack, 1u) << context;
+}
+
+TEST(FuzzMutation, MutantChainsSurviveRoundTripAndStayInEnvelope) {
+  // Chains of mutants (mutant-of-mutant, with occasional splice partners)
+  // must stay spec-exact and inside the guarantee envelope — this is what
+  // makes a mutant violation a real bug and its printed spec replayable.
+  util::Rng rng(0xC07E4A6E);
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Scenario s = generate_scenario(seed);
+    const Scenario partner = generate_scenario(seed + 1000);
+    for (int step = 0; step < 8; ++step) {
+      const Scenario* splice = (step % 3 == 2) ? &partner : nullptr;
+      s = mutate_scenario(s, splice, rng);
+      const std::string context = "seed " + std::to_string(seed) + " step " +
+                                  std::to_string(step) + ": " +
+                                  format_spec(s);
+      // Spec round-trip is exact.
+      const auto parsed = parse_spec(format_spec(s));
+      ASSERT_TRUE(parsed.has_value()) << context;
+      EXPECT_EQ(format_spec(*parsed), format_spec(s)) << context;
+      expect_in_envelope(s, context);
+    }
+  }
+}
+
+TEST(FuzzMutation, DeterministicGivenRngState) {
+  const Scenario base = generate_scenario(7);
+  const Scenario partner = generate_scenario(8);
+  util::Rng a(123);
+  util::Rng b(123);
+  for (int i = 0; i < 50; ++i) {
+    const Scenario ma = mutate_scenario(base, &partner, a);
+    const Scenario mb = mutate_scenario(base, &partner, b);
+    EXPECT_EQ(format_spec(ma), format_spec(mb));
+  }
+}
+
+TEST(FuzzMutation, MutantsRunCleanInsideTheirEnvelopes) {
+  // Clamped mutants make guarantees the oracle can hold them to; a sample
+  // must run violation-free (deterministic: fixed rng, so never flaky).
+  util::Rng rng(99);
+  std::size_t ran = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Scenario s = generate_scenario(seed);
+    s = mutate_scenario(s, nullptr, rng);
+    const RunReport r = run_scenario(s);
+    EXPECT_EQ(r.failure, FailureKind::kNone)
+        << format_spec(s) << "\n" << r.detail;
+    ++ran;
+  }
+  EXPECT_EQ(ran, 20u);
+}
+
+TEST(FuzzCoverage, SignatureIsStableAndDiscriminatesEnginePaths) {
+  // Same scenario, same signature (bit-stable run to run).
+  const Scenario s = generate_scenario(11);
+  const CoverageSignature sig_a = coverage_signature(s, run_scenario(s));
+  const CoverageSignature sig_b = coverage_signature(s, run_scenario(s));
+  EXPECT_EQ(sig_a.key(), sig_b.key());
+
+  // A late-hold resize scenario and a plain synchronous scenario must land
+  // in different signatures (different scheduler, overflow, resize and
+  // hold dimensions) — the signal that steers mutation toward rare paths.
+  const auto resize_spec = parse_spec(
+      "amacfuzz1:seed=43:alg=flooding:topo=clique:n=14:aux=0:sched=holdback:"
+      "fack=5:late=1:in=alt:ids=perm:f=0:hz=1000000:holds=9@129,11@59,12@136");
+  ASSERT_TRUE(resize_spec.has_value());
+  const RunReport resize_report = run_scenario(*resize_spec);
+  const CoverageSignature resize_sig =
+      coverage_signature(*resize_spec, resize_report);
+  EXPECT_NE(resize_sig.key(), sig_a.key());
+  EXPECT_GT(resize_sig.overflow_bucket, 0);
+  EXPECT_GT(resize_sig.resize_bucket, 0);
+  EXPECT_TRUE(resize_sig.flags & CoverageSignature::kHasHolds);
+  EXPECT_TRUE(resize_sig.flags & CoverageSignature::kLateHolds);
+}
+
+TEST(FuzzCoverage, CorpusIsBoundedAndDetectsNovelty) {
+  CoverageCorpus corpus(4);
+  CoverageSignature sig;
+  sig.scheduler = 1;
+  EXPECT_TRUE(corpus.observe(sig));
+  EXPECT_FALSE(corpus.observe(sig));  // exact dedup on the packed key
+  sig.overflow_bucket = 2;
+  EXPECT_TRUE(corpus.observe(sig));
+  EXPECT_EQ(corpus.distinct_signatures(), 2u);
+
+  for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+    corpus.admit(generate_scenario(seed));
+  }
+  EXPECT_EQ(corpus.size(), 4u);  // bounded: ring-replaced, never grows
+  // Ring replacement: seeds 5, 6, 7 overwrote slots 0, 1, 2.
+  EXPECT_EQ(corpus.entry(0).seed, 5u);
+  EXPECT_EQ(corpus.entry(1).seed, 6u);
+  EXPECT_EQ(corpus.entry(2).seed, 7u);
+  EXPECT_EQ(corpus.entry(3).seed, 4u);
+}
+
+TEST(FuzzCoverage, MutatingSoakStrictlyWidensCoverage) {
+  // The acceptance property, at the CI budget: --mutate 0.5 over 2000
+  // scenarios must discover strictly more distinct signatures than pure
+  // generation of the same budget, while staying violation-free. Both
+  // soaks are deterministic, so this can never flake.
+  SoakOptions pure;
+  pure.seed_base = 1;
+  pure.count = 2000;
+  pure.differential_every = 0;
+  const SoakResult pure_result = run_soak(pure);
+  ASSERT_TRUE(pure_result.ok());
+  EXPECT_EQ(pure_result.mutated_runs, 0u);
+
+  SoakOptions mutating = pure;
+  mutating.mutate_ratio = 0.5;
+  const SoakResult mutated_result = run_soak(mutating);
+  ASSERT_TRUE(mutated_result.ok());
+  EXPECT_GT(mutated_result.mutated_runs, 0u);
+
+  EXPECT_GT(mutated_result.coverage.distinct, pure_result.coverage.distinct)
+      << "mutation failed to widen signature coverage over blind generation";
+  // The corpus digest folds every fingerprint, so the two soaks really ran
+  // different scenario streams.
+  EXPECT_NE(mutated_result.corpus_digest, pure_result.corpus_digest);
+  // Coverage summary bookkeeping is consistent.
+  EXPECT_EQ(mutated_result.coverage.distinct, mutated_result.novel_runs);
+  EXPECT_LE(mutated_result.corpus.size(), mutating.corpus_max);
+}
+
+TEST(FuzzCoverage, InitialCorpusSeedsMutationBases) {
+  // A soak seeded from an external corpus can mutate from the very first
+  // scenario (no warm-up needed) — the --corpus-in path.
+  SoakOptions options;
+  options.seed_base = 1;
+  options.count = 60;
+  options.differential_every = 0;
+  options.mutate_ratio = 1.0;
+  options.initial_corpus.push_back(generate_scenario(5000));
+  const SoakResult result = run_soak(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.mutated_runs, result.runs);
+}
+
+TEST(FuzzShrinker, MinimizesHoldReleaseToExactThreshold) {
+  // The schedule-space shrinking demo: a bloated Theorem 3.3-style
+  // violation (anonymous min-flood, ring of 8, four held senders at
+  // release 400) must shrink not only structurally but in VALUES — the
+  // surviving hold release lands exactly at its reproduction threshold:
+  // the violation reproduces at the shrunk release and provably does not
+  // one tick below it.
+  const auto scenario = parse_spec(
+      "amacfuzz1:seed=1:alg=anonymous:topo=ring:n=8:aux=0:sched=holdback:"
+      "fack=3:late=0:in=alt:ids=identity:f=0:hz=1000000:"
+      "holds=0@400,2@400,4@400,6@400");
+  ASSERT_TRUE(scenario.has_value());
+  ASSERT_EQ(run_scenario(*scenario).failure, FailureKind::kAgreement);
+
+  ShrinkOptions options;
+  options.max_attempts = 400;  // room for both phases to reach fixpoint
+  const ShrinkResult shrunk = shrink_scenario(
+      *scenario, FailureKind::kAgreement, RunOptions{}, options);
+  EXPECT_EQ(shrunk.report.failure, FailureKind::kAgreement);
+  ASSERT_FALSE(shrunk.scenario.holds.empty());
+
+  // Values were minimized, not just entries dropped.
+  for (const auto& h : shrunk.scenario.holds) {
+    EXPECT_LT(h.release, 400u) << format_spec(shrunk.scenario);
+  }
+  // Exactness: decrementing any hold release makes the violation vanish
+  // (the failure is monotone in the release for this family, and the
+  // binary search's final no-progress pass probed release - 1).
+  for (std::size_t i = 0; i < shrunk.scenario.holds.size(); ++i) {
+    if (shrunk.scenario.holds[i].release == 0) continue;
+    Scenario below = shrunk.scenario;
+    below.holds[i].release -= 1;
+    normalize_scenario(below);
+    EXPECT_NE(run_scenario(below).failure, FailureKind::kAgreement)
+        << "hold " << i << " of " << format_spec(shrunk.scenario)
+        << " is not at its threshold";
+  }
+  // The minimal spec still replays to the same violation.
+  const auto replayed = parse_spec(format_spec(shrunk.scenario));
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(run_scenario(*replayed).failure, FailureKind::kAgreement);
+}
+
+TEST(FuzzShrinker, ValueMinimizationCanBePinnedOff) {
+  // minimize_values = false reproduces the structural-only PR-2 shrinker
+  // (useful when a value sweep is too expensive for a huge repro).
+  const auto scenario = parse_spec(
+      "amacfuzz1:seed=1:alg=anonymous:topo=line:n=2:aux=0:sched=holdback:"
+      "fack=2:late=0:in=split:ids=identity:f=0:hz=1000000:holds=0@300");
+  ASSERT_TRUE(scenario.has_value());
+  ASSERT_EQ(run_scenario(*scenario).failure, FailureKind::kAgreement);
+
+  ShrinkOptions structural_only;
+  structural_only.minimize_values = false;
+  const ShrinkResult shrunk = shrink_scenario(
+      *scenario, FailureKind::kAgreement, RunOptions{}, structural_only);
+  EXPECT_EQ(shrunk.report.failure, FailureKind::kAgreement);
+  // fack can still fall (structural candidates halve it) but the hold
+  // release is untouched by the structural phase.
+  ASSERT_EQ(shrunk.scenario.holds.size(), 1u);
+  EXPECT_EQ(shrunk.scenario.holds[0].release, 300u);
+}
+
+}  // namespace
+}  // namespace amac::fuzz

@@ -116,6 +116,35 @@ TEST(FuzzRegressions, LateHoldsForceWheelResizeAndStayBitIdentical) {
   }
 }
 
+TEST(FuzzRegressions, HoldReleaseAtBoundaryNeverStretchesOrSpills) {
+  // Pins the HoldbackScheduler release boundary at engine level: a hold
+  // whose release is 1 can never be live (delays are >= 1, so every
+  // delivery already lands at or past it). The run must behave exactly
+  // like the un-held scenario — dense fast path intact, nothing pushed
+  // beyond the wheel window, no resize — and stay bit-identical to the
+  // reference engine. See Schedulers.HoldbackReleaseBoundary* for the
+  // schedule-level boundary tests.
+  const char* spec =
+      "amacfuzz1:seed=1:alg=flooding:topo=clique:n=6:aux=0:sched=holdback:"
+      "fack=3:late=0:in=split:ids=identity:f=0:hz=1000000:holds=2@1";
+  const auto scenario = parse_spec(spec);
+  ASSERT_TRUE(scenario.has_value()) << spec;
+
+  RunOptions options;
+  options.differential = true;
+  const RunReport r = run_scenario(*scenario, options);
+  EXPECT_EQ(r.failure, FailureKind::kNone) << r.detail;
+  EXPECT_TRUE(r.condition_met);  // crash-free flooding must terminate
+  EXPECT_EQ(r.stats.overflow_pushes, 0u)
+      << "an expired hold pushed deliveries past the wheel window";
+  EXPECT_EQ(r.stats.wheel_resizes, 0u);
+  ASSERT_TRUE(r.differential_ran);
+  EXPECT_EQ(r.fingerprint, r.reference_fingerprint)
+      << "engine divergence on " << spec;
+  EXPECT_EQ(run_scenario(*scenario, options).trace_digest, r.trace_digest)
+      << spec;
+}
+
 TEST(FuzzOracle, DetectsTheorem33StyleAgreementViolation) {
   // AnonymousMinFlood under a holdback adversary — outside the generator's
   // envelope, inside the spec language: node 0 (the only 0-input) has every

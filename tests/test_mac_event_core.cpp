@@ -409,10 +409,13 @@ TEST(EngineAllocation, SteadyStateCycleAllocatesNothingRandomDelays) {
   Network net(g, [](NodeId) { return std::make_unique<SteadyPinger>(); },
               sched);
   // Warm-up long enough for the rare dense ticks of the random delay
-  // distribution to have grown every bucket lane to its high-water mark.
-  net.run(StopWhen::kQuiescent, 4000);
+  // distribution to have grown the circulating lane pool to its high-water
+  // mark (lane storage is shared ring-wide through the spare pool, so the
+  // mark is the peak CONCURRENT demand, reached a little later than the
+  // old per-bucket peaks were).
+  net.run(StopWhen::kQuiescent, 6000);
   const std::uint64_t before = g_alloc_count;
-  net.run(StopWhen::kQuiescent, 12000);
+  net.run(StopWhen::kQuiescent, 16000);
   const std::uint64_t after = g_alloc_count;
   EXPECT_EQ(after - before, 0u);
   EXPECT_GT(net.stats().deliveries, 10000u);
@@ -444,10 +447,13 @@ TEST(EngineAllocation, WheelResizeMidRunThenSteadyStateIsAllocationFree) {
   // Late Holdback holds (registered after construction, so the wheel was
   // sized from the tiny pre-hold fack) push every held delivery onto the
   // overflow heap until the self-resize kicks in. The resize itself may
-  // allocate — it rebuilds the bucket ring, and each bucket of the larger
-  // ring warms its lane capacity on first use, exactly like the original
-  // warm-up — but after one full revolution of the resized wheel the
-  // steady-state cycle must be allocation-free again.
+  // allocate — it rebuilds the bucket ring — but lane storage circulates
+  // through the spare pool (the old ring's warmed lanes are donated, and
+  // every drained bucket hands its lanes to the next occupied one), so
+  // already the FIRST revolution of the resized ring must run
+  // allocation-free once the first post-resize tick has warmed the
+  // circulating set; it is not allowed to re-warm one allocation per
+  // bucket of the larger ring.
   const auto g = net::make_clique(8);
   auto hold = std::make_unique<HoldbackScheduler>(
       std::make_unique<SynchronousScheduler>(1), /*release=*/4);
@@ -459,11 +465,19 @@ TEST(EngineAllocation, WheelResizeMidRunThenSteadyStateIsAllocationFree) {
   // cross the rebuild threshold mid-burst (the wheel grows to cover the
   // ~300-tick horizon: 1024 buckets).
   for (NodeId u = 0; u < 8; ++u) hold->hold_sender_until(u, 300);
-  net.run(StopWhen::kQuiescent, 2000);  // held burst + resize + a full
-                                        // revolution of the resized ring
+  // The resize fires during the t=0 burst; nothing pops before the held
+  // deliveries land at t=300. Ticks 300..301 warm the circulating lanes
+  // (the one permitted post-resize warm-up: a handful of lane vectors,
+  // not a revolution of them).
+  net.run(StopWhen::kQuiescent, 302);
   EXPECT_GE(net.stats().wheel_resizes, 1u);
   EXPECT_GT(net.stats().overflow_pushes, 0u);
   EXPECT_GT(net.stats().wheel_span, 16u);  // grew past the pre-hold sizing
+  const std::uint64_t during_first_revolution = g_alloc_count;
+  // 302 + 1100 covers a full revolution of the 1024-bucket resized ring.
+  net.run(StopWhen::kQuiescent, 1402);
+  EXPECT_EQ(g_alloc_count - during_first_revolution, 0u)
+      << "first post-resize revolution re-warmed lane allocations";
   const std::uint64_t before = g_alloc_count;
   net.run(StopWhen::kQuiescent, 8000);
   const std::uint64_t after = g_alloc_count;

@@ -176,6 +176,61 @@ TEST(Schedulers, HoldbackNoEffectAfterRelease) {
   for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.delay(i), 1u);
 }
 
+TEST(Schedulers, HoldbackReleaseBoundaryAtNowPlusOneKeepsFastPath) {
+  // The exact boundary: delays are >= 1, so a delivery never lands before
+  // now + 1 and a hold releasing AT now + 1 is already satisfied. It must
+  // not stretch any delay — and it must not densify either, so the base's
+  // dense uniform form (the engine's batch fan-out) passes through.
+  auto base = std::make_unique<SynchronousScheduler>(1);
+  HoldbackScheduler sched(std::move(base), /*release=*/11);
+  sched.hold_sender(0);
+  const auto s = sched.make_schedule(0, /*now=*/10, kNeighbors);  // 11==now+1
+  EXPECT_TRUE(s.uniform);
+  EXPECT_EQ(s.uniform_delay, 1u);
+  EXPECT_EQ(s.ack_delay, 1u);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.delay(i), 1u);
+}
+
+TEST(Schedulers, HoldbackReleaseBoundaryOneTickLaterStretches) {
+  // One tick past the boundary (release == now + 2): delay-1 deliveries
+  // must be stretched to land exactly AT the release tick, never later.
+  auto base = std::make_unique<SynchronousScheduler>(1);
+  HoldbackScheduler sched(std::move(base), /*release=*/12);
+  sched.hold_sender(0);
+  const auto s = sched.make_schedule(0, /*now=*/10, kNeighbors);  // 12==now+2
+  EXPECT_FALSE(s.uniform);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.delay(i), 2u);
+  EXPECT_EQ(s.ack_delay, 2u);
+}
+
+TEST(Schedulers, HoldbackEdgeHoldBoundaryAtNowPlusOneKeepsFastPath) {
+  // Same exact boundary for per-edge holds: an edge hold releasing at
+  // now + 1 must neither stretch the held edge nor densify the schedule.
+  auto base = std::make_unique<SynchronousScheduler>(1);
+  HoldbackScheduler sched(std::move(base), /*release=*/6);
+  sched.hold_edge(0, 2);
+  const auto at_boundary = sched.make_schedule(0, /*now=*/5, kNeighbors);
+  EXPECT_TRUE(at_boundary.uniform);
+  EXPECT_EQ(at_boundary.ack_delay, 1u);
+  // One tick earlier the same hold is live and stretches exactly edge 0->2.
+  const auto live = sched.make_schedule(0, /*now=*/4, kNeighbors);
+  EXPECT_FALSE(live.uniform);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live.delay(i), live.receivers[i] == 2 ? 2u : 1u);
+  }
+}
+
+TEST(Schedulers, HoldbackDeliveryAlreadyPastReleaseIsNotStretched) {
+  // A live hold must stretch only the deliveries that would land BEFORE
+  // the release; a base delay that already reaches it stays untouched.
+  auto base = std::make_unique<SynchronousScheduler>(7);
+  HoldbackScheduler sched(std::move(base), /*release=*/7);
+  sched.hold_sender(0);
+  const auto s = sched.make_schedule(0, /*now=*/0, kNeighbors);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.delay(i), 7u);
+  EXPECT_EQ(s.ack_delay, 7u);
+}
+
 TEST(Schedulers, HoldbackFackCachedAndInvalidated) {
   auto base = std::make_unique<SynchronousScheduler>(3);
   HoldbackScheduler sched(std::move(base), /*release=*/20);

@@ -33,11 +33,34 @@ import sys
 
 
 def load_ns_per_op(path: str) -> dict:
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "amac-bench-v1":
-        sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
-    return {row["name"]: row["ns_per_op"] for row in doc["benchmarks"]}
+    """Loads {name: ns_per_op}, validating every row.
+
+    A truncated or hand-mangled BENCH_engine.json must fail the gate with a
+    one-line error, not crash it with a KeyError traceback or — worse —
+    slip a zero ns_per_op into the --relative-to normalization divide.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: {path}: unreadable or invalid JSON: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != "amac-bench-v1":
+        schema = doc.get("schema") if isinstance(doc, dict) else None
+        sys.exit(f"error: {path}: unexpected schema {schema!r}")
+    rows = doc.get("benchmarks")
+    if not isinstance(rows, list):
+        sys.exit(f"error: {path}: missing 'benchmarks' array")
+    table = {}
+    for i, row in enumerate(rows):
+        name = row.get("name") if isinstance(row, dict) else None
+        ns = row.get("ns_per_op") if isinstance(row, dict) else None
+        if (not isinstance(name, str) or isinstance(ns, bool)
+                or not isinstance(ns, (int, float)) or not ns > 0):
+            sys.exit(f"error: {path}: benchmarks[{i}] is malformed "
+                     f"(need a string 'name' and a positive numeric "
+                     f"'ns_per_op'): {row!r}")
+        table[name] = float(ns)
+    return table
 
 
 def main() -> int:
