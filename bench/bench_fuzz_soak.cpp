@@ -44,7 +44,8 @@ int usage(const char* argv0) {
       "usage: %s [--count N] [--seed-base S] [--differential-every K]\n"
       "          [--mutate RATIO] [--corpus-out FILE] [--corpus-in FILE]\n"
       "          [--no-shrink] [--max-shrink-attempts A] [--progress-every P]\n"
-      "          [--replay SPEC] [--expect-digest HEX]\n",
+      "          [--no-protocol-stats] [--replay SPEC] [--expect-digest HEX]\n"
+      "          [--sig-version]\n",
       argv0);
   return 2;
 }
@@ -67,9 +68,20 @@ void print_report(const fuzz::Scenario& s, const fuzz::RunReport& r) {
               static_cast<unsigned long long>(r.stats.wheel_resizes),
               static_cast<unsigned long long>(r.stats.batch_pushes),
               r.stats.wheel_span);
-  std::printf("coverage  signature=0x%016llx\n",
-              static_cast<unsigned long long>(
-                  fuzz::coverage_signature(s, r).key()));
+  std::printf("protocol  rounds=%llu coins=%llu proposals=%llu changes=%llu "
+              "learned=%llu\n",
+              static_cast<unsigned long long>(r.protocol.max_round),
+              static_cast<unsigned long long>(r.protocol.coin_flips),
+              static_cast<unsigned long long>(r.protocol.proposals),
+              static_cast<unsigned long long>(r.protocol.change_events),
+              static_cast<unsigned long long>(r.protocol.max_learned));
+  const fuzz::CoverageSignature sig = fuzz::coverage_signature(s, r);
+  std::printf("coverage  signature=0x%016llx (engine=0x%011llx "
+              "protocol=0x%04llx, space v%u)\n",
+              static_cast<unsigned long long>(sig.key()),
+              static_cast<unsigned long long>(sig.engine_key()),
+              static_cast<unsigned long long>(sig.protocol_key()),
+              fuzz::kSignatureSpaceVersion);
   std::printf("digest    fingerprint=0x%016llx trace=0x%016llx\n",
               static_cast<unsigned long long>(r.fingerprint),
               static_cast<unsigned long long>(r.trace_digest));
@@ -148,12 +160,15 @@ bool write_corpus(const std::string& path,
 
 void print_coverage_table(const fuzz::SoakResult& result) {
   const auto& cov = result.coverage;
-  // The "distinct coverage signatures:" line is machine-parsed by the CI
-  // coverage-widening assertion; keep its shape stable.
+  // The "distinct coverage signatures:", "distinct engine-only
+  // signatures:" and "distinct protocol signatures:" lines are
+  // machine-parsed by the CI coverage assertions; keep their shapes stable.
   std::printf("  distinct coverage signatures: %zu (novel in %zu of %zu "
-              "runs, %zu mutated)\n",
+              "runs, %zu mutated; signature space v%u)\n",
               cov.distinct, result.novel_runs, result.runs,
-              result.mutated_runs);
+              result.mutated_runs, fuzz::kSignatureSpaceVersion);
+  std::printf("  distinct engine-only signatures: %zu\n", cov.engine_distinct);
+  std::printf("  distinct protocol signatures: %zu\n", cov.protocol_distinct);
   std::printf("  coverage by scheduler:");
   for (std::size_t i = 0; i < fuzz::kSchedulerKindCount; ++i) {
     std::printf(" %s=%zu",
@@ -162,9 +177,10 @@ void print_coverage_table(const fuzz::SoakResult& result) {
   }
   std::printf("\n");
   std::printf("  coverage by path: overflow=%zu resize=%zu batch=%zu "
-              "crashes=%zu holds=%zu (of %zu signatures)\n",
+              "crashes=%zu holds=%zu protocol=%zu (of %zu signatures)\n",
               cov.overflow_sigs, cov.resize_sigs, cov.batch_sigs,
-              cov.crash_sigs, cov.hold_sigs, cov.distinct);
+              cov.crash_sigs, cov.hold_sigs, cov.protocol_sigs,
+              cov.distinct);
 }
 
 int run_soak_cli(const CliOptions& cli) {
@@ -278,6 +294,17 @@ int main(int argc, char** argv) {
       take_size(cli.soak.differential_every);
     } else if (arg == "--no-shrink") {
       cli.soak.shrink_failures = false;
+    } else if (arg == "--no-protocol-stats") {
+      // A/B toggle: reproduces the engine-only signature space (and proves
+      // collection never perturbs a run — the corpus digest is identical
+      // either way).
+      cli.soak.collect_protocol_stats = false;
+    } else if (arg == "--sig-version") {
+      // Machine-readable signature-space version: the nightly lane keys
+      // its persisted-corpus cache on this, so a signature-space bump
+      // starts a fresh frontier.
+      std::printf("%u\n", fuzz::kSignatureSpaceVersion);
+      return 0;
     } else if (arg == "--max-shrink-attempts") {
       take_size(cli.soak.max_shrink_attempts);
     } else if (arg == "--progress-every") {

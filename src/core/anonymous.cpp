@@ -1,5 +1,7 @@
 #include "core/anonymous.hpp"
 
+#include <algorithm>
+
 namespace amac::core {
 
 AnonymousMinFlood::AnonymousMinFlood(std::uint32_t diameter,
@@ -46,6 +48,10 @@ void AnonymousMinFlood::digest(util::Hasher& h) const {
   h.mix_i64(min_);
   h.mix_u64(phase_);
   h.mix_bool(decided_);
+}
+
+void AnonymousMinFlood::protocol_stats(mac::ProtocolStats& out) const {
+  out.max_round = std::max<std::uint64_t>(out.max_round, phase_);
 }
 
 }  // namespace amac::core

@@ -32,6 +32,7 @@ class AnonymousMinFlood final : public mac::Process {
   void on_ack(mac::Context& ctx) override;
   [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
   void digest(util::Hasher& h) const override;
+  void protocol_stats(mac::ProtocolStats& out) const override;
 
   [[nodiscard]] std::uint32_t phase() const { return phase_; }
   [[nodiscard]] mac::Value current_min() const { return min_; }

@@ -1,5 +1,7 @@
 #include "core/benor.hpp"
 
+#include <algorithm>
+
 namespace amac::core {
 
 util::Buffer BenOr::WireMsg::encode() const {
@@ -155,6 +157,11 @@ void BenOr::try_advance(mac::Context& ctx) {
 
 std::unique_ptr<mac::Process> BenOr::clone() const {
   return std::make_unique<BenOr>(*this);
+}
+
+void BenOr::protocol_stats(mac::ProtocolStats& out) const {
+  out.max_round = std::max<std::uint64_t>(out.max_round, round_);
+  out.coin_flips += coin_flips_;
 }
 
 void BenOr::digest(util::Hasher& h) const {

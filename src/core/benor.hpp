@@ -45,6 +45,7 @@ class BenOr final : public mac::Process {
   void on_ack(mac::Context& ctx) override;
   [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
   void digest(util::Hasher& h) const override;
+  void protocol_stats(mac::ProtocolStats& out) const override;
 
   [[nodiscard]] std::uint32_t round() const { return round_; }
   [[nodiscard]] bool has_decided() const { return decided_; }

@@ -1,5 +1,7 @@
 #include "core/flooding.hpp"
 
+#include <algorithm>
+
 namespace amac::core {
 
 namespace {
@@ -78,6 +80,10 @@ void FloodingConsensus::maybe_decide(mac::Context& ctx) {
 
 std::unique_ptr<mac::Process> FloodingConsensus::clone() const {
   return std::make_unique<FloodingConsensus>(*this);
+}
+
+void FloodingConsensus::protocol_stats(mac::ProtocolStats& out) const {
+  out.max_learned = std::max<std::uint64_t>(out.max_learned, known_.size());
 }
 
 void FloodingConsensus::digest(util::Hasher& h) const {

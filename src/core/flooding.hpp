@@ -29,6 +29,7 @@ class FloodingConsensus final : public mac::Process {
   void on_ack(mac::Context& ctx) override;
   [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
   void digest(util::Hasher& h) const override;
+  void protocol_stats(mac::ProtocolStats& out) const override;
 
   [[nodiscard]] std::size_t known_count() const { return known_.size(); }
 

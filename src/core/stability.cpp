@@ -1,5 +1,7 @@
 #include "core/stability.hpp"
 
+#include <algorithm>
+
 namespace amac::core {
 
 StabilityConsensus::StabilityConsensus(std::uint64_t id,
@@ -68,6 +70,11 @@ void StabilityConsensus::on_ack(mac::Context& ctx) {
 
 std::unique_ptr<mac::Process> StabilityConsensus::clone() const {
   return std::make_unique<StabilityConsensus>(*this);
+}
+
+void StabilityConsensus::protocol_stats(mac::ProtocolStats& out) const {
+  out.max_round = std::max<std::uint64_t>(out.max_round, quiet_);
+  out.max_learned = std::max<std::uint64_t>(out.max_learned, known_.size());
 }
 
 void StabilityConsensus::digest(util::Hasher& h) const {

@@ -36,6 +36,7 @@ class StabilityConsensus final : public mac::Process {
   void on_ack(mac::Context& ctx) override;
   [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
   void digest(util::Hasher& h) const override;
+  void protocol_stats(mac::ProtocolStats& out) const override;
 
   [[nodiscard]] std::size_t known_count() const { return known_.size(); }
   [[nodiscard]] std::uint32_t quiet_phases() const { return quiet_; }

@@ -1,5 +1,7 @@
 #include "core/two_phase.hpp"
 
+#include <algorithm>
+
 namespace amac::core {
 
 util::Buffer TwoPhaseMessage::encode() const {
@@ -118,6 +120,15 @@ void TwoPhaseConsensus::try_finish_witness_wait(mac::Context& ctx) {
 
 std::unique_ptr<mac::Process> TwoPhaseConsensus::clone() const {
   return std::make_unique<TwoPhaseConsensus>(*this);
+}
+
+void TwoPhaseConsensus::protocol_stats(mac::ProtocolStats& out) const {
+  // stage_ advances kInit -> kPhase1 -> kPhase2 -> kAwaitWitnesses -> kDone:
+  // the phase depth this node reached is its round analog.
+  out.max_round = std::max<std::uint64_t>(
+      out.max_round, static_cast<std::uint64_t>(stage_));
+  out.max_learned =
+      std::max<std::uint64_t>(out.max_learned, ids_seen_.size());
 }
 
 void TwoPhaseConsensus::digest(util::Hasher& h) const {

@@ -60,6 +60,7 @@ class TwoPhaseConsensus final : public mac::Process {
   void on_ack(mac::Context& ctx) override;
   [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
   void digest(util::Hasher& h) const override;
+  void protocol_stats(mac::ProtocolStats& out) const override;
 
   /// Observable for tests: the status chosen after the phase-1 ack.
   [[nodiscard]] TwoPhaseMessage::Status status() const { return status_; }

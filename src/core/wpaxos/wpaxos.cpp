@@ -402,6 +402,15 @@ std::unique_ptr<mac::Process> WPaxos::clone() const {
   return std::make_unique<WPaxos>(*this);
 }
 
+void WPaxos::protocol_stats(mac::ProtocolStats& out) const {
+  // max_tag_ is the highest proposal-number tag this node has witnessed:
+  // the wPAXOS analog of a round count (how deep the proposal/round
+  // structure went before the run ended).
+  out.max_round = std::max<std::uint64_t>(out.max_round, max_tag_);
+  out.proposals += stats_.proposals_started;
+  out.change_events += stats_.change_events;
+}
+
 void WPaxos::digest(util::Hasher& h) const {
   h.mix_u64(id_);
   h.mix_u64(n_);

@@ -83,6 +83,7 @@ class WPaxos final : public mac::Process {
   void on_ack(mac::Context& ctx) override;
   [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
   void digest(util::Hasher& h) const override;
+  void protocol_stats(mac::ProtocolStats& out) const override;
 
   // --- observables (tests, benches, invariant monitors) ---
 

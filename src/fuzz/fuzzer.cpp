@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <type_traits>
 
@@ -19,6 +20,7 @@ namespace {
 struct Observation {
   verify::ConsensusVerdict verdict;
   mac::EngineStats stats;
+  mac::ProtocolStats protocol;
   mac::Time end_time = 0;
   bool condition_met = false;
   std::uint64_t trace_digest = 0;
@@ -30,7 +32,8 @@ struct Observation {
 };
 
 template <typename Net>
-Observation run_on_engine(const Scenario& s, bool with_monitor) {
+Observation run_on_engine(const Scenario& s, bool with_monitor,
+                          bool collect_protocol = false) {
   BuiltScenario b = build_scenario(s);
   const std::size_t count = b.graph.node_count();
   Net net(b.graph, b.factory, *b.scheduler);
@@ -74,6 +77,13 @@ Observation run_on_engine(const Scenario& s, bool with_monitor) {
   const auto result = net.run(mac::StopWhen::kAllDecided, s.horizon);
   obs.verdict = verify::check_consensus(net, b.inputs);
   obs.stats = net.stats();
+  // Protocol stats are a post-run const read of process observables, so
+  // collecting them cannot perturb the run (the determinism regression
+  // pins digests equal with collection on and off). Reference-engine
+  // replays skip it: the protocol dimension never enters fingerprints.
+  if constexpr (std::is_same_v<Net, mac::Network>) {
+    if (collect_protocol) obs.protocol = harness::collect_protocol_stats(net);
+  }
   obs.end_time = result.end_time;
   obs.condition_met = result.condition_met;
   obs.trace_digest = net.trace_digest();
@@ -122,11 +132,13 @@ const char* failure_name(FailureKind k) {
 }
 
 RunReport run_scenario(const Scenario& s, const RunOptions& options) {
-  const Observation obs = run_on_engine<mac::Network>(s, options.with_monitor);
+  const Observation obs = run_on_engine<mac::Network>(
+      s, options.with_monitor, options.collect_protocol_stats);
 
   RunReport r;
   r.verdict = obs.verdict;
   r.stats = obs.stats;
+  r.protocol = obs.protocol;
   r.end_time = obs.end_time;
   r.condition_met = obs.condition_met;
   r.trace_digest = obs.trace_digest;
@@ -171,20 +183,30 @@ RunReport run_scenario(const Scenario& s, const RunOptions& options) {
 
 // ---- coverage -----------------------------------------------------------
 
-namespace {
-
-/// Quarter-log magnitude bucket: 0 -> 0, otherwise 1 + floor(log4(v)).
-/// Exact counts would make every run's signature unique and novelty
-/// meaningless; coarse magnitude buckets keep the signature space small
-/// enough that blind generation saturates it and novelty measures engine
-/// paths.
-[[nodiscard]] std::uint8_t log4_bucket(std::uint64_t v) {
+std::uint8_t magnitude_bucket(std::uint64_t v) {
   return static_cast<std::uint8_t>((std::bit_width(v) + 1) / 2);
 }
 
-}  // namespace
+std::uint8_t saturated_bucket(std::uint64_t v) {
+  return std::min<std::uint8_t>(magnitude_bucket(v), 15);
+}
 
 std::uint64_t CoverageSignature::key() const {
+  // engine_key (44 bits) followed by the four 4-bit protocol buckets:
+  // 60 bits total, and the v1 key is literally this key >> 16.
+  std::uint64_t k = engine_key();
+  const auto pack = [&k](std::uint64_t v, unsigned bits) {
+    AMAC_ASSERT(v < (std::uint64_t{1} << bits));
+    k = (k << bits) | v;
+  };
+  pack(round_bucket, 4);
+  pack(coin_bucket, 4);
+  pack(proposal_bucket, 4);
+  pack(learned_bucket, 4);
+  return k;
+}
+
+std::uint64_t CoverageSignature::engine_key() const {
   std::uint64_t k = 0;
   const auto pack = [&k](std::uint64_t v, unsigned bits) {
     AMAC_ASSERT(v < (std::uint64_t{1} << bits));
@@ -201,16 +223,27 @@ std::uint64_t CoverageSignature::key() const {
   return k;
 }
 
+std::uint64_t CoverageSignature::protocol_key() const {
+  return (std::uint64_t{round_bucket} << 12) |
+         (std::uint64_t{coin_bucket} << 8) |
+         (std::uint64_t{proposal_bucket} << 4) | learned_bucket;
+}
+
 CoverageSignature coverage_signature(const Scenario& s, const RunReport& r) {
   CoverageSignature sig;
   sig.scheduler = static_cast<std::uint8_t>(s.scheduler);
-  sig.wheel_bucket = log4_bucket(r.stats.wheel_pushes);
-  sig.overflow_bucket = log4_bucket(r.stats.overflow_pushes);
-  sig.batch_bucket = log4_bucket(r.stats.batch_pushes);
+  sig.wheel_bucket = magnitude_bucket(r.stats.wheel_pushes);
+  sig.overflow_bucket = magnitude_bucket(r.stats.overflow_pushes);
+  sig.batch_bucket = magnitude_bucket(r.stats.batch_pushes);
   sig.resize_bucket = static_cast<std::uint8_t>(
       std::min<std::uint64_t>(r.stats.wheel_resizes, 3));
   sig.decide_bucket =
-      log4_bucket(r.end_time / std::max<mac::Time>(s.fack, 1));
+      magnitude_bucket(r.end_time / std::max<mac::Time>(s.fack, 1));
+  sig.round_bucket = saturated_bucket(r.protocol.max_round);
+  sig.coin_bucket = saturated_bucket(r.protocol.coin_flips);
+  sig.proposal_bucket =
+      saturated_bucket(r.protocol.proposals + r.protocol.change_events);
+  sig.learned_bucket = saturated_bucket(r.protocol.max_learned);
   if (!s.crashes.empty()) sig.flags |= CoverageSignature::kHasCrashes;
   if (r.mid_flight_crashes > 0) sig.flags |= CoverageSignature::kMidFlightCrash;
   if (!s.holds.empty()) sig.flags |= CoverageSignature::kHasHolds;
@@ -224,16 +257,51 @@ CoverageSignature coverage_signature(const Scenario& s, const RunReport& r) {
 }
 
 bool CoverageCorpus::observe(const CoverageSignature& sig) {
-  return seen_.insert(sig.key()).second;
+  return ++hits_[sig.key()] == 1;
 }
 
-void CoverageCorpus::admit(const Scenario& s) {
+void CoverageCorpus::admit(const Scenario& s, std::uint64_t sig_key) {
   if (entries_.size() < max_entries_) {
-    entries_.push_back(s);
+    entries_.push_back(Entry{s, sig_key});
     return;
   }
-  entries_[next_replace_] = s;
+  entries_[next_replace_] = Entry{s, sig_key};
   next_replace_ = (next_replace_ + 1) % max_entries_;
+}
+
+std::uint64_t CoverageCorpus::hits(std::uint64_t sig_key) const {
+  const auto it = hits_.find(sig_key);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+const Scenario& CoverageCorpus::select_base(util::Rng& rng) const {
+  AMAC_EXPECTS(!entries_.empty());
+  // Inverse-frequency weights: an entry whose signature has been hit h
+  // times weighs 1/h, so a once-seen frontier signature is h times more
+  // likely to be mutated than one the soak keeps rediscovering. Entries
+  // with no recorded signature (--corpus-in pre-seeds, before their first
+  // run) count as hit once — maximally rare, which front-loads resuming
+  // the persisted frontier. One rng draw either way, so a mutating soak
+  // stays exactly reproducible from its seed base.
+  double total = 0.0;
+  for (const auto& e : entries_) {
+    total += 1.0 / static_cast<double>(std::max<std::uint64_t>(
+                       hits(e.sig_key), 1));
+  }
+  double draw = rng.uniform01() * total;
+  for (const auto& e : entries_) {
+    draw -= 1.0 / static_cast<double>(std::max<std::uint64_t>(
+                      hits(e.sig_key), 1));
+    if (draw < 0.0) return e.scenario;
+  }
+  return entries_.back().scenario;  // floating-point edge: last entry
+}
+
+std::vector<Scenario> CoverageCorpus::entries() const {
+  std::vector<Scenario> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.scenario);
+  return out;
 }
 
 // ---- shrinking ----------------------------------------------------------
@@ -267,6 +335,11 @@ namespace {
   for (std::size_t i = 0; i < s.holds.size(); ++i) {
     Scenario cand = s;
     cand.holds.erase(cand.holds.begin() + static_cast<std::ptrdiff_t>(i));
+    add(std::move(cand));
+  }
+  for (std::size_t i = 0; i < s.script.size(); ++i) {
+    Scenario cand = s;
+    cand.script.erase(cand.script.begin() + static_cast<std::ptrdiff_t>(i));
     add(std::move(cand));
   }
   if (s.fack > 1) {
@@ -372,8 +445,24 @@ ShrinkResult shrink_scenario(const Scenario& s, FailureKind kind,
           0, res.scenario.crashes[i].when,
           [i](Scenario& c, mac::Time v) { c.crashes[i].when = v; });
     }
-    progress |= minimize_value(1, res.scenario.fack,
-                               [](Scenario& c, mac::Time v) { c.fack = v; });
+    // Scripted slots: receive delay toward 1, then ack toward the (possibly
+    // just-shrunk) receive delay — normalize keeps recv <= ack throughout.
+    for (std::size_t i = 0; i < res.scenario.script.size(); ++i) {
+      progress |= minimize_value(
+          1, res.scenario.script[i].recv,
+          [i](Scenario& c, mac::Time v) { c.script[i].recv = v; });
+      progress |= minimize_value(
+          res.scenario.script[i].recv, res.scenario.script[i].ack,
+          [i](Scenario& c, mac::Time v) { c.script[i].ack = v; });
+    }
+    // Scripted scenarios derive fack from their slots (normalize), so a
+    // direct fack probe would re-run an identical spec; the slot passes
+    // above already minimized it.
+    if (res.scenario.scheduler != SchedulerKind::kScripted) {
+      progress |= minimize_value(
+          1, res.scenario.fack,
+          [](Scenario& c, mac::Time v) { c.fack = v; });
+    }
   }
   return res;
 }
@@ -391,6 +480,7 @@ void note_signature(CoverageSummary& cov, const CoverageSignature& sig) {
   if (sig.batch_bucket > 0) ++cov.batch_sigs;
   if (sig.flags & CoverageSignature::kHasCrashes) ++cov.crash_sigs;
   if (sig.flags & CoverageSignature::kHasHolds) ++cov.hold_sigs;
+  if (sig.protocol_key() != 0) ++cov.protocol_sigs;
 }
 
 }  // namespace
@@ -399,7 +489,15 @@ SoakResult run_soak(const SoakOptions& options) {
   SoakResult result;
   util::Hasher corpus_hash;
   CoverageCorpus corpus(options.corpus_max);
+  // Pre-seeded bases carry no observed signature yet (sig_key 0, hits 0):
+  // rarity weighting treats them as maximally rare, so a resumed nightly
+  // frontier is mutated first.
   for (const Scenario& s : options.initial_corpus) corpus.admit(s);
+  // Distinct projections of every observed signature: the engine-only
+  // (PR-4) space and the protocol-only space, reported separately so CI
+  // can assert the protocol dimension strictly refines engine coverage.
+  std::set<std::uint64_t> engine_seen;
+  std::set<std::uint64_t> protocol_seen;
   // The mutation stream is salted off seed_base, so a mutating soak is as
   // reproducible as a pure one. With mutate_ratio == 0 the rng is never
   // drawn and the run is bit-identical to the pre-mutation soak loop (the
@@ -414,8 +512,9 @@ SoakResult run_soak(const SoakOptions& options) {
     bool mutated = false;
     if (options.mutate_ratio > 0.0 && corpus.size() > 0 &&
         mutate_rng.chance(options.mutate_ratio)) {
-      const Scenario& base =
-          corpus.entry(mutate_rng.uniform(0, corpus.size() - 1));
+      // Rarity-weighted base selection: mutate the frontier, not the
+      // signatures blind generation reaches anyway.
+      const Scenario& base = corpus.select_base(mutate_rng);
       const Scenario* splice = nullptr;
       if (corpus.size() > 1 && mutate_rng.chance(0.35)) {
         splice = &corpus.entry(mutate_rng.uniform(0, corpus.size() - 1));
@@ -429,6 +528,7 @@ SoakResult run_soak(const SoakOptions& options) {
     RunOptions run_options;
     run_options.differential = options.differential_every != 0 &&
                                i % options.differential_every == 0;
+    run_options.collect_protocol_stats = options.collect_protocol_stats;
     const RunReport report = run_scenario(s, run_options);
 
     ++result.runs;
@@ -444,12 +544,18 @@ SoakResult run_soak(const SoakOptions& options) {
     corpus_hash.mix_u64(report.fingerprint);
 
     const CoverageSignature sig = coverage_signature(s, report);
+    if (engine_seen.insert(sig.engine_key()).second) {
+      ++result.coverage.engine_distinct;
+    }
+    if (protocol_seen.insert(sig.protocol_key()).second) {
+      ++result.coverage.protocol_distinct;
+    }
     if (corpus.observe(sig)) {
       ++result.novel_runs;
       note_signature(result.coverage, sig);
       // Only clean runs become mutation bases: mutating a known violation
       // would just keep re-finding it.
-      if (report.failure == FailureKind::kNone) corpus.admit(s);
+      if (report.failure == FailureKind::kNone) corpus.admit(s, sig.key());
     }
 
     if (report.failure != FailureKind::kNone) {

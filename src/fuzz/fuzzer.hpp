@@ -34,30 +34,51 @@
 //   ./bench_fuzz_soak --replay 'amacfuzz1:seed=42:alg=...'
 //   ./bench_fuzz_soak --replay 42          # bare seed = generated scenario
 //
-// Coverage-steered mutation: every run folds its EngineStats and run shape
-// into a CoverageSignature (which queue paths ran, how far the run went,
-// crash/hold interaction bits). Scenarios that produce a signature never
-// seen before enter a bounded in-memory corpus, and with
+// Coverage-steered mutation: every run folds its EngineStats, its
+// mac::ProtocolStats, and its run shape into a CoverageSignature (which
+// queue paths ran, how far the run went, crash/hold interaction bits — and
+// the PROTOCOL dimensions: round/phase depth, Ben-Or coin-flip depth,
+// wPAXOS proposal/change traffic, gather progress, all in the same
+// quarter-log buckets). Scenarios that produce a signature never seen
+// before enter a bounded in-memory corpus, and with
 //
 //   ./bench_fuzz_soak --count 20000 --mutate 0.35
 //
-// that fraction of runs is spent mutating corpus entries (perturbing one
-// fack/release/crash tick, adding/dropping/retiming a hold, splicing the
-// topology+scheduler of two entries) instead of blind generation — the
-// mutants chase schedule corners the generator's draw ranges never reach.
-// Mutants are clamped back into each algorithm's guarantee envelope, so a
-// mutant violation is always a real bug. The soak summary prints the
-// coverage table ("distinct coverage signatures: N" plus per-scheduler and
-// per-path splits); CI asserts the mutating soak strictly widens it over
-// pure generation at the same budget.
+// that fraction of runs is spent mutating corpus entries instead of blind
+// generation. Mutation bases are RARITY-WEIGHTED (CoverageCorpus::
+// select_base): an entry is drawn with probability inverse to how often
+// its signature has been hit across the soak, so the budget concentrates
+// on the thinly-explored frontier. The op set perturbs one fack/release/
+// crash tick, adds/drops/retimes a hold, splices the topology+scheduler
+// of two entries — and, since signature-space v2, perturbs SCRIPTED
+// TIMELINES: kScriptTimeline converts a base into a ScriptedScheduler
+// scenario with drawn per-broadcast slots, and retime/swap/duplicate/drop
+// ops then rearrange those slots, so the paper's hand-built
+// counterexample orderings (Theorem 3.3-style) are inside the search
+// space. Mutants are clamped back into each algorithm's guarantee
+// envelope (clamp_to_envelope; inside_envelope() checks the fixpoint), so
+// a mutant violation is always a real bug. The soak summary prints the
+// coverage table ("distinct coverage signatures: N" plus engine-only /
+// protocol-dimension splits); CI asserts the mutating soak strictly
+// widens full-signature AND protocol-dimension coverage over pure
+// generation at the same budget, and that the full signature count
+// strictly exceeds its engine-only projection.
 //
 //   --corpus-out FILE   write the final corpus as spec lines (one per line)
 //   --corpus-in FILE    pre-seed the mutation corpus from such a file
 //                       (# and blank lines are skipped)
+//   --no-protocol-stats A/B switch: skip ProtocolStats collection (the
+//                       engine-only signature space; digests identical)
+//   --sig-version       print kSignatureSpaceVersion and exit
 //
 // The nightly lane (.github/workflows/nightly.yml) runs a long-horizon
-// mutating soak with a date-derived --seed-base and uploads the summary
-// and corpus as artifacts.
+// mutating soak with a date-derived --seed-base and a PERSISTENT corpus:
+// the previous night's corpus is restored from actions/cache (keyed on
+// kSignatureSpaceVersion, date-fallback prefix match), pre-seeded via
+// --corpus-in, and the widened corpus is cached back — each night resumes
+// from the frontier instead of rediscovering it. Bump
+// kSignatureSpaceVersion whenever a signature dimension is added/removed/
+// re-bucketed so stale frontiers are dropped.
 //
 // Shrinking is two-phase: greedy structural reduction (drop crashes/holds,
 // shrink n, halve fack) followed by schedule-space value minimization —
@@ -83,13 +104,15 @@
 // build_scenario. Everything downstream — oracle, differential replay,
 // coverage signatures, mutation, shrinking, soak lane, repro specs — is
 // inherited. A new engine-path counter becomes a coverage dimension by
-// extending CoverageSignature and coverage_signature().
+// extending CoverageSignature and coverage_signature(); a new ALGORITHM
+// observable becomes one by overriding mac::Process::protocol_stats and
+// bucketing the field here. Either way, bump kSignatureSpaceVersion.
 // ---------------------------------------------------------------------------
 #pragma once
 
 #include <array>
 #include <functional>
-#include <set>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -112,12 +135,18 @@ enum class FailureKind : std::uint8_t {
 struct RunOptions {
   bool differential = false;  ///< also replay on the reference engine
   bool with_monitor = true;   ///< wPAXOS Lemma 4.2 monitor (wpaxos only)
+  /// Collect mac::ProtocolStats after the run (a post-run const read of
+  /// process observables — provably perturbation-free; the determinism
+  /// regression in tests/test_fuzz_smoke.cpp asserts digests are
+  /// bit-identical with this on and off).
+  bool collect_protocol_stats = true;
 };
 
 /// Everything observed from one scenario execution.
 struct RunReport {
   verify::ConsensusVerdict verdict;
   mac::EngineStats stats;
+  mac::ProtocolStats protocol;  ///< algorithm-level counters (when collected)
   mac::Time end_time = 0;
   bool condition_met = false;
   std::uint64_t trace_digest = 0;  ///< engine event-trace digest
@@ -139,13 +168,36 @@ struct RunReport {
 
 // ---- coverage -----------------------------------------------------------
 
+/// Version of the signature space: the set of CoverageSignature dimensions
+/// and their bucketing. Bump it whenever a signature field is added,
+/// removed, or re-bucketed — persisted corpora (the nightly actions/cache
+/// frontier) are keyed on it, so a signature-space change starts a fresh
+/// frontier instead of resuming against stale novelty bookkeeping.
+/// History: 1 = PR-4 engine-only dimensions; 2 = + protocol dimensions
+/// (round/coin/proposal/learned buckets) and the scripted scheduler kind.
+inline constexpr std::uint32_t kSignatureSpaceVersion = 2;
+
+/// Quarter-log (log4) magnitude bucket: 0 -> 0, otherwise
+/// 1 + floor(log4(v)) — boundaries at exact powers of four. Exact counts
+/// would make every run's signature unique and novelty meaningless; coarse
+/// magnitude buckets keep the signature space small enough that blind
+/// generation saturates it and novelty measures paths, not identity.
+[[nodiscard]] std::uint8_t magnitude_bucket(std::uint64_t v);
+
+/// magnitude_bucket saturated at 15, so the bucket packs in 4 bits (the
+/// protocol dimensions use this; 4^14 is far beyond any realistic count).
+[[nodiscard]] std::uint8_t saturated_bucket(std::uint64_t v);
+
 /// What a run exercised, folded into a small discrete signature: run-shape
 /// features read off EngineStats (wheel vs overflow vs batch traffic
 /// bucketed by magnitude, resize count, how many ack windows the run
-/// took), the scheduler kind, and the crash/hold interaction bits. Two
-/// runs with equal keys drove the same engine paths at the same order of
-/// magnitude; a never-seen key is the novelty signal that admits a
-/// scenario into the mutation corpus.
+/// took), the scheduler kind, the crash/hold interaction bits — and, since
+/// signature-space v2, the PROTOCOL dimensions read off mac::ProtocolStats
+/// (round/phase depth, Ben-Or coin-flip depth, wPAXOS proposal traffic,
+/// gather progress, bucketed the same quarter-log way). Two runs with equal
+/// keys drove the same engine paths AND reached the same protocol corners
+/// at the same order of magnitude; a never-seen key is the novelty signal
+/// that admits a scenario into the mutation corpus.
 ///
 /// Deliberately NOT part of the signature: the algorithm and topology.
 /// Those dimensions are swept exhaustively by the generator anyway, and
@@ -170,9 +222,26 @@ struct CoverageSignature {
   std::uint8_t decide_bucket = 0;    ///< log4 of end_time / fack (ack windows)
   std::uint8_t flags = 0;            ///< kHasCrashes | ... interaction bits
   std::uint8_t failure = 0;          ///< FailureKind
+  // Protocol dimensions (signature-space v2), saturated log4 buckets of the
+  // run's aggregated mac::ProtocolStats.
+  std::uint8_t round_bucket = 0;     ///< max round / phase / proposal tag
+  std::uint8_t coin_bucket = 0;      ///< Ben-Or coin flips
+  std::uint8_t proposal_bucket = 0;  ///< wPAXOS proposals + change events
+  std::uint8_t learned_bucket = 0;   ///< widest gather set (flooding et al.)
 
   /// The packed identity: equal keys <=> equal signatures.
   [[nodiscard]] std::uint64_t key() const;
+
+  /// The PR-4 engine-only projection (protocol dimensions zeroed): what the
+  /// signature space looked like before v2. The soak counts distinct
+  /// engine keys separately so CI can assert the protocol dimension
+  /// strictly refines it.
+  [[nodiscard]] std::uint64_t engine_key() const;
+
+  /// The protocol-only projection (just the four protocol buckets): how
+  /// many distinct ALGORITHM corners a soak reached, independent of which
+  /// queue paths carried them.
+  [[nodiscard]] std::uint64_t protocol_key() const;
 };
 
 /// Derives the signature of one executed scenario.
@@ -180,38 +249,61 @@ struct CoverageSignature {
                                                    const RunReport& r);
 
 /// Bounded corpus of signature-novel scenarios: the mutation engine's seed
-/// pool. `observe` records a signature and reports novelty; `admit` stores
-/// a scenario as a mutation base (ring-replacing the oldest when full, so
-/// the pool tracks the novelty frontier). Signature bookkeeping and
-/// scenario storage are split because only clean (non-violating) runs may
-/// become mutation bases — mutating a known violation would just re-find it.
+/// pool. `observe` records a signature (counting every hit, novel or not)
+/// and reports novelty; `admit` stores a scenario as a mutation base
+/// (ring-replacing the oldest when full, so the pool tracks the novelty
+/// frontier). Signature bookkeeping and scenario storage are split because
+/// only clean (non-violating) runs may become mutation bases — mutating a
+/// known violation would just re-find it.
+///
+/// Mutation-base selection is RARITY-WEIGHTED: `select_base` samples
+/// entries with probability inversely proportional to how often their
+/// signature has been hit across the whole soak, so the mutator spends its
+/// budget on the thinly-explored frontier instead of re-mutating the
+/// signatures blind generation reaches anyway (entries whose signature was
+/// never observed — --corpus-in pre-seeds — count as hit once, i.e.
+/// maximally rare). The statistical pin lives in tests/
+/// test_fuzz_coverage.cpp: over a skewed corpus, rare signatures are drawn
+/// at >= 2x their uniform share.
 class CoverageCorpus {
  public:
   explicit CoverageCorpus(std::size_t max_entries = 256)
       : max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
-  /// Records `sig`; true iff its key was never seen before.
+  /// Records `sig` (incrementing its hit count); true iff its key was
+  /// never seen before.
   bool observe(const CoverageSignature& sig);
 
-  /// Adds a mutation base (ring-replaces the oldest entry when full).
-  void admit(const Scenario& s);
+  /// Adds a mutation base (ring-replaces the oldest entry when full),
+  /// remembering its signature key for rarity weighting.
+  void admit(const Scenario& s, std::uint64_t sig_key = 0);
+
+  /// Rarity-weighted draw of a mutation base (see class comment).
+  /// Deterministic given the rng state. Requires size() > 0.
+  [[nodiscard]] const Scenario& select_base(util::Rng& rng) const;
+
+  /// How often a signature key has been observed (0 if never).
+  [[nodiscard]] std::uint64_t hits(std::uint64_t sig_key) const;
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const Scenario& entry(std::size_t i) const {
-    return entries_[i];
+    return entries_[i].scenario;
   }
-  [[nodiscard]] const std::vector<Scenario>& entries() const {
-    return entries_;
-  }
+  [[nodiscard]] std::vector<Scenario> entries() const;
   [[nodiscard]] std::size_t distinct_signatures() const {
-    return seen_.size();
+    return hits_.size();
   }
 
  private:
+  struct Entry {
+    Scenario scenario;
+    std::uint64_t sig_key = 0;
+  };
+
   std::size_t max_entries_;
   std::size_t next_replace_ = 0;
-  std::vector<Scenario> entries_;
-  std::set<std::uint64_t> seen_;
+  std::vector<Entry> entries_;
+  std::map<std::uint64_t, std::uint64_t> hits_;  ///< sig key -> observations
 };
 
 // ---- shrinking ----------------------------------------------------------
@@ -264,6 +356,10 @@ struct SoakOptions {
   double mutate_ratio = 0.0;
   /// Bound on the mutation corpus (signature-novel scenarios kept).
   std::size_t corpus_max = 256;
+  /// Collect ProtocolStats per run (see RunOptions::collect_protocol_stats;
+  /// off reproduces the engine-only signature space for A/B assertions —
+  /// digests are bit-identical either way).
+  bool collect_protocol_stats = true;
   /// Pre-seeded mutation bases (--corpus-in), run before anything else.
   std::vector<Scenario> initial_corpus;
   /// Progress callback after every scenario (may be empty).
@@ -282,12 +378,21 @@ struct SoakFailure {
 /// signatures, not runs.
 struct CoverageSummary {
   std::size_t distinct = 0;
+  /// Distinct ENGINE-ONLY projections (CoverageSignature::engine_key): the
+  /// PR-4 signature space. CI asserts distinct > engine_distinct — the
+  /// protocol dimension must strictly refine the engine one.
+  std::size_t engine_distinct = 0;
+  /// Distinct PROTOCOL-ONLY projections (protocol_key): how many distinct
+  /// algorithm corners (round/coin/proposal/learned bucket tuples) ran.
+  std::size_t protocol_distinct = 0;
   std::array<std::size_t, kSchedulerKindCount> per_scheduler{};
   std::size_t overflow_sigs = 0;  ///< signatures with overflow traffic
   std::size_t resize_sigs = 0;    ///< signatures where the wheel resized
   std::size_t batch_sigs = 0;     ///< signatures with batch fan-outs
   std::size_t crash_sigs = 0;     ///< signatures with crashes
   std::size_t hold_sigs = 0;      ///< signatures with holdback holds
+  std::size_t protocol_sigs = 0;  ///< signatures with protocol traffic
+                                  ///< (any nonzero protocol bucket)
 };
 
 struct SoakResult {

@@ -1,6 +1,7 @@
 #include "fuzz/scenario.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <sstream>
 
@@ -121,6 +122,7 @@ const char* scheduler_name(SchedulerKind k) {
     case SchedulerKind::kSkewed: return "skewed";
     case SchedulerKind::kContention: return "contention";
     case SchedulerKind::kHoldback: return "holdback";
+    case SchedulerKind::kScripted: return "scripted";
   }
   AMAC_ASSERT(false);
   return "?";
@@ -168,9 +170,26 @@ void normalize_scenario(Scenario& s) {
     s.holds.clear();
     s.late_holds = false;
   }
+  if (s.scheduler != SchedulerKind::kScripted) s.script.clear();
   const std::size_t count = build_graph(s).node_count();
   std::erase_if(s.crashes, [&](const CrashSpec& c) { return c.node >= count; });
   std::erase_if(s.holds, [&](const HoldSpec& h) { return h.sender >= count; });
+  std::erase_if(s.script,
+                [&](const ScriptSlot& t) { return t.sender >= count; });
+  if (s.scheduler == SchedulerKind::kScripted) {
+    // Slot well-formedness mirrors ScriptedScheduler::script_uniform's
+    // contract; the scenario's fack mirrors the scheduler's effective bound
+    // (max scripted ack, with the synchronous length-1 fallback), so
+    // decide-round bucketing and spec lines stay meaningful.
+    mac::Time max_ack = 1;
+    for (auto& t : s.script) {
+      if (t.ack < 1) t.ack = 1;
+      if (t.recv < 1) t.recv = 1;
+      if (t.recv > t.ack) t.recv = t.ack;
+      max_ack = std::max(max_ack, t.ack);
+    }
+    s.fack = max_ack;
+  }
   if (s.algorithm == Algorithm::kBenOr) {
     const std::size_t max_f = (count - 1) / 2;
     s.benor_f = std::min(s.benor_f, max_f);
@@ -193,6 +212,11 @@ const char* mutation_name(MutationOp op) {
     case MutationOp::kToggleLateHolds: return "toggle-late";
     case MutationOp::kReseed: return "reseed";
     case MutationOp::kSpliceTransport: return "splice";
+    case MutationOp::kScriptTimeline: return "script-timeline";
+    case MutationOp::kRetimeScriptSlot: return "retime-slot";
+    case MutationOp::kSwapScriptSlots: return "swap-slots";
+    case MutationOp::kDuplicateScriptSlot: return "dup-slot";
+    case MutationOp::kDropScriptSlot: return "drop-slot";
   }
   AMAC_ASSERT(false);
   return "?";
@@ -210,6 +234,13 @@ constexpr mac::Time kMaxMutatedCrashTime = 5000;
 constexpr std::size_t kMaxMutatedHolds = 6;
 constexpr std::size_t kMaxMutatedCrashes = 4;
 constexpr std::uint32_t kMaxMutatedNodes = 24;
+// Scripted-timeline bounds: slots stay few (unscripted broadcasts fall back
+// to lock-step, so a handful of slots already builds the paper's
+// counterexample shapes), indices reachable in soak time, acks inside the
+// wheel's initial span so scripted runs stress the batch path, not the heap.
+constexpr std::size_t kMaxScriptSlots = 6;
+constexpr std::uint32_t kMaxScriptIndex = 12;
+constexpr mac::Time kMaxScriptAck = 32;
 
 [[nodiscard]] mac::Time clamp_time(mac::Time t, mac::Time lo, mac::Time hi) {
   return t < lo ? lo : (t > hi ? hi : t);
@@ -244,6 +275,9 @@ bool apply_mutation(Scenario& s, MutationOp op, const Scenario* splice,
                     util::Rng& rng) {
   switch (op) {
     case MutationOp::kPerturbFack:
+      // Scripted scenarios derive fack from their slots (normalize); perturb
+      // the slots instead.
+      if (s.scheduler == SchedulerKind::kScripted) return false;
       s.fack = clamp_time(perturb_time(s.fack, rng), 1, kMaxMutatedFack);
       return true;
     case MutationOp::kPerturbHoldRelease: {
@@ -316,6 +350,64 @@ bool apply_mutation(Scenario& s, MutationOp op, const Scenario* splice,
       s.fack = splice->fack;
       s.late_holds = splice->late_holds;
       s.holds = splice->holds;
+      s.script = splice->script;
+      return true;
+    case MutationOp::kScriptTimeline: {
+      // Theorem 3.3/3.9 algorithms are only guaranteed under the
+      // synchronous scheduler; a scripted timeline would be an expected
+      // counterexample, not a bug, so they never get one.
+      if (synchronous_only(s.algorithm)) return false;
+      s.scheduler = SchedulerKind::kScripted;
+      s.holds.clear();
+      s.late_holds = false;
+      s.script.clear();
+      const std::size_t slots = rng.uniform(1, 4);
+      for (std::size_t i = 0; i < slots; ++i) {
+        ScriptSlot t;
+        t.sender = static_cast<NodeId>(rng.uniform(0, s.n - 1));
+        t.index = static_cast<std::uint32_t>(rng.uniform(0, 5));
+        t.ack = rng.uniform(1, kMaxScriptAck);
+        t.recv = rng.uniform(1, t.ack);
+        s.script.push_back(t);
+      }
+      return true;
+    }
+    case MutationOp::kRetimeScriptSlot: {
+      if (s.script.empty()) return false;
+      auto& t = s.script[rng.uniform(0, s.script.size() - 1)];
+      t.ack = rng.uniform(1, kMaxScriptAck);
+      t.recv = rng.uniform(1, t.ack);
+      return true;
+    }
+    case MutationOp::kSwapScriptSlots: {
+      // Exchange the delays of two slots while their (sender, index)
+      // anchors stay put: a pure timeline reordering, the shape of the
+      // paper's adversarial schedules.
+      if (s.script.size() < 2) return false;
+      const std::size_t i = rng.uniform(0, s.script.size() - 1);
+      std::size_t j = rng.uniform(0, s.script.size() - 2);
+      if (j >= i) ++j;
+      std::swap(s.script[i].ack, s.script[j].ack);
+      std::swap(s.script[i].recv, s.script[j].recv);
+      return true;
+    }
+    case MutationOp::kDuplicateScriptSlot: {
+      if (s.script.empty() || s.script.size() >= kMaxScriptSlots) {
+        return false;
+      }
+      ScriptSlot t = s.script[rng.uniform(0, s.script.size() - 1)];
+      t.index += 1;  // replay the same delays one broadcast later
+      s.script.push_back(t);
+      return true;
+    }
+    case MutationOp::kDropScriptSlot:
+      // Keep at least one slot: a slotless scripted scenario is just the
+      // synchronous scheduler in disguise (normalize can still empty the
+      // script when a shrunk topology drops every scripted sender).
+      if (s.script.size() <= 1) return false;
+      s.script.erase(s.script.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         rng.uniform(0, s.script.size() - 1)));
       return true;
   }
   AMAC_ASSERT(false);
@@ -357,10 +449,22 @@ void clamp_to_envelope(Scenario& s) {
   if (s.n > kMaxMutatedNodes) s.n = kMaxMutatedNodes;
   for (auto& h : s.holds) h.release = clamp_time(h.release, 1, kMaxMutatedRelease);
   for (auto& c : s.crashes) c.when = clamp_time(c.when, 1, kMaxMutatedCrashTime);
+  if (s.script.size() > kMaxScriptSlots) s.script.resize(kMaxScriptSlots);
+  for (auto& t : s.script) {
+    if (t.index > kMaxScriptIndex) t.index = kMaxScriptIndex;
+    t.ack = clamp_time(t.ack, 1, kMaxScriptAck);
+    t.recv = clamp_time(t.recv, 1, t.ack);
+  }
   normalize_scenario(s);
   // Same horizon policy as the generator: liveness runs get room, safety-
   // only runs stop once the interesting prefix has played out.
   s.horizon = termination_expected(s) ? 1'000'000 : 30'000;
+}
+
+bool inside_envelope(const Scenario& s) {
+  Scenario clamped = s;
+  clamp_to_envelope(clamped);
+  return format_spec(clamped) == format_spec(s);
 }
 
 Scenario mutate_scenario(const Scenario& base, const Scenario* splice,
@@ -417,12 +521,15 @@ Scenario generate_scenario(std::uint64_t seed) {
     }
   }
 
-  // Scheduler: Theorem 3.3/3.9 algorithms are synchronous-only.
+  // Scheduler: Theorem 3.3/3.9 algorithms are synchronous-only. The draw
+  // range is pinned to the GENERATED kinds (kScripted is mutation-only), so
+  // adding scripted timelines did not move a single generated scenario —
+  // the 504-corpus digest is bit-identical across that change.
   if (synchronous_only(s.algorithm)) {
     s.scheduler = SchedulerKind::kSynchronous;
   } else {
-    s.scheduler =
-        static_cast<SchedulerKind>(rng.uniform(0, kSchedulerKindCount - 1));
+    s.scheduler = static_cast<SchedulerKind>(
+        rng.uniform(0, kGeneratedSchedulerKindCount - 1));
   }
   s.fack = s.scheduler == SchedulerKind::kSynchronous
                ? rng.uniform(1, 4)
@@ -509,6 +616,14 @@ std::string format_spec(const Scenario& s) {
       os << s.holds[i].sender << "@" << s.holds[i].release;
     }
   }
+  if (!s.script.empty()) {
+    os << ":script=";
+    for (std::size_t i = 0; i < s.script.size(); ++i) {
+      if (i) os << ",";
+      os << s.script[i].sender << "@" << s.script[i].index << "@"
+         << s.script[i].ack << "@" << s.script[i].recv;
+    }
+  }
   return os.str();
 }
 
@@ -538,6 +653,33 @@ template <typename Pair>
     }
     if (a > std::numeric_limits<NodeId>::max()) return false;
     out.push_back(Pair{static_cast<NodeId>(a), b});
+    if (comma == std::string_view::npos) break;
+    v.remove_prefix(comma + 1);
+  }
+  return true;
+}
+
+/// Parses "s@i@ack@recv,..." scripted-slot lists.
+[[nodiscard]] bool parse_script_slots(std::string_view v,
+                                      std::vector<ScriptSlot>& out) {
+  while (!v.empty()) {
+    const std::size_t comma = v.find(',');
+    std::string_view item = v.substr(0, comma);
+    std::array<std::uint64_t, 4> fields{};
+    for (std::size_t f = 0; f < 4; ++f) {
+      const std::size_t at = item.find('@');
+      const bool last = f == 3;
+      if (last != (at == std::string_view::npos)) return false;
+      if (!parse_u64(last ? item : item.substr(0, at), fields[f])) {
+        return false;
+      }
+      if (!last) item.remove_prefix(at + 1);
+    }
+    if (fields[0] > std::numeric_limits<NodeId>::max()) return false;
+    if (fields[1] > std::numeric_limits<std::uint32_t>::max()) return false;
+    out.push_back(ScriptSlot{static_cast<NodeId>(fields[0]),
+                             static_cast<std::uint32_t>(fields[1]), fields[2],
+                             fields[3]});
     if (comma == std::string_view::npos) break;
     v.remove_prefix(comma + 1);
   }
@@ -654,6 +796,8 @@ std::optional<Scenario> parse_spec(std::string_view spec) {
       if (!parse_at_pairs(val, s.crashes)) return std::nullopt;
     } else if (key == "holds") {
       if (!parse_at_pairs(val, s.holds)) return std::nullopt;
+    } else if (key == "script") {
+      if (!parse_script_slots(val, s.script)) return std::nullopt;
     } else {
       return std::nullopt;
     }
@@ -745,6 +889,20 @@ BuiltScenario build_scenario(const Scenario& s) {
       b.holdback = hold.get();
       b.scheduler = std::move(hold);
       if (!s.late_holds) apply_holds(s, b);
+      break;
+    }
+    case SchedulerKind::kScripted: {
+      auto sched = std::make_unique<mac::ScriptedScheduler>();
+      for (const auto& t : s.script) {
+        // Out-of-range or malformed slots (hand-edited specs) are dropped
+        // or clamped, mirroring normalize_scenario; duplicate
+        // (sender, index) slots resolve later-wins, deterministically.
+        if (t.sender >= count) continue;
+        const mac::Time ack = std::max<mac::Time>(1, t.ack);
+        const mac::Time recv = std::clamp<mac::Time>(t.recv, 1, ack);
+        sched->script_uniform(t.sender, t.index, ack, recv);
+      }
+      b.scheduler = std::move(sched);
       break;
     }
   }

@@ -55,8 +55,15 @@ enum class SchedulerKind : std::uint8_t {
   kSkewed = 3,
   kContention = 4,
   kHoldback = 5,  ///< UniformRandom base + per-sender release holds
+  kScripted = 6,  ///< exact per-broadcast timeline (Scenario::script slots)
 };
-inline constexpr std::size_t kSchedulerKindCount = 6;
+inline constexpr std::size_t kSchedulerKindCount = 7;
+/// How many scheduler kinds generate_scenario draws from. kScripted is
+/// deliberately NOT generated — scripted timelines enter the search space
+/// only through mutation (timeline ops over corpus entries) and hand-written
+/// specs, so the pinned seed-only corpus digest is unchanged by its
+/// existence.
+inline constexpr std::size_t kGeneratedSchedulerKindCount = 6;
 
 enum class InputPattern : std::uint8_t {
   kAllZero = 0,
@@ -80,6 +87,19 @@ struct HoldSpec {
   mac::Time release = 0;
 };
 
+/// One scripted broadcast slot (kScripted only): the `index`-th broadcast
+/// of `sender` takes `ack` ticks to ack and delivers to every receiver
+/// after `recv` ticks (the dense uniform form of ScriptedScheduler).
+/// Unscripted broadcasts fall back to synchronous rounds of length 1, so a
+/// few slots suffice to build the paper's hand-crafted adversarial
+/// orderings (Theorem 3.3-style) while the rest of the run stays lock-step.
+struct ScriptSlot {
+  NodeId sender = kNoNode;
+  std::uint32_t index = 0;  ///< which broadcast of the sender (0-based)
+  mac::Time ack = 1;        ///< ack delay; >= recv
+  mac::Time recv = 1;       ///< shared receive delay, in [1, ack]
+};
+
 struct Scenario {
   std::uint64_t seed = 0;  ///< master seed for every derived random stream
   harness::Algorithm algorithm = harness::Algorithm::kFlooding;
@@ -98,7 +118,8 @@ struct Scenario {
   std::size_t benor_f = 0;  ///< Ben-Or crash-tolerance parameter
   mac::Time horizon = 100000;
   std::vector<CrashSpec> crashes;
-  std::vector<HoldSpec> holds;  ///< kHoldback only
+  std::vector<HoldSpec> holds;     ///< kHoldback only
+  std::vector<ScriptSlot> script;  ///< kScripted only
 };
 
 // ---- enum names (spec tokens) ------------------------------------------
@@ -145,8 +166,16 @@ enum class MutationOp : std::uint8_t {
   kToggleLateHolds = 8,  ///< flip early/late hold registration
   kReseed = 9,           ///< redraw the master seed (new wiring/inputs)
   kSpliceTransport = 10,  ///< take topology+scheduler from a second parent
+  // Timeline ops: ScriptedScheduler scenarios (the paper's hand-built
+  // counterexample shapes). kScriptTimeline converts any non-synchronous-
+  // only scenario into a scripted one; the others perturb existing slots.
+  kScriptTimeline = 11,      ///< switch to kScripted with a drawn timeline
+  kRetimeScriptSlot = 12,    ///< redraw one slot's (ack, recv) delays
+  kSwapScriptSlots = 13,     ///< exchange the delays of two slots
+  kDuplicateScriptSlot = 14, ///< replay a slot at the sender's next index
+  kDropScriptSlot = 15,      ///< remove one slot
 };
-inline constexpr std::size_t kMutationOpCount = 11;
+inline constexpr std::size_t kMutationOpCount = 16;
 
 [[nodiscard]] const char* mutation_name(MutationOp op);
 
@@ -157,6 +186,13 @@ inline constexpr std::size_t kMutationOpCount = 11;
 /// normalizes and recomputes the horizon. Mutation applies this after
 /// every op; hand-written specs remain free to step outside the envelope.
 void clamp_to_envelope(Scenario& s);
+
+/// True iff the scenario is a fixpoint of clamp_to_envelope — i.e. already
+/// inside its algorithm's guarantee envelope, spec for spec. Every mutant
+/// emitted by mutate_scenario satisfies this (the property test over
+/// scripted timelines pins it), which is exactly what makes a mutant
+/// violation a real bug; a deliberately unclamped scenario is rejected.
+[[nodiscard]] bool inside_envelope(const Scenario& s);
 
 /// Applies one randomly chosen applicable mutation to a copy of `base`
 /// (`splice`, when non-null, is the second parent for kSpliceTransport)

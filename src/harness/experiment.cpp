@@ -161,6 +161,14 @@ mac::ProcessFactory algorithm_factory(Algorithm algorithm,
   return {};
 }
 
+mac::ProtocolStats collect_protocol_stats(const mac::Network& net) {
+  mac::ProtocolStats stats;
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    net.process(u).protocol_stats(stats);
+  }
+  return stats;
+}
+
 Outcome run_consensus(const net::Graph& graph,
                       const mac::ProcessFactory& factory,
                       mac::Scheduler& scheduler,

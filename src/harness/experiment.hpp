@@ -110,6 +110,13 @@ struct AlgorithmParams {
 [[nodiscard]] mac::ProcessFactory algorithm_factory(Algorithm algorithm,
                                                     AlgorithmParams params);
 
+/// Aggregates mac::ProtocolStats over every node of a (typically finished)
+/// network: depth fields max-merge, totals sum — see Process::protocol_stats.
+/// A pure const read, so collecting it can never perturb a run (the fuzz
+/// determinism regression pins this).
+[[nodiscard]] mac::ProtocolStats collect_protocol_stats(
+    const mac::Network& net);
+
 // ---- runner -------------------------------------------------------------
 
 struct Outcome {

@@ -43,6 +43,24 @@ class Context {
   [[nodiscard]] virtual Time now() const = 0;
 };
 
+/// Algorithm-level ("protocol") run-shape counters, aggregated across every
+/// node of a finished run. Where EngineStats describes which QUEUE paths a
+/// run drove, ProtocolStats describes which ALGORITHM corners it reached —
+/// wPAXOS proposal/round structure, Ben-Or coin-flip depth, gather/
+/// stabilization progress — so the fuzzer's coverage signature can chase
+/// consensus corners, not just calendar-queue corners. Collection is a
+/// post-run const read of existing observables: it must never perturb a
+/// run (pinned by the determinism regression in tests/test_fuzz_smoke.cpp).
+struct ProtocolStats {
+  std::uint64_t max_round = 0;     ///< deepest round / phase / proposal tag
+                                   ///< any node reached
+  std::uint64_t coin_flips = 0;    ///< total randomness consumed (Ben-Or)
+  std::uint64_t proposals = 0;     ///< total proposals started (wPAXOS)
+  std::uint64_t change_events = 0; ///< total change-service events (wPAXOS)
+  std::uint64_t max_learned = 0;   ///< widest gather set any node accumulated
+                                   ///< (flooding / stability / two-phase ids)
+};
+
 /// A deterministic algorithm instance running at one node.
 class Process {
  public:
@@ -64,6 +82,14 @@ class Process {
   /// Mixes the full local state into `h`. Two processes with equal digests
   /// must behave identically on equal future event sequences.
   virtual void digest(util::Hasher& h) const = 0;
+
+  /// Folds this node's algorithm-level counters into `out`: depth fields
+  /// max-merge, totals sum. Default: the algorithm exposes no protocol
+  /// dimension. Must be a pure const read — collecting (or not collecting)
+  /// these stats may never change a run's behavior.
+  virtual void protocol_stats(ProtocolStats& out) const {
+    static_cast<void>(out);
+  }
 };
 
 /// Builds the process for a given node index. Knowledge discipline: the

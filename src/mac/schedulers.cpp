@@ -139,7 +139,35 @@ void ScriptedScheduler::script(NodeId sender, std::size_t index,
     AMAC_EXPECTS(delay >= 1 && delay <= ack_delay);
   }
   max_ack_ = std::max(max_ack_, ack_delay);
-  script_[{sender, index}] = Entry{ack_delay, std::move(delays)};
+  script_[{sender, index}] = Entry{ack_delay, 0, std::move(delays)};
+}
+
+void ScriptedScheduler::script_uniform(NodeId sender, std::size_t index,
+                                       Time ack_delay, Time receive_delay) {
+  AMAC_EXPECTS(ack_delay >= 1);
+  AMAC_EXPECTS(receive_delay >= 1 && receive_delay <= ack_delay);
+  max_ack_ = std::max(max_ack_, ack_delay);
+  script_[{sender, index}] = Entry{ack_delay, receive_delay, {}};
+}
+
+std::vector<ScriptedScheduler::SlotView> ScriptedScheduler::slots() const {
+  std::vector<SlotView> out;
+  out.reserve(script_.size());
+  for (const auto& [key, entry] : script_) {
+    SlotView v;
+    v.sender = key.first;
+    v.index = key.second;
+    v.ack_delay = entry.ack_delay;
+    v.uniform_delay = entry.uniform_delay;
+    v.listed_receivers = entry.delays.size();
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t ScriptedScheduler::broadcasts_issued(NodeId sender) const {
+  const auto it = broadcast_counts_.find(sender);
+  return it == broadcast_counts_.end() ? 0 : it->second;
 }
 
 void ScriptedScheduler::schedule(NodeId sender, Time /*now*/,
@@ -155,6 +183,11 @@ void ScriptedScheduler::schedule(NodeId sender, Time /*now*/,
   }
   const Entry& entry = it->second;
   out.ack_delay = entry.ack_delay;
+  if (entry.uniform_delay > 0) {
+    // Dense uniform slot: one shared delay, batch fan-out downstream.
+    out.assign_uniform(neighbors, entry.uniform_delay);
+    return;
+  }
   for (const NodeId v : neighbors) {
     Time delay = 1;
     for (const auto& [receiver, d] : entry.delays) {

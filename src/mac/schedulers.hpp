@@ -216,18 +216,45 @@ class LossyScheduler final : public Scheduler {
   Time cutoff_ = kForever;
 };
 
-/// Fully scripted delays for exact adversarial timelines in tests and
-/// counterexample reproductions: the i-th broadcast of a sender uses its
-/// scripted (ack delay, per-receiver delays); unscripted broadcasts fall
-/// back to synchronous rounds of length 1.
+/// Fully scripted delays for exact adversarial timelines in tests,
+/// counterexample reproductions, and the fuzzer's timeline mutation: the
+/// i-th broadcast of a sender uses its scripted (ack delay, per-receiver
+/// delays); unscripted broadcasts fall back to synchronous rounds of
+/// length 1.
 class ScriptedScheduler final : public Scheduler {
  public:
   ScriptedScheduler() = default;
+
+  /// One scripted slot, as seen through the introspection API. The fuzzer's
+  /// timeline mutator reads these back to retime/swap/duplicate slots.
+  struct SlotView {
+    NodeId sender = kNoNode;
+    std::size_t index = 0;      ///< which broadcast of the sender
+    Time ack_delay = 1;
+    Time uniform_delay = 0;     ///< nonzero: every receiver gets this delay
+    std::size_t listed_receivers = 0;  ///< per-receiver entries (0 if uniform)
+  };
 
   /// Scripts the `index`-th broadcast (0-based) of `sender`. Receivers not
   /// listed get delay 1. Requires ack_delay >= every listed delay.
   void script(NodeId sender, std::size_t index, Time ack_delay,
               std::vector<std::pair<NodeId, Time>> delays);
+
+  /// Scripts the `index`-th broadcast of `sender` with ONE shared delay for
+  /// every receiver — the dense uniform form (the engine batch-reserves the
+  /// calendar bucket for it, so scripted timelines exercise the push_batch
+  /// path). Requires 1 <= receive_delay <= ack_delay.
+  void script_uniform(NodeId sender, std::size_t index, Time ack_delay,
+                      Time receive_delay);
+
+  // --- introspection (tests, the fuzzer's timeline mutator) ---
+
+  [[nodiscard]] std::size_t slot_count() const { return script_.size(); }
+  /// Every scripted slot in deterministic (sender, index) order.
+  [[nodiscard]] std::vector<SlotView> slots() const;
+  /// How many broadcasts `sender` has issued so far (scripted or fallback).
+  [[nodiscard]] std::size_t broadcasts_issued(NodeId sender) const;
+  [[nodiscard]] Time max_scripted_ack() const { return max_ack_; }
 
   void schedule(NodeId sender, Time now, const std::vector<NodeId>& neighbors,
                 BroadcastSchedule& out) override;
@@ -236,6 +263,7 @@ class ScriptedScheduler final : public Scheduler {
  private:
   struct Entry {
     Time ack_delay = 1;
+    Time uniform_delay = 0;  ///< nonzero: uniform slot, delays ignored
     std::vector<std::pair<NodeId, Time>> delays;
   };
   std::map<std::pair<NodeId, std::size_t>, Entry> script_;

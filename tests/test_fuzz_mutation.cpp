@@ -51,6 +51,15 @@ void expect_in_envelope(const Scenario& s, const std::string& context) {
     EXPECT_TRUE(s.holds.empty()) << context;
     EXPECT_FALSE(s.late_holds) << context;
   }
+  if (s.scheduler != SchedulerKind::kScripted) {
+    EXPECT_TRUE(s.script.empty()) << context;
+  }
+  for (const auto& t : s.script) {
+    EXPECT_LT(t.sender, count) << context;
+    EXPECT_GE(t.ack, 1u) << context;
+    EXPECT_GE(t.recv, 1u) << context;
+    EXPECT_LE(t.recv, t.ack) << context;
+  }
   EXPECT_GE(s.fack, 1u) << context;
 }
 
@@ -103,6 +112,127 @@ TEST(FuzzMutation, MutantsRunCleanInsideTheirEnvelopes) {
     ++ran;
   }
   EXPECT_EQ(ran, 20u);
+}
+
+TEST(FuzzMutation, ScriptedTimelineMutantsStayInEnvelopeOver500Seeds) {
+  // The ScriptedScheduler timeline property: every mutant of a scripted
+  // timeline — including chains where retime/swap/duplicate/drop ops
+  // rearrange the slots — still satisfies the algorithm's envelope after
+  // clamp_to_envelope, across 500 seeded chains. inside_envelope() is the
+  // clamp fixpoint check: a mutant passing it makes guarantees the oracle
+  // can hold it to, which is what makes a mutant violation a real bug.
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    util::Rng rng(seed * 0x9E3779B9u + 7);
+    // Start from a scripted scenario: a generated base pushed through the
+    // timeline conversion (mutate until the scheduler flips to scripted,
+    // which kScriptTimeline is drawn into within a few attempts).
+    Scenario s = generate_scenario(seed);
+    for (int attempt = 0; attempt < 64 &&
+                          s.scheduler != SchedulerKind::kScripted;
+         ++attempt) {
+      s = mutate_scenario(s, nullptr, rng);
+    }
+    if (s.scheduler != SchedulerKind::kScripted) continue;  // sync-only alg
+
+    // Now a chain of further mutants; every one must stay a clamp
+    // fixpoint, spec-round-trip exactly, and keep its slots well-formed.
+    for (int step = 0; step < 6; ++step) {
+      s = mutate_scenario(s, nullptr, rng);
+      const std::string context =
+          "seed " + std::to_string(seed) + " step " + std::to_string(step) +
+          ": " + format_spec(s);
+      EXPECT_TRUE(inside_envelope(s)) << context;
+      const auto parsed = parse_spec(format_spec(s));
+      ASSERT_TRUE(parsed.has_value()) << context;
+      EXPECT_EQ(format_spec(*parsed), format_spec(s)) << context;
+      expect_in_envelope(s, context);
+      // Synchronous-only algorithms can never carry a scripted timeline.
+      if (s.algorithm == Algorithm::kAnonymous ||
+          s.algorithm == Algorithm::kStability) {
+        EXPECT_NE(s.scheduler, SchedulerKind::kScripted) << context;
+      }
+    }
+  }
+}
+
+TEST(FuzzMutation, DeliberatelyUnclampedScriptedMutantIsRejected) {
+  // The negative half of the property: hand-build timeline violations the
+  // clamp would have fixed and check inside_envelope rejects each one —
+  // proving the fixpoint check has teeth, not just that mutants happen to
+  // pass it.
+  util::Rng rng(0xBADC0DE);
+  Scenario base;  // a flooding base: scripted timelines are in-envelope
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 200 && !found; ++seed) {
+    base = generate_scenario(seed);
+    found = base.algorithm == Algorithm::kFlooding;
+  }
+  ASSERT_TRUE(found);
+  Scenario s = base;
+  // Mutation never changes the algorithm, so every mutant stays flooding.
+  for (int attempt = 0;
+       attempt < 256 &&
+       (s.scheduler != SchedulerKind::kScripted || s.script.empty());
+       ++attempt) {
+    s = mutate_scenario(s, nullptr, rng);
+  }
+  ASSERT_EQ(s.scheduler, SchedulerKind::kScripted);
+  ASSERT_TRUE(inside_envelope(s));
+  ASSERT_FALSE(s.script.empty());
+
+  // Receive delay above the ack delay: violates the abstract MAC layer
+  // contract (a copy delivered after its own ack).
+  Scenario bad = s;
+  bad.script[0].recv = bad.script[0].ack + 5;
+  EXPECT_FALSE(inside_envelope(bad));
+
+  // Ack beyond the mutation bound.
+  bad = s;
+  bad.script[0].ack = 100000;
+  EXPECT_FALSE(inside_envelope(bad));
+
+  // A scripted timeline on a synchronous-only algorithm: an expected
+  // counterexample (Theorem 3.3), never a fuzz target.
+  bad = s;
+  bad.algorithm = Algorithm::kAnonymous;
+  EXPECT_FALSE(inside_envelope(bad));
+
+  // Scripted slots dangling on a non-scripted scheduler.
+  bad = s;
+  bad.scheduler = SchedulerKind::kUniformRandom;
+  EXPECT_FALSE(inside_envelope(bad));
+
+  // Clamping each rejected mutant re-admits it.
+  clamp_to_envelope(bad);
+  EXPECT_TRUE(inside_envelope(bad));
+}
+
+TEST(FuzzMutation, ScriptedMutantsRunCleanAndExerciseScriptedPaths) {
+  // Scripted mutants inside their envelopes must run violation-free, and
+  // the scripted scheduler really drives the runs (nonzero traffic,
+  // deterministic replay from the spec line).
+  util::Rng rng(2024);
+  std::size_t scripted_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Scenario s = generate_scenario(seed);
+    for (int attempt = 0; attempt < 64 &&
+                          s.scheduler != SchedulerKind::kScripted;
+         ++attempt) {
+      s = mutate_scenario(s, nullptr, rng);
+    }
+    if (s.scheduler != SchedulerKind::kScripted) continue;
+    ++scripted_runs;
+    const RunReport r = run_scenario(s);
+    EXPECT_EQ(r.failure, FailureKind::kNone)
+        << format_spec(s) << "\n" << r.detail;
+    EXPECT_GT(r.stats.broadcasts, 0u) << format_spec(s);
+    // Spec-line replay is bit-identical (the repro contract).
+    const auto replayed = parse_spec(format_spec(s));
+    ASSERT_TRUE(replayed.has_value());
+    EXPECT_EQ(run_scenario(*replayed).fingerprint, r.fingerprint)
+        << format_spec(s);
+  }
+  EXPECT_GE(scripted_runs, 20u);
 }
 
 TEST(FuzzCoverage, SignatureIsStableAndDiscriminatesEnginePaths) {
@@ -171,6 +301,13 @@ TEST(FuzzCoverage, MutatingSoakStrictlyWidensCoverage) {
 
   EXPECT_GT(mutated_result.coverage.distinct, pure_result.coverage.distinct)
       << "mutation failed to widen signature coverage over blind generation";
+  // The protocol dimension must strictly refine the engine-only (PR-4)
+  // projection and mutation must widen it too — the CI assertions.
+  EXPECT_GT(mutated_result.coverage.distinct,
+            mutated_result.coverage.engine_distinct);
+  EXPECT_GT(mutated_result.coverage.protocol_distinct,
+            pure_result.coverage.protocol_distinct);
+  EXPECT_GT(mutated_result.coverage.protocol_sigs, 0u);
   // The corpus digest folds every fingerprint, so the two soaks really ran
   // different scenario streams.
   EXPECT_NE(mutated_result.corpus_digest, pure_result.corpus_digest);

@@ -74,6 +74,10 @@ TEST(FuzzGenerator, StaysInsideGuaranteeEnvelopes) {
       EXPECT_TRUE(s.holds.empty());
       EXPECT_FALSE(s.late_holds);
     }
+    // kScripted is mutation-only: the generator must never emit it (the
+    // pinned corpus digest depends on the generated draw range).
+    EXPECT_NE(s.scheduler, SchedulerKind::kScripted);
+    EXPECT_TRUE(s.script.empty());
   }
 }
 
@@ -140,6 +144,61 @@ TEST(FuzzSoak, PinnedCorpusRunsCleanAcrossAllSixAlgorithms) {
   SoakOptions again = options;
   again.differential_every = 0;  // differential replay never alters runs
   EXPECT_EQ(run_soak(again).corpus_digest, result.corpus_digest);
+}
+
+TEST(FuzzSoak, ProtocolStatsCollectionNeverPerturbsRuns) {
+  // The determinism regression for the protocol coverage dimension:
+  // ProtocolStats collection is a post-run const read, so the pinned
+  // 504-corpus digest must be BIT-IDENTICAL with collection on (the
+  // default) and off — and identical to the digest pinned before the
+  // dimension existed (PR 2/3/4). A change to this constant means run
+  // behavior moved and must be a reviewed, deliberate decision.
+  constexpr std::uint64_t kPinned504Digest = 0xfa43aa7e095f5b45ULL;
+
+  SoakOptions options;
+  options.seed_base = 1;
+  options.count = 504;
+  options.differential_every = 0;
+  const SoakResult with = run_soak(options);
+  options.collect_protocol_stats = false;
+  const SoakResult without = run_soak(options);
+
+  EXPECT_EQ(with.corpus_digest, kPinned504Digest);
+  EXPECT_EQ(without.corpus_digest, kPinned504Digest);
+
+  // Collection ON refines coverage (protocol buckets split engine
+  // signatures); OFF reproduces the engine-only signature space exactly.
+  EXPECT_GT(with.coverage.distinct, without.coverage.distinct);
+  EXPECT_EQ(without.coverage.distinct, without.coverage.engine_distinct);
+  EXPECT_EQ(with.coverage.engine_distinct, without.coverage.engine_distinct);
+  EXPECT_EQ(without.coverage.protocol_distinct, 1u);  // all-zero projection
+  EXPECT_GT(with.coverage.protocol_distinct, 1u);
+
+  // Two differential replays (calendar vs frozen reference engine) are
+  // bit-identical with collection on and off.
+  std::size_t checked = 0;
+  for (std::uint64_t seed = 1; seed <= 504 && checked < 2; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    if (s.algorithm != Algorithm::kWPaxos &&
+        s.algorithm != Algorithm::kBenOr) {
+      continue;  // take the two stat-richest algorithms
+    }
+    ++checked;
+    RunOptions on;
+    on.differential = true;
+    RunOptions off = on;
+    off.collect_protocol_stats = false;
+    const RunReport a = run_scenario(s, on);
+    const RunReport b = run_scenario(s, off);
+    ASSERT_TRUE(a.differential_ran);
+    ASSERT_TRUE(b.differential_ran);
+    EXPECT_EQ(a.failure, FailureKind::kNone) << format_spec(s);
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << format_spec(s);
+    EXPECT_EQ(a.trace_digest, b.trace_digest) << format_spec(s);
+    EXPECT_EQ(a.reference_fingerprint, b.reference_fingerprint)
+        << format_spec(s);
+  }
+  EXPECT_EQ(checked, 2u);
 }
 
 }  // namespace

@@ -318,5 +318,64 @@ TEST(Schedulers, ScriptedPerSenderCounters) {
   EXPECT_EQ(s1.ack_delay, 4u);
 }
 
+TEST(Schedulers, ScriptedUniformSlotIsDenseUniform) {
+  // script_uniform emits the dense uniform schedule form (shared delay),
+  // so scripted timelines fan out via the engine's batch bucket path.
+  ScriptedScheduler sched;
+  sched.script_uniform(0, 0, /*ack=*/7, /*recv=*/3);
+  const auto s = sched.make_schedule(0, 0, kNeighbors);
+  EXPECT_EQ(s.ack_delay, 7u);
+  EXPECT_TRUE(s.uniform);
+  ASSERT_EQ(s.size(), 3u);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.delay(i), 3u);
+  EXPECT_EQ(sched.fack(), 7u);
+  expect_within_contract(s, sched.fack());
+}
+
+TEST(Schedulers, ScriptedSlotIntrospection) {
+  // The fuzzer's timeline mutator reads slots back: deterministic
+  // (sender, index) order, uniform vs per-receiver form distinguished,
+  // per-sender issue counters exposed.
+  ScriptedScheduler sched;
+  sched.script_uniform(2, 1, 9, 4);
+  sched.script(0, 0, 5, {{1, 2}, {2, 5}});
+  sched.script_uniform(0, 3, 6, 6);
+
+  ASSERT_EQ(sched.slot_count(), 3u);
+  const auto slots = sched.slots();
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0].sender, 0u);
+  EXPECT_EQ(slots[0].index, 0u);
+  EXPECT_EQ(slots[0].ack_delay, 5u);
+  EXPECT_EQ(slots[0].uniform_delay, 0u);
+  EXPECT_EQ(slots[0].listed_receivers, 2u);
+  EXPECT_EQ(slots[1].sender, 0u);
+  EXPECT_EQ(slots[1].index, 3u);
+  EXPECT_EQ(slots[1].uniform_delay, 6u);
+  EXPECT_EQ(slots[2].sender, 2u);
+  EXPECT_EQ(slots[2].index, 1u);
+  EXPECT_EQ(slots[2].uniform_delay, 4u);
+  EXPECT_EQ(sched.max_scripted_ack(), 9u);
+
+  EXPECT_EQ(sched.broadcasts_issued(0), 0u);
+  (void)sched.make_schedule(0, 0, kNeighbors);
+  (void)sched.make_schedule(0, 1, kNeighbors);
+  EXPECT_EQ(sched.broadcasts_issued(0), 2u);
+  EXPECT_EQ(sched.broadcasts_issued(2), 0u);
+}
+
+TEST(Schedulers, ScriptedUniformSlotOverwriteIsLaterWins) {
+  // Re-scripting the same (sender, index) replaces the slot — the
+  // deterministic resolution the fuzz builder relies on for duplicate
+  // spec slots.
+  ScriptedScheduler sched;
+  sched.script_uniform(0, 0, 4, 2);
+  sched.script_uniform(0, 0, 8, 5);
+  ASSERT_EQ(sched.slot_count(), 1u);
+  const auto s = sched.make_schedule(0, 0, kNeighbors);
+  EXPECT_EQ(s.ack_delay, 8u);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.delay(i), 5u);
+}
+
 }  // namespace
 }  // namespace amac::mac
