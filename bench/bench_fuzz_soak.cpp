@@ -3,6 +3,8 @@
 //   ./bench_fuzz_soak --count 1000                 # soak seeds [1, 1000]
 //   ./bench_fuzz_soak --seed-base 5000 --count 200 # a different corpus
 //   ./bench_fuzz_soak --count 20000 --mutate 0.35  # coverage-steered soak
+//   ./bench_fuzz_soak --count 2000 --fault-rate 0.05 --dup-rate 0.02
+//                                                  # unreliable-link floor
 //   ./bench_fuzz_soak --replay <spec-or-seed>      # one scenario, verbose
 //   ./bench_fuzz_soak --replay <spec> --expect-digest 0xABCD  # CI pinning
 //   ./bench_fuzz_soak ... --corpus-out corpus.txt  # dump mutation corpus
@@ -42,7 +44,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--count N] [--seed-base S] [--differential-every K]\n"
-      "          [--mutate RATIO] [--corpus-out FILE] [--corpus-in FILE]\n"
+      "          [--mutate RATIO] [--fault-rate RATIO] [--dup-rate RATIO]\n"
+      "          [--corpus-out FILE] [--corpus-in FILE]\n"
       "          [--no-shrink] [--max-shrink-attempts A] [--progress-every P]\n"
       "          [--no-protocol-stats] [--replay SPEC] [--expect-digest HEX]\n"
       "          [--sig-version]\n",
@@ -54,13 +57,16 @@ void print_report(const fuzz::Scenario& s, const fuzz::RunReport& r) {
   std::printf("scenario  %s\n", fuzz::format_spec(s).c_str());
   std::printf("verdict   %s\n", r.verdict.summary().c_str());
   std::printf("result    failure=%s end_time=%llu broadcasts=%llu "
-              "deliveries=%llu acks=%llu mid_flight_crashes=%zu\n",
+              "deliveries=%llu acks=%llu mid_flight_crashes=%zu "
+              "drops=%llu duplicates=%llu\n",
               fuzz::failure_name(r.failure),
               static_cast<unsigned long long>(r.end_time),
               static_cast<unsigned long long>(r.stats.broadcasts),
               static_cast<unsigned long long>(r.stats.deliveries),
               static_cast<unsigned long long>(r.stats.acks),
-              r.mid_flight_crashes);
+              r.mid_flight_crashes,
+              static_cast<unsigned long long>(r.stats.drops),
+              static_cast<unsigned long long>(r.stats.duplicates));
   std::printf("calendar  wheel=%llu overflow=%llu resizes=%llu batch=%llu "
               "span=%zu\n",
               static_cast<unsigned long long>(r.stats.wheel_pushes),
@@ -76,7 +82,7 @@ void print_report(const fuzz::Scenario& s, const fuzz::RunReport& r) {
               static_cast<unsigned long long>(r.protocol.change_events),
               static_cast<unsigned long long>(r.protocol.max_learned));
   const fuzz::CoverageSignature sig = fuzz::coverage_signature(s, r);
-  std::printf("coverage  signature=0x%016llx (engine=0x%011llx "
+  std::printf("coverage  signature=0x%016llx (engine=0x%013llx "
               "protocol=0x%04llx, space v%u)\n",
               static_cast<unsigned long long>(sig.key()),
               static_cast<unsigned long long>(sig.engine_key()),
@@ -181,6 +187,9 @@ void print_coverage_table(const fuzz::SoakResult& result) {
               cov.overflow_sigs, cov.resize_sigs, cov.batch_sigs,
               cov.crash_sigs, cov.hold_sigs, cov.protocol_sigs,
               cov.distinct);
+  // "distinct fault signatures:" is machine-parsed by the CI
+  // coverage-widening assertion; keep its shape stable.
+  std::printf("  distinct fault signatures: %zu\n", cov.fault_sigs);
 }
 
 int run_soak_cli(const CliOptions& cli) {
@@ -214,6 +223,15 @@ int run_soak_cli(const CliOptions& cli) {
               static_cast<unsigned long long>(options.seed_base +
                                               options.count - 1),
               result.differential_runs, options.mutate_ratio);
+  if (options.fault_rate > 0.0 || options.dup_rate > 0.0 ||
+      result.faulted_scenarios > 0) {
+    std::printf("  link-fault floor: drop %.4f dup %.4f -> %zu faulted "
+                "scenarios, %llu dropped / %llu duplicated frames\n",
+                options.fault_rate, options.dup_rate,
+                result.faulted_scenarios,
+                static_cast<unsigned long long>(result.dropped_frames),
+                static_cast<unsigned long long>(result.duplicated_frames));
+  }
   for (std::size_t i = 0; i < harness::kAlgorithmCount; ++i) {
     std::printf("  %-10s %zu\n",
                 harness::algorithm_name(static_cast<harness::Algorithm>(i)),
@@ -316,6 +334,19 @@ int main(int argc, char** argv) {
         fail_flag(arg, v);
       } else {
         cli.soak.mutate_ratio = *parsed;
+      }
+    } else if (arg == "--fault-rate" || arg == "--dup-rate") {
+      // Link-fault floors share --mutate's strict contract: a ratio in
+      // [0, 1], parsed in full, or exit 2 (a typo'd rate must never soak a
+      // silently-reliable network and exit green).
+      const char* v = next();
+      const auto parsed = v ? util::parse_double(v) : std::optional<double>{};
+      if (!parsed || *parsed < 0.0 || *parsed > 1.0) {
+        fail_flag(arg, v);
+      } else if (arg == "--fault-rate") {
+        cli.soak.fault_rate = *parsed;
+      } else {
+        cli.soak.dup_rate = *parsed;
       }
     } else if (arg == "--corpus-out") {
       const char* v = next();

@@ -75,6 +75,11 @@ void WPaxos::process_leader(std::uint64_t leader_id, mac::Context& ctx) {
   if (omega_ != id_) pphase_ = PropPhase::kIdle;
   tree_prioritize_leader();
   max_pn_from_leader_ = ProposalNumber::zero();
+  // The at-most-once cursor is scoped to the current leader's flood: the
+  // new leader restarts from its own (possibly smaller) proposal numbers,
+  // so the cursor restarts with it (see process_proposer).
+  processed_any_ = false;
+  last_processed_ = {ProposalNumber::zero(), 0};
   prune_responses();
   on_local_change(ctx);
 }
@@ -255,16 +260,29 @@ void WPaxos::process_proposer(const ProposerMsg& m, mac::Context& ctx) {
   // election service before the leader gate below.
   if (m.pn.id > omega_) process_leader(m.pn.id, ctx);
 
-  // At-most-once processing per (pn, kind), monotonically increasing.
+  // Any observed proposition teaches us its tag, so a future proposal of
+  // ours is numbered above everything already in flight.
+  max_tag_ = std::max(max_tag_, m.pn.tag);
+
+  // Queue invariants (§4.2.1): only the current leader's propositions are
+  // relayed and answered. This gate must run BEFORE the at-most-once
+  // cursor below advances: a deposed leader may have flooded a larger
+  // proposal number than the new leader's first proposition (pn order is
+  // (tag, id), and the loser can hold the larger tag), and a cursor parked
+  // at that stale maximum would silently swallow the real leader's flood —
+  // no relay, no response, not even a rejection — wedging the proposer
+  // below the majority threshold with nothing left to trigger a retry.
+  if (m.pn.id != omega_) return;
+
+  // At-most-once processing per (pn, kind), monotonically increasing
+  // within the current leader's propositions (the cursor resets on
+  // leadership change; omega_ itself is monotone, so a deposed leader's
+  // duplicates can never sneak back past the gate above).
   const std::pair<ProposalNumber, std::uint8_t> key{m.pn, rank(m.kind)};
   if (processed_any_ && key <= last_processed_) return;
   last_processed_ = key;
   processed_any_ = true;
-  max_tag_ = std::max(max_tag_, m.pn.tag);
 
-  // Queue invariants (§4.2.1): only the current leader's propositions are
-  // relayed and answered.
-  if (m.pn.id != omega_) return;
   max_pn_from_leader_ = std::max(max_pn_from_leader_, m.pn);
   prune_responses();
   proposer_q_ = m;  // flood relay (supersedes anything older)

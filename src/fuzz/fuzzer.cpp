@@ -38,6 +38,9 @@ Observation run_on_engine(const Scenario& s, bool with_monitor,
   const std::size_t count = b.graph.node_count();
   Net net(b.graph, b.factory, *b.scheduler);
   net.enable_trace_digest();
+  // Both engines take the same pure-hash fault plan, so faulted
+  // differential replays stay bit-identical.
+  if (!b.faults.empty()) net.set_link_faults(b.faults);
   for (const auto& plan : b.crashes) net.schedule_crash(plan);
   // Late holds: the calendar wheel was sized from the pre-hold fack() at
   // construction, so the held deliveries must take the overflow-heap path.
@@ -49,7 +52,12 @@ Observation run_on_engine(const Scenario& s, bool with_monitor,
   // its absence cannot change the reference run).
   std::optional<verify::ResponseConservationMonitor> monitor;
   if constexpr (std::is_same_v<Net, mac::Network>) {
-    if (with_monitor && s.algorithm == harness::Algorithm::kWPaxos) {
+    // The Lemma 4.2 ledger assumes reliable delivery (every response copy
+    // eventually arrives exactly once); a non-empty fault plan deliberately
+    // breaks that, so the monitor stands down rather than reporting
+    // injected loss as a conservation bug.
+    if (with_monitor && s.algorithm == harness::Algorithm::kWPaxos &&
+        b.faults.empty()) {
       monitor.emplace(b.ids);
     }
   }
@@ -103,6 +111,14 @@ Observation run_on_engine(const Scenario& s, bool with_monitor,
   h.mix_u64(obs.stats.payload_bytes);
   h.mix_u64(obs.stats.max_payload_bytes);
   h.mix_u64(obs.stats.peak_events);
+  // Fault counters join the fingerprint only when the plan inflicted any:
+  // fault-free runs keep the exact pre-fault fingerprint (the pinned
+  // 504-corpus digest depends on this), while faulted differential pairs
+  // must agree on the injected loss too.
+  if (obs.stats.drops != 0 || obs.stats.duplicates != 0) {
+    h.mix_u64(obs.stats.drops);
+    h.mix_u64(obs.stats.duplicates);
+  }
   h.mix_u64(obs.end_time);
   h.mix_bool(obs.condition_met);
   for (NodeId u = 0; u < count; ++u) {
@@ -192,18 +208,14 @@ std::uint8_t saturated_bucket(std::uint64_t v) {
 }
 
 std::uint64_t CoverageSignature::key() const {
-  // engine_key (44 bits) followed by the four 4-bit protocol buckets:
-  // 60 bits total, and the v1 key is literally this key >> 16.
-  std::uint64_t k = engine_key();
-  const auto pack = [&k](std::uint64_t v, unsigned bits) {
-    AMAC_ASSERT(v < (std::uint64_t{1} << bits));
-    k = (k << bits) | v;
-  };
-  pack(round_bucket, 4);
-  pack(coin_bucket, 4);
-  pack(proposal_bucket, 4);
-  pack(learned_bucket, 4);
-  return k;
+  // Since v3 the engine projection (52 bits) plus the four 4-bit protocol
+  // buckets no longer pack into 64 bits, so the full key hash-combines the
+  // two projections. Equal signatures still give equal keys; distinct ones
+  // collide only with Hasher probability.
+  util::Hasher h;
+  h.mix_u64(engine_key());
+  h.mix_u64(protocol_key());
+  return h.digest();
 }
 
 std::uint64_t CoverageSignature::engine_key() const {
@@ -220,6 +232,8 @@ std::uint64_t CoverageSignature::engine_key() const {
   pack(decide_bucket, 6);
   pack(flags, 8);
   pack(failure, 4);
+  pack(drop_bucket, 4);
+  pack(dup_bucket, 4);
   return k;
 }
 
@@ -239,6 +253,8 @@ CoverageSignature coverage_signature(const Scenario& s, const RunReport& r) {
       std::min<std::uint64_t>(r.stats.wheel_resizes, 3));
   sig.decide_bucket =
       magnitude_bucket(r.end_time / std::max<mac::Time>(s.fack, 1));
+  sig.drop_bucket = saturated_bucket(r.stats.drops);
+  sig.dup_bucket = saturated_bucket(r.stats.duplicates);
   sig.round_bucket = saturated_bucket(r.protocol.max_round);
   sig.coin_bucket = saturated_bucket(r.protocol.coin_flips);
   sig.proposal_bucket =
@@ -341,6 +357,35 @@ namespace {
     Scenario cand = s;
     cand.script.erase(cand.script.begin() + static_cast<std::ptrdiff_t>(i));
     add(std::move(cand));
+  }
+  // Fault-plan reduction toward the empty plan: drop each window, zero
+  // each rate, and collapse per-receiver script slots back to uniform.
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    Scenario cand = s;
+    cand.faults.erase(cand.faults.begin() + static_cast<std::ptrdiff_t>(i));
+    add(std::move(cand));
+  }
+  if (s.drop_rate_bp != 0) {
+    Scenario cand = s;
+    cand.drop_rate_bp = 0;
+    add(std::move(cand));
+  }
+  if (s.dup_rate_bp != 0) {
+    Scenario cand = s;
+    cand.dup_rate_bp = 0;
+    add(std::move(cand));
+  }
+  for (std::size_t i = 0; i < s.script.size(); ++i) {
+    if (s.script[i].delays.empty()) continue;
+    Scenario cand = s;
+    cand.script[i].delays.clear();  // back to the uniform `recv` slot
+    add(std::move(cand));
+    for (std::size_t j = 0; j < s.script[i].delays.size(); ++j) {
+      cand = s;
+      cand.script[i].delays.erase(cand.script[i].delays.begin() +
+                                  static_cast<std::ptrdiff_t>(j));
+      add(std::move(cand));
+    }
   }
   if (s.fack > 1) {
     Scenario cand = s;
@@ -454,6 +499,37 @@ ShrinkResult shrink_scenario(const Scenario& s, FailureKind kind,
       progress |= minimize_value(
           res.scenario.script[i].recv, res.scenario.script[i].ack,
           [i](Scenario& c, mac::Time v) { c.script[i].ack = v; });
+      // Per-receiver listed delays toward 1 (position-stable: normalize
+      // keeps them receiver-sorted and receivers are unique).
+      for (std::size_t j = 0; j < res.scenario.script[i].delays.size();
+           ++j) {
+        progress |= minimize_value(
+            1, res.scenario.script[i].delays[j].second,
+            [i, j](Scenario& c, mac::Time v) {
+              c.script[i].delays[j].second = v;
+            });
+      }
+    }
+    // Fault plans: rates binary-search toward 0 (the fault-free envelope),
+    // finite drop windows narrow toward a single tick. kForever windows
+    // carry no searchable value; phase 1's removal candidates cover them.
+    progress |= minimize_value(0, res.scenario.drop_rate_bp,
+                               [](Scenario& c, mac::Time v) {
+                                 c.drop_rate_bp =
+                                     static_cast<std::uint32_t>(v);
+                               });
+    progress |= minimize_value(0, res.scenario.dup_rate_bp,
+                               [](Scenario& c, mac::Time v) {
+                                 c.dup_rate_bp =
+                                     static_cast<std::uint32_t>(v);
+                               });
+    for (std::size_t i = 0; i < res.scenario.faults.size(); ++i) {
+      const mac::Time from = res.scenario.faults[i].from_tick;
+      const mac::Time until = res.scenario.faults[i].until_tick;
+      if (until == mac::kForever) continue;
+      progress |= minimize_value(
+          from + 1, until,
+          [i](Scenario& c, mac::Time v) { c.faults[i].until_tick = v; });
     }
     // Scripted scenarios derive fack from their slots (normalize), so a
     // direct fack probe would re-run an identical spec; the slot passes
@@ -481,6 +557,7 @@ void note_signature(CoverageSummary& cov, const CoverageSignature& sig) {
   if (sig.flags & CoverageSignature::kHasCrashes) ++cov.crash_sigs;
   if (sig.flags & CoverageSignature::kHasHolds) ++cov.hold_sigs;
   if (sig.protocol_key() != 0) ++cov.protocol_sigs;
+  if (sig.drop_bucket > 0 || sig.dup_bucket > 0) ++cov.fault_sigs;
 }
 
 }  // namespace
@@ -524,6 +601,21 @@ SoakResult run_soak(const SoakOptions& options) {
     } else {
       s = generate_scenario(options.seed_base + i);
     }
+    if (options.fault_rate > 0.0 || options.dup_rate > 0.0) {
+      // Soak-wide fault floors: raise the scenario's rates to at least the
+      // CLI floor, then clamp back into its algorithm's bounded-loss
+      // envelope (which re-zeroes them where safety cannot take the
+      // faults). With both floors at 0 this branch never runs, so the
+      // pinned digest is untouched.
+      const auto floor_bp = [](double rate) {
+        return static_cast<std::uint32_t>(
+            rate * static_cast<double>(mac::LinkFaultPlan::kRateScale) +
+            0.5);
+      };
+      s.drop_rate_bp = std::max(s.drop_rate_bp, floor_bp(options.fault_rate));
+      s.dup_rate_bp = std::max(s.dup_rate_bp, floor_bp(options.dup_rate));
+      clamp_to_envelope(s);
+    }
 
     RunOptions run_options;
     run_options.differential = options.differential_every != 0 &&
@@ -541,6 +633,11 @@ SoakResult run_soak(const SoakOptions& options) {
     result.overflow_events += report.stats.overflow_pushes;
     if (report.stats.overflow_pushes > 0) ++result.overflow_scenarios;
     if (report.stats.wheel_resizes > 0) ++result.resized_scenarios;
+    result.dropped_frames += report.stats.drops;
+    result.duplicated_frames += report.stats.duplicates;
+    if (s.drop_rate_bp != 0 || s.dup_rate_bp != 0 || !s.faults.empty()) {
+      ++result.faulted_scenarios;
+    }
     corpus_hash.mix_u64(report.fingerprint);
 
     const CoverageSignature sig = coverage_signature(s, report);

@@ -64,6 +64,35 @@
 // generation at the same budget, and that the full signature count
 // strictly exceeds its engine-only projection.
 //
+// Unreliable links (signature-space v3): a scenario may carry a
+// mac::LinkFaultPlan — global drop/duplicate rates in basis points and
+// per-link drop windows. Spec grammar: `:drop=150` / `:dup=50` (parts per
+// 10000, omitted when zero) and `:faults=from@to@start@until,...` where
+// `until` is a tick (transient outage: deliveries in [start, until) are
+// DEFERRED to until, the ack stretching past them) or `inf` (permanent
+// cut: copies are lost outright). Every drop/duplicate decision is a pure
+// seed-salted hash of (broadcast, sender, receiver), so faulted runs
+// replay bit-identically on BOTH engines and differential sampling keeps
+// working under faults. The generator never draws faults — they enter
+// through the fault mutation ops (add/remove/widen/narrow a drop window,
+// perturb rates), the soak-wide --fault-rate/--dup-rate floors, and
+// hand-written specs — so the pinned seed-only corpus digest is untouched
+// by their existence.
+//
+// Bounded-loss envelope rules (clamp_to_envelope): synchronous-only
+// algorithms get no faults at all; two-phase keeps only deferral faults
+// (zero drop rate, finite windows — permanent loss genuinely breaks its
+// agreement); wPAXOS never sees duplicate rates (acceptor responses carry
+// tallied counts with no dedup); flooding and Ben-Or take arbitrary loss
+// and duplication. Termination is demanded only of fault-free or
+// deferral-only scenarios (rates zero, every window finite);
+// agreement/validity stay demanded ALWAYS. The Lemma 4.2 monitor assumes
+// reliable delivery, so it is gated off whenever the plan is non-empty.
+// The drop/duplicate magnitudes join the coverage signature as two
+// saturated log4 buckets, and the shrinker reduces fault plans toward the
+// empty plan (drop windows removed, rates binary-searched toward 0) before
+// value-minimizing what survives.
+//
 //   --corpus-out FILE   write the final corpus as spec lines (one per line)
 //   --corpus-in FILE    pre-seed the mutation corpus from such a file
 //                       (# and blank lines are skipped)
@@ -174,8 +203,11 @@ struct RunReport {
 /// frontier) are keyed on it, so a signature-space change starts a fresh
 /// frontier instead of resuming against stale novelty bookkeeping.
 /// History: 1 = PR-4 engine-only dimensions; 2 = + protocol dimensions
-/// (round/coin/proposal/learned buckets) and the scripted scheduler kind.
-inline constexpr std::uint32_t kSignatureSpaceVersion = 2;
+/// (round/coin/proposal/learned buckets) and the scripted scheduler kind;
+/// 3 = + link-fault dimensions (drop/duplicate magnitude buckets) — the
+/// engine projection outgrew 64 bits alongside the protocol buckets, so
+/// key() became a hash combine of the two projections.
+inline constexpr std::uint32_t kSignatureSpaceVersion = 3;
 
 /// Quarter-log (log4) magnitude bucket: 0 -> 0, otherwise
 /// 1 + floor(log4(v)) — boundaries at exact powers of four. Exact counts
@@ -222,6 +254,12 @@ struct CoverageSignature {
   std::uint8_t decide_bucket = 0;    ///< log4 of end_time / fack (ack windows)
   std::uint8_t flags = 0;            ///< kHasCrashes | ... interaction bits
   std::uint8_t failure = 0;          ///< FailureKind
+  // Link-fault dimensions (signature-space v3): how much loss and
+  // duplication the run's fault plan actually inflicted, saturated log4
+  // buckets of EngineStats::drops / ::duplicates. Fault-free runs bucket
+  // to 0, so the v2 signatures survive unchanged under an empty plan.
+  std::uint8_t drop_bucket = 0;  ///< dropped + deferred copies
+  std::uint8_t dup_bucket = 0;   ///< duplicated copies
   // Protocol dimensions (signature-space v2), saturated log4 buckets of the
   // run's aggregated mac::ProtocolStats.
   std::uint8_t round_bucket = 0;     ///< max round / phase / proposal tag
@@ -229,11 +267,14 @@ struct CoverageSignature {
   std::uint8_t proposal_bucket = 0;  ///< wPAXOS proposals + change events
   std::uint8_t learned_bucket = 0;   ///< widest gather set (flooding et al.)
 
-  /// The packed identity: equal keys <=> equal signatures.
+  /// The identity: equal keys <=> equal signatures (up to hash collision —
+  /// since v3 the engine projection plus the protocol buckets no longer
+  /// fit 64 packed bits, so the key is a hash combine of the two
+  /// projections).
   [[nodiscard]] std::uint64_t key() const;
 
-  /// The PR-4 engine-only projection (protocol dimensions zeroed): what the
-  /// signature space looked like before v2. The soak counts distinct
+  /// The engine-only projection (protocol dimensions zeroed): the PR-4
+  /// space plus, since v3, the two fault buckets. The soak counts distinct
   /// engine keys separately so CI can assert the protocol dimension
   /// strictly refines it.
   [[nodiscard]] std::uint64_t engine_key() const;
@@ -360,6 +401,14 @@ struct SoakOptions {
   /// off reproduces the engine-only signature space for A/B assertions —
   /// digests are bit-identical either way).
   bool collect_protocol_stats = true;
+  /// Soak-wide link-fault floors (--fault-rate / --dup-rate, fractions in
+  /// [0, 1]): every scenario's drop/duplicate rate is raised to at least
+  /// this much, then clamped back into its algorithm's bounded-loss
+  /// envelope (synchronous-only algorithms stay fault-free, two-phase
+  /// drops its drop rate, wpaxos its duplicate rate). 0 (the default)
+  /// leaves scenarios untouched, so the pinned corpus digest is preserved.
+  double fault_rate = 0.0;
+  double dup_rate = 0.0;
   /// Pre-seeded mutation bases (--corpus-in), run before anything else.
   std::vector<Scenario> initial_corpus;
   /// Progress callback after every scenario (may be empty).
@@ -393,6 +442,8 @@ struct CoverageSummary {
   std::size_t hold_sigs = 0;      ///< signatures with holdback holds
   std::size_t protocol_sigs = 0;  ///< signatures with protocol traffic
                                   ///< (any nonzero protocol bucket)
+  std::size_t fault_sigs = 0;     ///< signatures with link-fault traffic
+                                  ///< (nonzero drop or duplicate bucket)
 };
 
 struct SoakResult {
@@ -409,6 +460,13 @@ struct SoakResult {
   std::uint64_t overflow_events = 0;
   std::size_t overflow_scenarios = 0;  ///< scenarios with >= 1 heap event
   std::size_t resized_scenarios = 0;   ///< scenarios where the wheel resized
+  /// Link-fault traffic across the soak: copies the fault plans dropped or
+  /// deferred, copies they duplicated, and how many scenarios ran with a
+  /// non-empty plan at all. Surfaced in the soak summary so CI logs show
+  /// the fault paths really ran.
+  std::uint64_t dropped_frames = 0;
+  std::uint64_t duplicated_frames = 0;
+  std::size_t faulted_scenarios = 0;
   std::size_t mutated_runs = 0;     ///< runs drawn from the mutation engine
   std::size_t novel_runs = 0;       ///< runs with a never-seen signature
   CoverageSummary coverage;         ///< distinct-signature breakdown

@@ -23,6 +23,7 @@ constexpr std::uint64_t kTopoSalt = 0x70601061;
 constexpr std::uint64_t kInputSalt = 0x1A9B75C1;
 constexpr std::uint64_t kIdSalt = 0x1DA551;
 constexpr std::uint64_t kSchedSalt = 0x5C4EDD1E;
+constexpr std::uint64_t kFaultSalt = 0xFA0175;
 
 [[nodiscard]] std::uint64_t sub_seed(std::uint64_t seed, std::uint64_t salt) {
   util::Hasher h;
@@ -146,6 +147,18 @@ const char* id_assignment_name(IdAssignment a) {
 }
 
 bool termination_expected(const Scenario& s) {
+  // Bounded-loss envelope: rate faults drop copies permanently and a
+  // kForever window severs a link for good, so no algorithm owes
+  // termination under either (agreement/validity stay unconditional).
+  // Finite windows merely defer deliveries — the engine stretches the ack
+  // past every deferred arrival — so they never cost liveness by
+  // themselves. Duplicate rates are conservatively excluded too: the
+  // oracle only promises termination on fault-free (or deferral-only)
+  // runs.
+  if (s.drop_rate_bp != 0 || s.dup_rate_bp != 0) return false;
+  for (const auto& w : s.faults) {
+    if (w.until_tick == mac::kForever) return false;
+  }
   switch (s.algorithm) {
     case Algorithm::kTwoPhase:
     case Algorithm::kFlooding:
@@ -176,16 +189,51 @@ void normalize_scenario(Scenario& s) {
   std::erase_if(s.holds, [&](const HoldSpec& h) { return h.sender >= count; });
   std::erase_if(s.script,
                 [&](const ScriptSlot& t) { return t.sender >= count; });
+  // Fault windows on out-of-range or self links are inert; so are finite
+  // windows that close at or before they open. Dropping them keeps the
+  // shrinker's "remove a window" steps canonical.
+  std::erase_if(s.faults, [&](const FaultSpec& w) {
+    return w.from >= count || w.to >= count || w.from == w.to ||
+           (w.until_tick != mac::kForever && w.until_tick <= w.from_tick);
+  });
   if (s.scheduler == SchedulerKind::kScripted) {
-    // Slot well-formedness mirrors ScriptedScheduler::script_uniform's
-    // contract; the scenario's fack mirrors the scheduler's effective bound
-    // (max scripted ack, with the synchronous length-1 fallback), so
-    // decide-round bucketing and spec lines stay meaningful.
+    // Slot well-formedness mirrors ScriptedScheduler's contracts; the
+    // scenario's fack mirrors the scheduler's effective bound (max scripted
+    // ack, with the synchronous length-1 fallback), so decide-round
+    // bucketing and spec lines stay meaningful. Per-receiver slots are
+    // canonicalized: out-of-range receivers dropped, later-wins dedupe,
+    // receiver-sorted, delays clamped into [1, ack], and `recv` mirrors the
+    // largest listed delay (ScriptedScheduler gives unlisted receivers
+    // delay 1).
     mac::Time max_ack = 1;
     for (auto& t : s.script) {
       if (t.ack < 1) t.ack = 1;
-      if (t.recv < 1) t.recv = 1;
-      if (t.recv > t.ack) t.recv = t.ack;
+      if (!t.delays.empty()) {
+        std::vector<std::pair<NodeId, mac::Time>> kept;
+        for (const auto& [receiver, delay] : t.delays) {
+          if (receiver >= count) continue;
+          const mac::Time d = std::clamp<mac::Time>(delay, 1, t.ack);
+          bool replaced = false;
+          for (auto& k : kept) {
+            if (k.first == receiver) {
+              k.second = d;  // later-wins, like ScriptedScheduler's scan
+              replaced = true;
+            }
+          }
+          if (!replaced) kept.emplace_back(receiver, d);
+        }
+        std::sort(kept.begin(), kept.end());
+        t.delays = std::move(kept);
+      }
+      if (t.delays.empty()) {
+        if (t.recv < 1) t.recv = 1;
+        if (t.recv > t.ack) t.recv = t.ack;
+      } else {
+        t.recv = 1;
+        for (const auto& [receiver, delay] : t.delays) {
+          t.recv = std::max(t.recv, delay);
+        }
+      }
       max_ack = std::max(max_ack, t.ack);
     }
     s.fack = max_ack;
@@ -217,6 +265,12 @@ const char* mutation_name(MutationOp op) {
     case MutationOp::kSwapScriptSlots: return "swap-slots";
     case MutationOp::kDuplicateScriptSlot: return "dup-slot";
     case MutationOp::kDropScriptSlot: return "drop-slot";
+    case MutationOp::kAddDropWindow: return "add-window";
+    case MutationOp::kRemoveDropWindow: return "remove-window";
+    case MutationOp::kWidenDropWindow: return "widen-window";
+    case MutationOp::kNarrowDropWindow: return "narrow-window";
+    case MutationOp::kPerturbFaultRates: return "perturb-rates";
+    case MutationOp::kScriptReceiverDelay: return "receiver-delay";
   }
   AMAC_ASSERT(false);
   return "?";
@@ -241,6 +295,12 @@ constexpr std::uint32_t kMaxMutatedNodes = 24;
 constexpr std::size_t kMaxScriptSlots = 6;
 constexpr std::uint32_t kMaxScriptIndex = 12;
 constexpr mac::Time kMaxScriptAck = 32;
+// Link-fault bounds: a handful of windows inside the wheel's resizable
+// horizon already builds partition-and-heal shapes, and rates cap at 20%
+// so faulted soak runs still make protocol progress worth covering.
+constexpr std::size_t kMaxFaultWindows = 4;
+constexpr mac::Time kMaxFaultTick = 4000;
+constexpr std::uint32_t kMaxFaultRateBp = 2000;
 
 [[nodiscard]] mac::Time clamp_time(mac::Time t, mac::Time lo, mac::Time hi) {
   return t < lo ? lo : (t > hi ? hi : t);
@@ -267,6 +327,31 @@ constexpr mac::Time kMaxScriptAck = 32;
     default:
       return false;  // crash-intolerant: mutants stay crash-free
   }
+}
+
+// Link-fault envelope per algorithm. Faults only go where SAFETY survives
+// them (termination_expected separately withdraws the liveness demand on
+// lossy plans), so a faulted mutant violation is a real bug:
+//   * synchronous-only algorithms (Theorems 3.3/3.9) get no faults at all —
+//     under them any asynchrony is an expected counterexample;
+//   * two-phase loses agreement under permanent loss (a decided node's
+//     phase-1 and phase-2 messages can both vanish toward one witness, which
+//     then completes its witness wait on the other value), so it keeps only
+//     deferral faults: zero drop rate, finite windows;
+//   * wpaxos acceptor responses carry tallied counts with no dedup, so
+//     duplicate faults are withheld; loss is safe (monotone acceptor state
+//     plus quorum intersection);
+//   * flooding and Ben-Or tolerate arbitrary loss and duplication.
+[[nodiscard]] bool faults_allowed(const Scenario& s) {
+  return !synchronous_only(s.algorithm);
+}
+
+[[nodiscard]] bool permanent_loss_allowed(const Scenario& s) {
+  return faults_allowed(s) && s.algorithm != Algorithm::kTwoPhase;
+}
+
+[[nodiscard]] bool duplicates_allowed(const Scenario& s) {
+  return faults_allowed(s) && s.algorithm != Algorithm::kWPaxos;
 }
 
 /// Applies `op` to `s` in place. Returns false when the op does not apply
@@ -351,6 +436,9 @@ bool apply_mutation(Scenario& s, MutationOp op, const Scenario* splice,
       s.late_holds = splice->late_holds;
       s.holds = splice->holds;
       s.script = splice->script;
+      s.drop_rate_bp = splice->drop_rate_bp;
+      s.dup_rate_bp = splice->dup_rate_bp;
+      s.faults = splice->faults;
       return true;
     case MutationOp::kScriptTimeline: {
       // Theorem 3.3/3.9 algorithms are only guaranteed under the
@@ -409,6 +497,100 @@ bool apply_mutation(Scenario& s, MutationOp op, const Scenario* splice,
                      static_cast<std::ptrdiff_t>(
                          rng.uniform(0, s.script.size() - 1)));
       return true;
+    case MutationOp::kAddDropWindow: {
+      if (!faults_allowed(s) || s.faults.size() >= kMaxFaultWindows ||
+          s.n < 2) {
+        return false;
+      }
+      FaultSpec w;
+      w.from = static_cast<NodeId>(rng.uniform(0, s.n - 1));
+      w.to = static_cast<NodeId>(rng.uniform(0, s.n - 2));
+      if (w.to >= w.from) ++w.to;  // distinct endpoints
+      w.from_tick = rng.uniform(0, kMaxFaultTick - 1);
+      if (permanent_loss_allowed(s) && rng.chance(0.2)) {
+        w.until_tick = mac::kForever;  // sever the link for good
+      } else {
+        w.until_tick = w.from_tick + rng.uniform(1, 64);
+      }
+      s.faults.push_back(w);
+      return true;
+    }
+    case MutationOp::kRemoveDropWindow:
+      if (s.faults.empty()) return false;
+      s.faults.erase(s.faults.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         rng.uniform(0, s.faults.size() - 1)));
+      return true;
+    case MutationOp::kWidenDropWindow: {
+      if (s.faults.empty()) return false;
+      auto& w = s.faults[rng.uniform(0, s.faults.size() - 1)];
+      const bool can_earlier = w.from_tick > 0;
+      const bool can_later = w.until_tick != mac::kForever;
+      if (!can_earlier && !can_later) return false;
+      if (can_earlier && (!can_later || rng.chance(0.5))) {
+        w.from_tick -= rng.uniform(1, std::min<mac::Time>(w.from_tick, 32));
+      } else {
+        w.until_tick += rng.uniform(1, 64);
+      }
+      return true;
+    }
+    case MutationOp::kNarrowDropWindow: {
+      if (s.faults.empty()) return false;
+      auto& w = s.faults[rng.uniform(0, s.faults.size() - 1)];
+      if (w.until_tick == mac::kForever) {
+        // Heal the link: the infinite outage becomes a bounded one.
+        w.until_tick = w.from_tick + rng.uniform(1, 64);
+        return true;
+      }
+      const mac::Time span = w.until_tick - w.from_tick;
+      if (span <= 1) return false;
+      const mac::Time cut = rng.uniform(1, span - 1);
+      if (rng.chance(0.5)) {
+        w.from_tick += cut;
+      } else {
+        w.until_tick -= cut;
+      }
+      return true;
+    }
+    case MutationOp::kPerturbFaultRates: {
+      const bool drop_ok = permanent_loss_allowed(s);
+      const bool dup_ok = duplicates_allowed(s);
+      if (!drop_ok && !dup_ok) return false;
+      const bool pick_drop = drop_ok && (!dup_ok || rng.chance(0.5));
+      std::uint32_t& rate = pick_drop ? s.drop_rate_bp : s.dup_rate_bp;
+      switch (rng.uniform(0, 2)) {
+        case 0:  // fresh light rate (turns faults on)
+          rate = static_cast<std::uint32_t>(rng.uniform(1, 500));
+          break;
+        case 1:  // intensify
+          rate = std::min<std::uint32_t>(
+              kMaxFaultRateBp,
+              rate + static_cast<std::uint32_t>(rng.uniform(1, 250)));
+          break;
+        default:  // back toward the fault-free envelope
+          rate /= 2;
+          break;
+      }
+      return true;
+    }
+    case MutationOp::kScriptReceiverDelay: {
+      // Retime ONE receiver of a scripted slot: the uniform slot becomes a
+      // per-receiver one (unlisted receivers drop to ScriptedScheduler's
+      // delay-1 default), which is the paper's "one node hears late" shape.
+      if (s.script.empty()) return false;
+      auto& t = s.script[rng.uniform(0, s.script.size() - 1)];
+      const NodeId receiver = static_cast<NodeId>(rng.uniform(0, s.n - 1));
+      const mac::Time delay = rng.uniform(1, std::max<mac::Time>(1, t.ack));
+      bool replaced = false;
+      for (auto& [r, d] : t.delays) {
+        if (r == receiver) {
+          d = delay;
+          replaced = true;
+        }
+      }
+      if (!replaced) t.delays.emplace_back(receiver, delay);
+      return true;
+    }
   }
   AMAC_ASSERT(false);
   return false;
@@ -454,6 +636,37 @@ void clamp_to_envelope(Scenario& s) {
     if (t.index > kMaxScriptIndex) t.index = kMaxScriptIndex;
     t.ack = clamp_time(t.ack, 1, kMaxScriptAck);
     t.recv = clamp_time(t.recv, 1, t.ack);
+    for (auto& [receiver, delay] : t.delays) {
+      delay = clamp_time(delay, 1, t.ack);
+    }
+  }
+  // Link faults stay inside each algorithm's bounded-loss envelope (see
+  // faults_allowed and friends above): synchronous-only algorithms get
+  // none, two-phase keeps only deferral faults (no permanent loss), wpaxos
+  // never sees duplicates, and rates/windows stay inside mutation bounds.
+  if (!faults_allowed(s)) {
+    s.drop_rate_bp = 0;
+    s.dup_rate_bp = 0;
+    s.faults.clear();
+  }
+  if (!permanent_loss_allowed(s)) {
+    s.drop_rate_bp = 0;
+    for (auto& w : s.faults) {
+      if (w.until_tick == mac::kForever) {
+        w.until_tick = std::min<mac::Time>(w.from_tick + 64, kMaxFaultTick);
+      }
+    }
+  }
+  if (!duplicates_allowed(s)) s.dup_rate_bp = 0;
+  s.drop_rate_bp = std::min(s.drop_rate_bp, kMaxFaultRateBp);
+  s.dup_rate_bp = std::min(s.dup_rate_bp, kMaxFaultRateBp);
+  if (s.faults.size() > kMaxFaultWindows) s.faults.resize(kMaxFaultWindows);
+  for (auto& w : s.faults) {
+    if (w.from_tick > kMaxFaultTick - 1) w.from_tick = kMaxFaultTick - 1;
+    if (w.until_tick != mac::kForever) {
+      w.until_tick =
+          std::clamp<mac::Time>(w.until_tick, w.from_tick + 1, kMaxFaultTick);
+    }
   }
   normalize_scenario(s);
   // Same horizon policy as the generator: liveness runs get room, safety-
@@ -620,8 +833,32 @@ std::string format_spec(const Scenario& s) {
     os << ":script=";
     for (std::size_t i = 0; i < s.script.size(); ++i) {
       if (i) os << ",";
-      os << s.script[i].sender << "@" << s.script[i].index << "@"
-         << s.script[i].ack << "@" << s.script[i].recv;
+      const ScriptSlot& t = s.script[i];
+      os << t.sender << "@" << t.index << "@" << t.ack << "@";
+      if (t.delays.empty()) {
+        os << t.recv;  // uniform slot: bare shared delay
+      } else {
+        // Per-receiver slot: `r-d+r-d+...` (unlisted receivers delay 1).
+        for (std::size_t j = 0; j < t.delays.size(); ++j) {
+          if (j) os << "+";
+          os << t.delays[j].first << "-" << t.delays[j].second;
+        }
+      }
+    }
+  }
+  if (s.drop_rate_bp != 0) os << ":drop=" << s.drop_rate_bp;
+  if (s.dup_rate_bp != 0) os << ":dup=" << s.dup_rate_bp;
+  if (!s.faults.empty()) {
+    os << ":faults=";
+    for (std::size_t i = 0; i < s.faults.size(); ++i) {
+      if (i) os << ",";
+      const FaultSpec& w = s.faults[i];
+      os << w.from << "@" << w.to << "@" << w.from_tick << "@";
+      if (w.until_tick == mac::kForever) {
+        os << "inf";
+      } else {
+        os << w.until_tick;
+      }
     }
   }
   return os.str();
@@ -659,27 +896,85 @@ template <typename Pair>
   return true;
 }
 
-/// Parses "s@i@ack@recv,..." scripted-slot lists.
+/// Parses "s@i@ack@recv,..." scripted-slot lists. The 4th field is either a
+/// bare shared delay (uniform slot) or a `r-d+r-d` per-receiver list, in
+/// which case `recv` mirrors the largest listed delay (as normalize keeps
+/// it).
 [[nodiscard]] bool parse_script_slots(std::string_view v,
                                       std::vector<ScriptSlot>& out) {
   while (!v.empty()) {
     const std::size_t comma = v.find(',');
     std::string_view item = v.substr(0, comma);
-    std::array<std::uint64_t, 4> fields{};
-    for (std::size_t f = 0; f < 4; ++f) {
+    std::array<std::uint64_t, 3> fields{};
+    for (std::size_t f = 0; f < 3; ++f) {
       const std::size_t at = item.find('@');
-      const bool last = f == 3;
-      if (last != (at == std::string_view::npos)) return false;
-      if (!parse_u64(last ? item : item.substr(0, at), fields[f])) {
-        return false;
-      }
-      if (!last) item.remove_prefix(at + 1);
+      if (at == std::string_view::npos) return false;
+      if (!parse_u64(item.substr(0, at), fields[f])) return false;
+      item.remove_prefix(at + 1);
+    }
+    if (item.empty() || item.find('@') != std::string_view::npos) {
+      return false;
     }
     if (fields[0] > std::numeric_limits<NodeId>::max()) return false;
     if (fields[1] > std::numeric_limits<std::uint32_t>::max()) return false;
-    out.push_back(ScriptSlot{static_cast<NodeId>(fields[0]),
-                             static_cast<std::uint32_t>(fields[1]), fields[2],
-                             fields[3]});
+    ScriptSlot slot;
+    slot.sender = static_cast<NodeId>(fields[0]);
+    slot.index = static_cast<std::uint32_t>(fields[1]);
+    slot.ack = fields[2];
+    if (item.find('-') == std::string_view::npos) {
+      if (!parse_u64(item, slot.recv)) return false;
+    } else {
+      mac::Time max_delay = 1;
+      while (!item.empty()) {
+        const std::size_t plus = item.find('+');
+        const std::string_view pair = item.substr(0, plus);
+        const std::size_t dash = pair.find('-');
+        if (dash == std::string_view::npos) return false;
+        std::uint64_t r = 0;
+        std::uint64_t d = 0;
+        if (!parse_u64(pair.substr(0, dash), r) ||
+            !parse_u64(pair.substr(dash + 1), d)) {
+          return false;
+        }
+        if (r > std::numeric_limits<NodeId>::max()) return false;
+        slot.delays.emplace_back(static_cast<NodeId>(r), d);
+        max_delay = std::max(max_delay, d);
+        if (plus == std::string_view::npos) break;
+        item.remove_prefix(plus + 1);
+      }
+      slot.recv = max_delay;
+    }
+    out.push_back(std::move(slot));
+    if (comma == std::string_view::npos) break;
+    v.remove_prefix(comma + 1);
+  }
+  return true;
+}
+
+/// Parses "from@to@start@until,..." drop-window lists; `until` may be
+/// `inf` for a permanent (kForever) outage.
+[[nodiscard]] bool parse_fault_windows(std::string_view v,
+                                       std::vector<FaultSpec>& out) {
+  while (!v.empty()) {
+    const std::size_t comma = v.find(',');
+    std::string_view item = v.substr(0, comma);
+    std::array<std::uint64_t, 3> fields{};
+    for (std::size_t f = 0; f < 3; ++f) {
+      const std::size_t at = item.find('@');
+      if (at == std::string_view::npos) return false;
+      if (!parse_u64(item.substr(0, at), fields[f])) return false;
+      item.remove_prefix(at + 1);
+    }
+    if (item.find('@') != std::string_view::npos) return false;
+    mac::Time until = mac::kForever;
+    if (item != "inf" && !parse_u64(item, until)) return false;
+    if (fields[0] > std::numeric_limits<NodeId>::max() ||
+        fields[1] > std::numeric_limits<NodeId>::max()) {
+      return false;
+    }
+    out.push_back(FaultSpec{static_cast<NodeId>(fields[0]),
+                            static_cast<NodeId>(fields[1]), fields[2],
+                            until});
     if (comma == std::string_view::npos) break;
     v.remove_prefix(comma + 1);
   }
@@ -798,6 +1093,18 @@ std::optional<Scenario> parse_spec(std::string_view spec) {
       if (!parse_at_pairs(val, s.holds)) return std::nullopt;
     } else if (key == "script") {
       if (!parse_script_slots(val, s.script)) return std::nullopt;
+    } else if (key == "drop") {
+      if (!parse_u64(val, u) || u == 0 || u > mac::LinkFaultPlan::kRateScale) {
+        return std::nullopt;
+      }
+      s.drop_rate_bp = static_cast<std::uint32_t>(u);
+    } else if (key == "dup") {
+      if (!parse_u64(val, u) || u == 0 || u > mac::LinkFaultPlan::kRateScale) {
+        return std::nullopt;
+      }
+      s.dup_rate_bp = static_cast<std::uint32_t>(u);
+    } else if (key == "faults") {
+      if (!parse_fault_windows(val, s.faults)) return std::nullopt;
     } else {
       return std::nullopt;
     }
@@ -899,8 +1206,19 @@ BuiltScenario build_scenario(const Scenario& s) {
         // (sender, index) slots resolve later-wins, deterministically.
         if (t.sender >= count) continue;
         const mac::Time ack = std::max<mac::Time>(1, t.ack);
-        const mac::Time recv = std::clamp<mac::Time>(t.recv, 1, ack);
-        sched->script_uniform(t.sender, t.index, ack, recv);
+        if (t.delays.empty()) {
+          const mac::Time recv = std::clamp<mac::Time>(t.recv, 1, ack);
+          sched->script_uniform(t.sender, t.index, ack, recv);
+        } else {
+          std::vector<std::pair<NodeId, mac::Time>> delays;
+          delays.reserve(t.delays.size());
+          for (const auto& [receiver, delay] : t.delays) {
+            if (receiver >= count) continue;
+            delays.emplace_back(receiver,
+                                std::clamp<mac::Time>(delay, 1, ack));
+          }
+          sched->script(t.sender, t.index, ack, std::move(delays));
+        }
       }
       b.scheduler = std::move(sched);
       break;
@@ -924,6 +1242,20 @@ BuiltScenario build_scenario(const Scenario& s) {
 
   for (const auto& c : s.crashes) {
     if (c.node < count) b.crashes.push_back(mac::CrashPlan{c.node, c.when});
+  }
+  if (s.drop_rate_bp != 0 || s.dup_rate_bp != 0 || !s.faults.empty()) {
+    // The plan's hash seed derives from the master seed (own salt), so a
+    // reseed redraws the fault pattern with the rest of the run while the
+    // spec line stays rate/window-only.
+    b.faults.seed = sub_seed(s.seed, kFaultSalt);
+    b.faults.drop_rate_bp = s.drop_rate_bp;
+    b.faults.dup_rate_bp = s.dup_rate_bp;
+    for (const auto& w : s.faults) {
+      if (w.from < count && w.to < count) {
+        b.faults.windows.push_back(
+            mac::DropWindow{w.from, w.to, w.from_tick, w.until_tick});
+      }
+    }
   }
   return b;
 }

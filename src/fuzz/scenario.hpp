@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.hpp"
@@ -93,11 +94,31 @@ struct HoldSpec {
 /// Unscripted broadcasts fall back to synchronous rounds of length 1, so a
 /// few slots suffice to build the paper's hand-crafted adversarial
 /// orderings (Theorem 3.3-style) while the rest of the run stays lock-step.
+///
+/// When `delays` is non-empty the slot is per-receiver instead of uniform:
+/// each listed receiver gets its own delay, unlisted receivers get delay 1,
+/// and `recv` mirrors the largest listed delay (normalize keeps them in
+/// sync). In the spec line the 4th slot field then reads `r-d+r-d+...`
+/// instead of a bare integer.
 struct ScriptSlot {
   NodeId sender = kNoNode;
   std::uint32_t index = 0;  ///< which broadcast of the sender (0-based)
-  mac::Time ack = 1;        ///< ack delay; >= recv
+  mac::Time ack = 1;        ///< ack delay; >= recv and every listed delay
   mac::Time recv = 1;       ///< shared receive delay, in [1, ack]
+  /// Per-receiver (receiver, delay) overrides; empty means uniform `recv`.
+  std::vector<std::pair<NodeId, mac::Time>> delays;
+};
+
+/// One directed-link drop window for the fault plan (see
+/// mac/link_faults.hpp): deliveries on `from -> to` whose arrival tick
+/// lands in [from_tick, until_tick) are deferred to until_tick, or lost
+/// outright when until_tick is mac::kForever. Spec token:
+/// `from@to@from_tick@until_tick` with `inf` for kForever.
+struct FaultSpec {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  mac::Time from_tick = 0;
+  mac::Time until_tick = mac::kForever;
 };
 
 struct Scenario {
@@ -120,6 +141,14 @@ struct Scenario {
   std::vector<CrashSpec> crashes;
   std::vector<HoldSpec> holds;     ///< kHoldback only
   std::vector<ScriptSlot> script;  ///< kScripted only
+  // Link-fault plan (mac::LinkFaultPlan), in basis points of kRateScale.
+  // The generator never draws faults (mirroring kScripted); they enter via
+  // mutation, soak CLI floors, and hand-written specs, so the pinned
+  // seed-only corpus digest is unchanged by their existence. The plan's
+  // hash seed is derived from `seed` (kFaultSalt), never stored in specs.
+  std::uint32_t drop_rate_bp = 0;  ///< global drop rate, parts per 10000
+  std::uint32_t dup_rate_bp = 0;   ///< global duplicate rate, parts per 10000
+  std::vector<FaultSpec> faults;   ///< per-link drop windows
 };
 
 // ---- enum names (spec tokens) ------------------------------------------
@@ -136,9 +165,13 @@ struct Scenario {
 /// seeded with `seed`, so the generated corpus is pinned by seed alone.
 [[nodiscard]] Scenario generate_scenario(std::uint64_t seed);
 
-/// True when the scenario's combination of algorithm, scheduler, and crash
-/// schedule is one the algorithm guarantees termination for (the oracle
-/// demands termination exactly then; safety is demanded always).
+/// True when the scenario's combination of algorithm, scheduler, crash
+/// schedule, and fault plan is one the algorithm guarantees termination for
+/// (the oracle demands termination exactly then; safety is demanded
+/// always). The bounded-loss envelope: termination is only asserted when
+/// both fault rates are zero and every drop window is finite — finite
+/// windows merely defer deliveries (the ack stretches past them), while
+/// rate drops and kForever windows lose copies outright.
 [[nodiscard]] bool termination_expected(const Scenario& s);
 
 /// Clamps a (possibly transformed) scenario back into well-formedness:
@@ -174,8 +207,18 @@ enum class MutationOp : std::uint8_t {
   kSwapScriptSlots = 13,     ///< exchange the delays of two slots
   kDuplicateScriptSlot = 14, ///< replay a slot at the sender's next index
   kDropScriptSlot = 15,      ///< remove one slot
+  // Link-fault ops: perturb the scenario's LinkFaultPlan (drop windows,
+  // rates). Clamp keeps every mutant inside the bounded-loss termination
+  // envelope per algorithm (see clamp_to_envelope), so a faulted mutant
+  // violation is still a real bug.
+  kAddDropWindow = 16,     ///< add one per-link drop window
+  kRemoveDropWindow = 17,  ///< drop one window
+  kWidenDropWindow = 18,   ///< stretch one window (later until / earlier from)
+  kNarrowDropWindow = 19,  ///< shrink one window
+  kPerturbFaultRates = 20, ///< nudge the global drop/duplicate rates
+  kScriptReceiverDelay = 21,  ///< retime ONE receiver inside a scripted slot
 };
-inline constexpr std::size_t kMutationOpCount = 16;
+inline constexpr std::size_t kMutationOpCount = 22;
 
 [[nodiscard]] const char* mutation_name(MutationOp op);
 
@@ -228,6 +271,9 @@ struct BuiltScenario {
   mac::HoldbackScheduler* holdback = nullptr;  ///< non-null iff kHoldback
   mac::ProcessFactory factory;
   std::vector<mac::CrashPlan> crashes;  ///< in-range subset of s.crashes
+  /// Link-fault plan for both engines (empty() when the scenario has no
+  /// faults); runners install it via Network::set_link_faults.
+  mac::LinkFaultPlan faults;
 
   BuiltScenario() : graph(1) {}
 };

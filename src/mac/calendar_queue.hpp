@@ -115,6 +115,40 @@ class CalendarQueue {
   /// Disables the self-resize (A/B benching of the overflow-heap fallback).
   void set_resize_enabled(bool enabled) { resize_enabled_ = enabled; }
 
+  /// Empties the queue and rewinds the cursor to tick 0 for another run on
+  /// the same engine (Network::reset). Deliberately NOT a rebuild: the ring
+  /// keeps its (possibly resized) span and every warmed lane parks in the
+  /// spare pool, so the next run re-adopts the existing capacity instead of
+  /// re-warming allocations. Accounting counters restart with the run.
+  void clear() {
+    for (std::size_t idx = 0; idx < buckets_.size(); ++idx) {
+      Bucket& b = buckets_[idx];
+      for (std::size_t k = 0; k < kLanes; ++k) {
+        auto& lane = b.lane[k];
+        if (lane.capacity() != 0) {
+          lane.clear();
+          park_spare(std::move(lane));
+          lane = std::vector<Event>();
+        }
+        b.head[k] = 0;
+      }
+      b.tick = 0;
+      b.count = 0;
+    }
+    occupancy_.assign(occupancy_.size(), 0);
+    while (!overflow_.empty()) overflow_.pop();
+    base_ = 0;
+    wheel_count_ = 0;
+    size_ = 0;
+    peak_ = 0;
+    wheel_pushes_ = 0;
+    overflow_pushes_ = 0;
+    resizes_ = 0;
+    batch_reservations_ = 0;
+    observed_horizon_ = 0;
+    resizable_overflow_ = 0;
+  }
+
   void push(const Event& e) {
     AMAC_EXPECTS(e.t >= base_);
     ++size_;

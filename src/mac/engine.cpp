@@ -68,6 +68,45 @@ void Network::schedule_crash(const CrashPlan& plan) {
   events_.push(e);
 }
 
+void Network::set_link_faults(const LinkFaultPlan& plan) {
+  AMAC_EXPECTS(!started_);
+  faults_ = plan;
+}
+
+void Network::reset(const ProcessFactory& factory) {
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    auto& st = nodes_[u];
+    if (st.flight_slot != kNoFlight) {
+      // Abandon the in-flight broadcast: release its payload slot and keep
+      // the flight record (capacity included) on the free list.
+      Flight& flight = flights_[st.flight_slot];
+      pool_.release(flight.payload_slot);
+      flight.pending.clear();
+      flight.undrained_events = 0;
+      st.flight_slot = kNoFlight;
+    }
+    st.process = factory(u);
+    AMAC_ENSURES(st.process != nullptr);
+    st.busy = false;
+    st.crashed = false;
+    st.crash_time = kForever;
+    st.current_broadcast = 0;
+    st.decision = Decision{};
+  }
+  free_flights_.clear();
+  for (std::uint32_t slot = 0; slot < flights_.size(); ++slot) {
+    free_flights_.push_back(slot);
+  }
+  events_.clear();
+  next_seq_ = 0;
+  next_broadcast_id_ = 1;
+  now_ = 0;
+  undecided_alive_ = nodes_.size();
+  stats_ = EngineStats{};
+  started_ = false;
+  trace_hasher_ = util::Hasher{};
+}
+
 const Decision& Network::decision(NodeId u) const {
   AMAC_EXPECTS(u < nodes_.size());
   return nodes_[u].decision;
@@ -151,9 +190,46 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
                                     sched.ack_delay, best_effort);
   }
 
-  if (!sched.empty() || !best_effort.empty()) {
+  const std::size_t fanout = sched.size();
+  Time ack_at = now_ + sched.ack_delay;
+
+  // Link-fault partition (design doc: "Unreliable links"). Every reliable
+  // copy gets a pure hash verdict; dropped copies consume no seq, deferred
+  // copies and duplicates stretch the ack so receives still precede it.
+  // The plan never touches the best-effort overlay — those edges carry no
+  // delivery guarantee to break.
+  const bool faulted = !faults_.empty() && fanout > 0;
+  std::size_t emitted = fanout;  // reliable copies that will be scheduled
+  if (faulted) {
+    fault_scratch_.clear();
+    emitted = 0;
+    Time latest = 0;
+    for (std::size_t i = 0; i < fanout; ++i) {
+      const Time arrival = now_ + sched.delay(i);
+      const LinkFaultDecision d =
+          faults_.decide(id, u, sched.receivers[i], arrival);
+      fault_scratch_.push_back(d);
+      if (!d.deliver) {
+        ++stats_.drops;
+        continue;
+      }
+      ++emitted;
+      if (d.deliver_at != arrival) ++stats_.drops;  // lost, retransmitted
+      latest = std::max(latest, d.deliver_at);
+      if (d.duplicate) {
+        ++emitted;
+        ++stats_.duplicates;
+        latest = std::max(latest, d.duplicate_at);
+      }
+    }
+    ack_at = std::max(ack_at, latest);
+  }
+
+  if (emitted + best_effort.size() > 0) {
     // Acquire a flight slot + pooled payload only when someone will hear
     // the broadcast; pending/lane capacity is recycled across broadcasts.
+    // (An all-dropped fan-out must not acquire one: with no deliver events
+    // left to drain it, the flight would leak.)
     std::uint32_t slot;
     if (!free_flights_.empty()) {
       slot = free_flights_.back();
@@ -175,43 +251,99 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
     e.flight_slot = slot;
     e.sender = u;
     e.reliable = true;
-    const std::size_t fanout = sched.size();
 #if AMAC_CHECK
     for (std::size_t i = 0; i < fanout; ++i) {
       AMAC_CHECK_ENSURES(graph_->has_edge(u, sched.receivers[i]));
     }
 #endif
-    if (sched.uniform && fanout > 0) {
-      // Dense fast path: one tick for the whole fan-out, so the pending
-      // list is a bulk copy and the wheel bucket is reserved once.
-      AMAC_ENSURES(sched.uniform_delay >= 1 &&
-                   sched.uniform_delay <= sched.ack_delay);
-      e.t = now_ + sched.uniform_delay;
-      flight.pending.assign(sched.receivers.begin(), sched.receivers.end());
-      flight.undrained_events += fanout;
-      if (Event* span = events_.push_batch(e.t, e.kind, fanout)) {
-        for (std::size_t i = 0; i < fanout; ++i) {
-          e.seq = next_seq_++;
-          e.node = sched.receivers[i];
-          span[i] = e;
+    if (!faulted) {
+      if (sched.uniform && fanout > 0) {
+        // Dense fast path: one tick for the whole fan-out, so the pending
+        // list is a bulk copy and the wheel bucket is reserved once.
+        AMAC_ENSURES(sched.uniform_delay >= 1 &&
+                     sched.uniform_delay <= sched.ack_delay);
+        e.t = now_ + sched.uniform_delay;
+        flight.pending.assign(sched.receivers.begin(), sched.receivers.end());
+        flight.undrained_events += fanout;
+        if (Event* span = events_.push_batch(e.t, e.kind, fanout)) {
+          for (std::size_t i = 0; i < fanout; ++i) {
+            e.seq = next_seq_++;
+            e.node = sched.receivers[i];
+            span[i] = e;
+          }
+        } else {
+          for (std::size_t i = 0; i < fanout; ++i) {  // beyond wheel
+            e.seq = next_seq_++;
+            e.node = sched.receivers[i];
+            events_.push(e);
+          }
         }
       } else {
-        for (std::size_t i = 0; i < fanout; ++i) {  // beyond wheel: overflow
+        for (std::size_t i = 0; i < fanout; ++i) {
+          const Time delay = sched.delays[i];
+          AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
+          e.t = now_ + delay;
           e.seq = next_seq_++;
           e.node = sched.receivers[i];
           events_.push(e);
+          flight.pending.push_back(sched.receivers[i]);
+          ++flight.undrained_events;
         }
       }
     } else {
-      for (std::size_t i = 0; i < fanout; ++i) {
-        const Time delay = sched.delays[i];
-        AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
-        e.t = now_ + delay;
+      // Canonical faulted emission order (shared with ReferenceNetwork):
+      // kept copies at their original ticks, then deferred copies, then
+      // duplicates — schedule index order within each group.
+      const auto emit = [&](NodeId v, Time t) {
+        e.t = t;
         e.seq = next_seq_++;
-        e.node = sched.receivers[i];
+        e.node = v;
         events_.push(e);
-        flight.pending.push_back(sched.receivers[i]);
+        flight.pending.push_back(v);
         ++flight.undrained_events;
+      };
+      if (sched.uniform) {
+        // The batch reservation shrinks to the kept subset: only affected
+        // receivers fall off the dense path.
+        const Time uniform_t = now_ + sched.uniform_delay;
+        std::size_t kept = 0;
+        for (const LinkFaultDecision& d : fault_scratch_) {
+          if (d.deliver && d.deliver_at == uniform_t) ++kept;
+        }
+        if (kept > 0) {
+          e.t = uniform_t;
+          Event* span = events_.push_batch(e.t, e.kind, kept);
+          std::size_t filled = 0;
+          for (std::size_t i = 0; i < fanout; ++i) {
+            const LinkFaultDecision& d = fault_scratch_[i];
+            if (!d.deliver || d.deliver_at != uniform_t) continue;
+            if (span != nullptr) {
+              e.seq = next_seq_++;
+              e.node = sched.receivers[i];
+              span[filled++] = e;
+              flight.pending.push_back(e.node);
+              ++flight.undrained_events;
+            } else {
+              emit(sched.receivers[i], uniform_t);
+            }
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < fanout; ++i) {
+          const LinkFaultDecision& d = fault_scratch_[i];
+          if (!d.deliver || d.deliver_at != now_ + sched.delays[i]) continue;
+          emit(sched.receivers[i], d.deliver_at);
+        }
+      }
+      for (std::size_t i = 0; i < fanout; ++i) {  // deferred copies
+        const LinkFaultDecision& d = fault_scratch_[i];
+        if (!d.deliver || d.deliver_at == now_ + sched.delay(i)) continue;
+        emit(sched.receivers[i], d.deliver_at);
+      }
+      for (std::size_t i = 0; i < fanout; ++i) {  // duplicates
+        const LinkFaultDecision& d = fault_scratch_[i];
+        if (!d.deliver || !d.duplicate) continue;
+        emit(sched.receivers[i], d.duplicate_at);
       }
     }
     e.reliable = false;
@@ -228,7 +360,7 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
   }
 
   Event ack;
-  ack.t = now_ + sched.ack_delay;
+  ack.t = ack_at;
   ack.kind = EventKind::kAck;
   ack.seq = next_seq_++;
   ack.node = u;

@@ -70,6 +70,25 @@
 // BroadcastSchedule, payload bytes reuse pool-slot capacity, events are
 // plain values in reused lanes, and Packet hands out references. Verified
 // by the allocation-counting test in tests/test_mac_event_core.cpp.
+//
+// Unreliable links. An installed LinkFaultPlan (set_link_faults,
+// link_faults.hpp) partitions every reliable fan-out at broadcast time by
+// calling the plan's pure hash decision per (broadcast_id, sender,
+// receiver): copies are kept, deferred past a transient outage window,
+// permanently dropped, or duplicated at a bounded extra delay. Emission
+// order is canonical and engine-independent — kept copies at their original
+// ticks first (the dense-uniform batch reservation shrinks to exactly this
+// subset), then deferred copies, then duplicates, each group in schedule
+// index order — and the ack is stretched to the latest emitted arrival so
+// the layer's "receive before the sender's ack" guarantee survives
+// deferral and duplication (permanent losses are the one guarantee the
+// plan is allowed to break). Dropped copies consume no event seq and no
+// flight bookkeeping; a fan-out whose copies are all lost acquires no
+// flight at all. The drops/duplicates counters are identical across
+// engines (they are decided, not raced), so differential fingerprints may
+// include them; with an empty plan every byte of engine state and trace is
+// identical to a fault-free build, which the pinned fuzz-corpus digest
+// pins down.
 // ---------------------------------------------------------------------------
 #pragma once
 
@@ -78,6 +97,7 @@
 
 #include "mac/calendar_queue.hpp"
 #include "mac/event.hpp"
+#include "mac/link_faults.hpp"
 #include "mac/payload_pool.hpp"
 #include "mac/process.hpp"
 #include "mac/scheduler.hpp"
@@ -122,6 +142,11 @@ struct EngineStats {
   std::uint64_t batch_pushes = 0;     ///< uniform fan-outs that took the
                                       ///< push_batch bucket reservation
   std::size_t wheel_span = 0;         ///< final wheel size in buckets
+  /// Link-fault accounting (link_faults.hpp). Unlike the wheel_* fields
+  /// these are decided by the plan's pure hash, not by queue internals, so
+  /// they are identical across engines and safe to fingerprint.
+  std::uint64_t drops = 0;       ///< copies lost or deferred by the plan
+  std::uint64_t duplicates = 0;  ///< extra copies the plan scheduled
 };
 
 /// When `run` should stop (besides the time horizon).
@@ -155,6 +180,19 @@ class Network {
   /// Registers a crash before running. Multiple crashes are allowed (the
   /// paper's impossibility needs one; the engine does not restrict).
   void schedule_crash(const CrashPlan& plan);
+
+  /// Installs the link-fault plan (link_faults.hpp). Must be called before
+  /// the first run(), like schedule_crash; pass the identical plan to both
+  /// engines for differential replay.
+  void set_link_faults(const LinkFaultPlan& plan);
+
+  /// Returns the network to its pre-run state for another experiment on the
+  /// same topology/scheduler/plan: fresh processes from `factory`, empty
+  /// event queue (capacity kept), zeroed stats — including the link-fault
+  /// counters — and released flights/payload slots. Scheduler-internal
+  /// state (e.g. Holdback holds, RNG positions) is the caller's to reset;
+  /// the installed fault plan and crash-free slate carry over.
+  void reset(const ProcessFactory& factory);
 
   /// Disables the calendar wheel's self-resize, pinning the overflow-heap
   /// fallback for far events. A/B benchmark support (BM_EngineLateHolds*);
@@ -249,6 +287,8 @@ class Network {
   CalendarQueue events_;
   BroadcastSchedule schedule_scratch_;
   std::vector<std::pair<NodeId, Time>> unreliable_scratch_;
+  LinkFaultPlan faults_;
+  std::vector<LinkFaultDecision> fault_scratch_;  ///< reused per fan-out
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_broadcast_id_ = 1;
   Time now_ = 0;

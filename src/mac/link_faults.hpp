@@ -1,0 +1,138 @@
+// Deterministic per-link fault injection for the abstract MAC layer.
+//
+// The paper's MAC layer is reliable by definition; real radios drop and
+// duplicate frames. A LinkFaultPlan makes both injectable without giving up
+// determinism or engine equivalence: every per-delivery decision is a pure
+// seed-salted hash of (broadcast_id, sender, receiver) — no RNG state in
+// the hot path, no dependence on call order — so the calendar engine and
+// the frozen reference engine reach bit-identical verdicts by calling the
+// same function on the same inputs.
+//
+// Fault semantics (shared by both engines; see the "Unreliable links"
+// section of the engine.hpp design doc for how emission order and the ack
+// interact):
+//   * rate drops — a frame lost on air with no retransmission. Decided by
+//     hash % 10000 < drop_rate_bp (rates are integer basis points, exact in
+//     the scenario spec round-trip). The hash deliberately excludes the
+//     arrival tick: whether a (broadcast, link) pair is lossy is a property
+//     of the pair, not of when the scheduler happened to place the copy.
+//   * drop windows — a transient outage of the directed link `from -> to`
+//     covering arrival ticks in [from_tick, until_tick). A copy arriving
+//     inside a finite window is DEFERRED to the window's end (the MAC
+//     retransmits once the channel clears), which preserves the layer's
+//     delivery guarantee: the sender's ack is stretched past the deferred
+//     arrival. until_tick == kForever makes the outage permanent: the copy
+//     is lost like a rate drop.
+//   * duplicates — a delivered copy arrives again 1..kMaxDuplicateExtra
+//     ticks later (ack-stretched over, like deferrals). Only delivered
+//     copies duplicate; duplicates are never re-dropped or re-duplicated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/types.hpp"
+#include "util/hash.hpp"
+
+namespace amac::mac {
+
+/// A directed-link outage: copies from `from` to `to` arriving in
+/// [from_tick, until_tick) are deferred to until_tick, or lost outright
+/// when until_tick == kForever. Degenerate windows (until <= from) are
+/// inert.
+struct DropWindow {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Time from_tick = 0;
+  Time until_tick = kForever;
+};
+
+/// The plan's verdict for one scheduled copy.
+struct LinkFaultDecision {
+  bool deliver = true;      ///< false: the copy is permanently lost
+  Time deliver_at = 0;      ///< arrival tick (> original iff deferred)
+  bool duplicate = false;   ///< a second copy arrives at duplicate_at
+  Time duplicate_at = 0;
+};
+
+/// Seed-deterministic drop/duplicate plan. An empty plan (both rates zero,
+/// no windows) must leave every engine byte stream bit-identical to a run
+/// with no plan at all — the pinned-corpus digest guard in
+/// tests/test_fuzz_smoke.cpp enforces this.
+struct LinkFaultPlan {
+  /// Rates are in basis points: parts per kRateScale (10000).
+  static constexpr std::uint32_t kRateScale = 10000;
+  /// Duplicate copies arrive 1..kMaxDuplicateExtra ticks after the original.
+  static constexpr Time kMaxDuplicateExtra = 8;
+
+  std::uint64_t seed = 0;
+  std::uint32_t drop_rate_bp = 0;
+  std::uint32_t dup_rate_bp = 0;
+  std::vector<DropWindow> windows;
+
+  [[nodiscard]] bool empty() const {
+    return drop_rate_bp == 0 && dup_rate_bp == 0 && windows.empty();
+  }
+
+  /// The pure per-copy decision. `arrival` is the scheduler's tick for this
+  /// copy; only the window checks read it (rate hashes must not, so that a
+  /// scenario's loss pattern survives scheduler perturbation).
+  [[nodiscard]] LinkFaultDecision decide(std::uint64_t broadcast_id,
+                                         NodeId sender, NodeId receiver,
+                                         Time arrival) const {
+    LinkFaultDecision d;
+    d.deliver_at = arrival;
+    if (drop_rate_bp > 0 &&
+        roll(kDropSalt, broadcast_id, sender, receiver) < drop_rate_bp) {
+      d.deliver = false;
+      return d;
+    }
+    // Window deferral to fixpoint: a deferred copy can land inside another
+    // window. Each finite window moves the arrival strictly forward at most
+    // once, so the scan is bounded by the window count.
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const DropWindow& w : windows) {
+        if (w.from != sender || w.to != receiver) continue;
+        if (d.deliver_at < w.from_tick || d.deliver_at >= w.until_tick) {
+          continue;
+        }
+        if (w.until_tick == kForever) {
+          d.deliver = false;
+          return d;
+        }
+        d.deliver_at = w.until_tick;
+        moved = true;
+      }
+    }
+    if (dup_rate_bp > 0 &&
+        roll(kDupSalt, broadcast_id, sender, receiver) < dup_rate_bp) {
+      d.duplicate = true;
+      d.duplicate_at =
+          d.deliver_at + 1 +
+          roll(kDupDelaySalt, broadcast_id, sender, receiver) %
+              kMaxDuplicateExtra;
+    }
+    return d;
+  }
+
+ private:
+  static constexpr std::uint64_t kDropSalt = 0xD201;
+  static constexpr std::uint64_t kDupSalt = 0xD0B1E;
+  static constexpr std::uint64_t kDupDelaySalt = 0xDE1A1;
+
+  [[nodiscard]] std::uint32_t roll(std::uint64_t salt,
+                                   std::uint64_t broadcast_id, NodeId sender,
+                                   NodeId receiver) const {
+    util::Hasher h;
+    h.mix_u64(seed);
+    h.mix_u64(salt);
+    h.mix_u64(broadcast_id);
+    h.mix_u64(sender);
+    h.mix_u64(receiver);
+    return static_cast<std::uint32_t>(h.digest() % kRateScale);
+  }
+};
+
+}  // namespace amac::mac

@@ -70,6 +70,11 @@ void ReferenceNetwork::schedule_crash(const CrashPlan& plan) {
                       kNoNode, 0, nullptr});
 }
 
+void ReferenceNetwork::set_link_faults(const LinkFaultPlan& plan) {
+  AMAC_EXPECTS(!started_);
+  faults_ = plan;
+}
+
 const Decision& ReferenceNetwork::decision(NodeId u) const {
   AMAC_EXPECTS(u < nodes_.size());
   return nodes_[u].decision;
@@ -141,15 +146,65 @@ void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
   Flight flight;
   flight.sender = u;
   flight.payload = shared;
-  for (std::size_t i = 0; i < sched.size(); ++i) {
-    const NodeId v = sched.receivers[i];
-    const Time delay = sched.delay(i);
-    AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
-    AMAC_ENSURES(graph_->has_edge(u, v));
-    push_event(RefEvent{now_ + delay, RefEventKind::kDeliver, next_seq_++, v,
-                        u, id, shared, /*reliable=*/true});
-    flight.pending.push_back(v);
-    ++flight.undrained_events;
+  Time ack_at = now_ + sched.ack_delay;
+  if (faults_.empty()) {
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+      const NodeId v = sched.receivers[i];
+      const Time delay = sched.delay(i);
+      AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
+      AMAC_ENSURES(graph_->has_edge(u, v));
+      push_event(RefEvent{now_ + delay, RefEventKind::kDeliver, next_seq_++, v,
+                          u, id, shared, /*reliable=*/true});
+      flight.pending.push_back(v);
+      ++flight.undrained_events;
+    }
+  } else {
+    // Identical fault partition and canonical emission order to the
+    // calendar engine (kept at original ticks, then deferred, then
+    // duplicates, index order within each group): the decisions are pure
+    // hashes of the same inputs, so the two engines stay bit-identical.
+    std::vector<LinkFaultDecision> decisions;
+    decisions.reserve(sched.size());
+    Time latest = 0;
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+      const Time arrival = now_ + sched.delay(i);
+      const LinkFaultDecision d =
+          faults_.decide(id, u, sched.receivers[i], arrival);
+      decisions.push_back(d);
+      if (!d.deliver) {
+        ++stats_.drops;
+        continue;
+      }
+      if (d.deliver_at != arrival) ++stats_.drops;  // lost, retransmitted
+      latest = std::max(latest, d.deliver_at);
+      if (d.duplicate) {
+        ++stats_.duplicates;
+        latest = std::max(latest, d.duplicate_at);
+      }
+    }
+    ack_at = std::max(ack_at, latest);
+    const auto emit = [&](NodeId v, Time t) {
+      AMAC_ENSURES(graph_->has_edge(u, v));
+      push_event(RefEvent{t, RefEventKind::kDeliver, next_seq_++, v, u, id,
+                          shared, /*reliable=*/true});
+      flight.pending.push_back(v);
+      ++flight.undrained_events;
+    };
+    for (std::size_t i = 0; i < sched.size(); ++i) {  // kept copies
+      const LinkFaultDecision& d = decisions[i];
+      if (!d.deliver || d.deliver_at != now_ + sched.delay(i)) continue;
+      emit(sched.receivers[i], d.deliver_at);
+    }
+    for (std::size_t i = 0; i < sched.size(); ++i) {  // deferred copies
+      const LinkFaultDecision& d = decisions[i];
+      if (!d.deliver || d.deliver_at == now_ + sched.delay(i)) continue;
+      emit(sched.receivers[i], d.deliver_at);
+    }
+    for (std::size_t i = 0; i < sched.size(); ++i) {  // duplicates
+      const LinkFaultDecision& d = decisions[i];
+      if (!d.deliver || !d.duplicate) continue;
+      emit(sched.receivers[i], d.duplicate_at);
+    }
   }
   if (overlay_ != nullptr && !overlay_->neighbors(u).empty()) {
     std::vector<std::pair<NodeId, Time>> best_effort;
@@ -164,8 +219,13 @@ void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
       ++flight.undrained_events;
     }
   }
-  flights_.emplace(id, std::move(flight));
-  push_event(RefEvent{now_ + sched.ack_delay, RefEventKind::kAck, next_seq_++,
+  // An all-dropped fan-out leaves no deliver event to drain the flight;
+  // skip the table entry (the calendar engine acquires no flight slot
+  // either).
+  if (faults_.empty() || flight.undrained_events > 0) {
+    flights_.emplace(id, std::move(flight));
+  }
+  push_event(RefEvent{ack_at, RefEventKind::kAck, next_seq_++,
                       u, kNoNode, id, nullptr});
 }
 

@@ -40,6 +40,12 @@ class ReferenceNetwork {
 
   void schedule_crash(const CrashPlan& plan);
 
+  /// Identical contract to Network::set_link_faults: the same plan on both
+  /// engines must yield bit-identical traces (the decisions are pure
+  /// hashes, and both engines emit faulted copies in the same canonical
+  /// order: kept, deferred, duplicates).
+  void set_link_faults(const LinkFaultPlan& plan);
+
   void set_post_event_hook(std::function<void(ReferenceNetwork&)> hook) {
     post_event_hook_ = std::move(hook);
   }
@@ -118,6 +124,7 @@ class ReferenceNetwork {
   const net::Graph* overlay_ = nullptr;
   Scheduler* scheduler_;
   std::vector<NodeState> nodes_;
+  LinkFaultPlan faults_;
   std::map<std::uint64_t, Flight> flights_;
   std::priority_queue<RefEvent, std::vector<RefEvent>, std::greater<>>
       events_;

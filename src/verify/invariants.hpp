@@ -13,6 +13,16 @@
 // Lemma 4.4 (bounded tags): proposal-number tags stay polynomial in n; the
 // monitor tracks the largest tag and the per-node change-event counts that
 // bound it.
+//
+// Reliable-delivery caveat: Lemma 4.2's accounting assumes the abstract
+// MAC layer's delivery guarantee. Under a non-empty LinkFaultPlan a
+// dropped frame can carry a queued response count out of existence (the
+// lemma's "in flight" term silently shrinks), and a duplicated proposition
+// can legitimately raise responded(p) between two checks — either way the
+// step-wise inequality is no longer a theorem of the paper's model. The
+// fuzz harness therefore stands the monitor down whenever a fault plan is
+// installed (see run_on_engine in fuzz/fuzzer.cpp); the agreement/validity
+// oracles still run unconditionally.
 #pragma once
 
 #include <string>

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "fuzz/fuzzer.hpp"
+#include "util/hash.hpp"
 
 namespace amac::fuzz {
 namespace {
@@ -87,10 +88,16 @@ TEST(FuzzSignature, KeyProjectionsPartitionTheDimensions) {
   sig.proposal_bucket = 7;
   sig.learned_bucket = 1;
 
-  // The full key is the engine projection shifted past the four 4-bit
-  // protocol buckets: the v1 (PR-4) key is literally key() >> 16.
-  EXPECT_EQ(sig.key() >> 16, sig.engine_key());
-  EXPECT_EQ(sig.key() & 0xFFFF, sig.protocol_key());
+  // Since v3 the engine projection (52 bits with the fault buckets) plus
+  // the protocol buckets no longer pack into 64 bits, so the full key is a
+  // hash combine of the two projections — reproducible, and equal to the
+  // same combine computed by hand.
+  {
+    util::Hasher h;
+    h.mix_u64(sig.engine_key());
+    h.mix_u64(sig.protocol_key());
+    EXPECT_EQ(sig.key(), h.digest());
+  }
 
   // Changing only a protocol bucket changes key and protocol_key but not
   // engine_key; changing only an engine field does the reverse.
@@ -106,7 +113,7 @@ TEST(FuzzSignature, KeyProjectionsPartitionTheDimensions) {
   EXPECT_EQ(other.protocol_key(), sig.protocol_key());
   EXPECT_NE(other.engine_key(), sig.engine_key());
 
-  // Equal signatures, equal keys (exact identity, no lossy hashing).
+  // Equal signatures, equal keys (the combine is deterministic).
   other = sig;
   EXPECT_EQ(other.key(), sig.key());
 }

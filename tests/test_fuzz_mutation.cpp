@@ -13,6 +13,8 @@
 //     to its exact reproduction threshold, not just to fewer holds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "fuzz/fuzzer.hpp"
 
 namespace amac::fuzz {
@@ -59,8 +61,53 @@ void expect_in_envelope(const Scenario& s, const std::string& context) {
     EXPECT_GE(t.ack, 1u) << context;
     EXPECT_GE(t.recv, 1u) << context;
     EXPECT_LE(t.recv, t.ack) << context;
+    // Per-receiver overrides: in range, deduplicated, sorted, delays
+    // inside [1, ack], and recv is exactly their maximum.
+    mac::Time max_delay = 0;
+    for (std::size_t i = 0; i < t.delays.size(); ++i) {
+      EXPECT_LT(t.delays[i].first, count) << context;
+      if (i > 0) EXPECT_LT(t.delays[i - 1].first, t.delays[i].first)
+          << context;
+      EXPECT_GE(t.delays[i].second, 1u) << context;
+      EXPECT_LE(t.delays[i].second, t.ack) << context;
+      max_delay = std::max(max_delay, t.delays[i].second);
+    }
+    if (!t.delays.empty()) EXPECT_EQ(t.recv, max_delay) << context;
   }
   EXPECT_GE(s.fack, 1u) << context;
+
+  // Link-fault envelope (the bounded-loss rules clamp_to_envelope
+  // enforces): synchronous-only algorithms see a perfectly reliable MAC;
+  // two-phase commit tolerates deferral and duplication but never
+  // permanent loss; wPAXOS counts acceptor responses, so never
+  // duplication. Rates and window counts stay inside the mutation bounds.
+  const bool sync_only = s.algorithm == Algorithm::kAnonymous ||
+                         s.algorithm == Algorithm::kStability;
+  if (sync_only) {
+    EXPECT_EQ(s.drop_rate_bp, 0u) << context;
+    EXPECT_EQ(s.dup_rate_bp, 0u) << context;
+    EXPECT_TRUE(s.faults.empty()) << context;
+  }
+  if (s.algorithm == Algorithm::kTwoPhase) {
+    EXPECT_EQ(s.drop_rate_bp, 0u) << context;
+    for (const auto& w : s.faults) {
+      EXPECT_NE(w.until_tick, mac::kForever) << context;
+    }
+  }
+  if (s.algorithm == Algorithm::kWPaxos) {
+    EXPECT_EQ(s.dup_rate_bp, 0u) << context;
+  }
+  EXPECT_LE(s.drop_rate_bp, 2000u) << context;  // kMaxFaultRateBp
+  EXPECT_LE(s.dup_rate_bp, 2000u) << context;
+  EXPECT_LE(s.faults.size(), 4u) << context;  // kMaxFaultWindows
+  for (const auto& w : s.faults) {
+    EXPECT_LT(w.from, count) << context;
+    EXPECT_LT(w.to, count) << context;
+    EXPECT_NE(w.from, w.to) << context;
+    if (w.until_tick != mac::kForever) {
+      EXPECT_GT(w.until_tick, w.from_tick) << context;  // live window
+    }
+  }
 }
 
 TEST(FuzzMutation, MutantChainsSurviveRoundTripAndStayInEnvelope) {
@@ -84,6 +131,74 @@ TEST(FuzzMutation, MutantChainsSurviveRoundTripAndStayInEnvelope) {
       expect_in_envelope(s, context);
     }
   }
+}
+
+TEST(FuzzSpec, PerReceiverScriptSlotsRoundTripExactly) {
+  // The non-uniform 4th script field: "r-d+r-d" lists per-receiver
+  // delays; a bare integer keeps the uniform form. Both must round-trip
+  // bit for bit (the --replay contract), and recv is derived as the
+  // maximum listed delay, matching normalize_scenario.
+  const char* spec =
+      "amacfuzz1:seed=1:alg=flooding:topo=clique:n=6:aux=0:sched=scripted:"
+      "fack=3:late=0:in=split:ids=identity:f=0:hz=1000000:"
+      "script=0@0@4@1-2+3-4,1@1@3@2";
+  const auto parsed = parse_spec(spec);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->script.size(), 2u);
+  const ScriptSlot& per = parsed->script[0];
+  EXPECT_EQ(per.sender, 0u);
+  EXPECT_EQ(per.index, 0u);
+  EXPECT_EQ(per.ack, 4u);
+  ASSERT_EQ(per.delays.size(), 2u);
+  EXPECT_EQ(per.delays[0], (std::pair<NodeId, mac::Time>{1, 2}));
+  EXPECT_EQ(per.delays[1], (std::pair<NodeId, mac::Time>{3, 4}));
+  EXPECT_EQ(per.recv, 4u);  // max listed delay
+  const ScriptSlot& uni = parsed->script[1];
+  EXPECT_TRUE(uni.delays.empty());
+  EXPECT_EQ(uni.recv, 2u);
+  EXPECT_EQ(format_spec(*parsed), spec);
+
+  // The scenario builds and runs clean: unlisted receivers fall back to
+  // delay 1 and the run is deterministic.
+  const RunReport a = run_scenario(*parsed);
+  const RunReport b = run_scenario(*parsed);
+  EXPECT_EQ(a.failure, FailureKind::kNone) << a.detail;
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+TEST(FuzzSpec, PerReceiverDelaysAreCanonicalizedByNormalize) {
+  // normalize_scenario canonicalizes messy per-receiver lists the same
+  // way ScriptedScheduler resolves them: later entries win duplicates,
+  // out-of-range receivers are dropped, delays clamp into [1, ack], the
+  // list sorts by receiver, and recv becomes the maximum listed delay —
+  // so format/parse round-trips exactly on the result.
+  Scenario s = generate_scenario(1);
+  s.algorithm = Algorithm::kFlooding;
+  s.topology = TopologyKind::kClique;
+  s.n = 5;
+  s.scheduler = SchedulerKind::kScripted;
+  ScriptSlot slot;
+  slot.sender = 0;
+  slot.index = 0;
+  slot.ack = 3;
+  slot.recv = 1;
+  slot.delays = {{4, 2}, {9, 1}, {1, 0}, {4, 7}, {2, 3}};
+  s.script = {slot};
+  normalize_scenario(s);
+
+  ASSERT_EQ(s.script.size(), 1u);
+  const ScriptSlot& t = s.script[0];
+  // receiver 9 dropped (out of range), duplicate 4 resolved later-wins
+  // (delay 7, clamped to ack=3), delay 0 clamped up to 1, sorted.
+  ASSERT_EQ(t.delays.size(), 3u);
+  EXPECT_EQ(t.delays[0], (std::pair<NodeId, mac::Time>{1, 1}));
+  EXPECT_EQ(t.delays[1], (std::pair<NodeId, mac::Time>{2, 3}));
+  EXPECT_EQ(t.delays[2], (std::pair<NodeId, mac::Time>{4, 3}));
+  EXPECT_EQ(t.recv, 3u);
+
+  const auto parsed = parse_spec(format_spec(s));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(format_spec(*parsed), format_spec(s));
 }
 
 TEST(FuzzMutation, DeterministicGivenRngState) {

@@ -145,6 +145,147 @@ TEST(FuzzRegressions, HoldReleaseAtBoundaryNeverStretchesOrSpills) {
       << spec;
 }
 
+TEST(FuzzRegressions, WPaxosLeaderHandoffSurvivesStaleLargerProposal) {
+  // Surfaced by the coverage-steered mutation stream: under this scripted
+  // timeline node 8 floods proposal (tag 6, id 8) while it still believes
+  // itself leader; the true max-id leader (node 9) then issues (tag 5,
+  // id 9), which is lexicographically SMALLER. WPaxos's at-most-once
+  // cursor used to advance on the stale larger pn before the
+  // current-leader gate ran, so every node that had processed (6,8)
+  // silently swallowed the real leader's flood — no relay, no response,
+  // not even a rejection — and the proposer wedged at 5 of 6 promises
+  // with nothing left to trigger a retry. The cursor is now scoped to the
+  // current leader's propositions; this pin keeps it that way.
+  const char* spec =
+      "amacfuzz1:seed=259:alg=wpaxos:topo=geo:n=10:aux=0:sched=scripted:"
+      "fack=2:late=0:in=all0:ids=identity:f=0:hz=1000000:script=1@1@2@1";
+  const auto scenario = parse_spec(spec);
+  ASSERT_TRUE(scenario.has_value()) << spec;
+
+  RunOptions options;
+  options.differential = true;
+  const RunReport r = run_scenario(*scenario, options);
+  EXPECT_EQ(r.failure, FailureKind::kNone) << r.detail;
+  EXPECT_TRUE(r.condition_met) << "wPAXOS wedged below the promise majority";
+  ASSERT_TRUE(r.differential_ran);
+  EXPECT_EQ(r.fingerprint, r.reference_fingerprint)
+      << "engine divergence on " << spec;
+  EXPECT_EQ(run_scenario(*scenario, options).trace_digest, r.trace_digest);
+}
+
+// Link-fault regression family: full specs with non-empty fault plans,
+// pinned so the seed-salted (broadcast_id, sender, receiver) hash keeps
+// making the exact same drop/duplicate decisions in both engines. Each
+// spec stays inside its algorithm's fault envelope (clamp_to_envelope
+// rules: two_phase deferral+duplication only, wPAXOS loss only, flooding
+// and Ben-Or anything), so safety must hold even though termination is
+// not claimed.
+constexpr const char* kLinkFaultSpecs[] = {
+    // Flooding on a torus under global drop + duplicate rates plus a
+    // deferral window: both fault partitions active at once.
+    "amacfuzz1:seed=5:alg=flooding:topo=torus:n=16:aux=4:sched=contention:"
+    "fack=1:late=0:in=multi:ids=perm:f=0:hz=30000:drop=400:dup=200:"
+    "faults=0@1@2@40",
+    // Ben-Or with two crashes inside its f=4 budget AND lossy links: the
+    // randomized path tolerates loss, duplication, and crash fallout
+    // together (82 drops / 41 duplicates at the pinned seed).
+    "amacfuzz1:seed=16:alg=benor:topo=clique:n=9:aux=0:sched=contention:"
+    "fack=1:late=0:in=split:ids=perm:f=4:hz=30000:crashes=1@1,2@7:"
+    "drop=400:dup=200:faults=0@1@2@40",
+    // Two-phase commit in its envelope: no permanent loss, only a finite
+    // deferral window and duplicated frames.
+    "amacfuzz1:seed=10:alg=two_phase:topo=clique:n=10:aux=0:"
+    "sched=contention:fack=2:late=0:in=split:ids=identity:f=0:hz=30000:"
+    "dup=200:faults=0@1@2@40",
+    // wPAXOS in its envelope: loss but never duplication (acceptor
+    // responses are counted, not deduplicated).
+    "amacfuzz1:seed=12:alg=wpaxos:topo=line:n=11:aux=0:sched=contention:"
+    "fack=1:late=0:in=alt:ids=perm:f=0:hz=30000:drop=400:faults=0@1@2@40",
+};
+
+TEST(FuzzRegressions, LinkFaultPlansStayCleanAndBitIdentical) {
+  RunOptions options;
+  options.differential = true;
+  std::uint64_t total_drops = 0;
+  std::uint64_t total_dups = 0;
+  for (const char* spec : kLinkFaultSpecs) {
+    const auto scenario = parse_spec(spec);
+    ASSERT_TRUE(scenario.has_value()) << spec;
+    ASSERT_TRUE(scenario->drop_rate_bp != 0 || scenario->dup_rate_bp != 0 ||
+                !scenario->faults.empty())
+        << spec;
+    // Pinned specs must round-trip exactly (the --replay contract covers
+    // the fault grammar too).
+    EXPECT_EQ(format_spec(*scenario), spec);
+
+    const RunReport r = run_scenario(*scenario, options);
+    // The pinned property: faults really fire, safety holds, and the
+    // calendar engine stays bit-identical to the frozen reference engine
+    // under the exact same drop/duplicate decisions.
+    EXPECT_GT(r.stats.drops + r.stats.duplicates, 0u) << spec;
+    EXPECT_EQ(r.failure, FailureKind::kNone) << spec << "\n" << r.detail;
+    ASSERT_TRUE(r.differential_ran);
+    EXPECT_EQ(r.fingerprint, r.reference_fingerprint)
+        << "engine divergence on " << spec;
+    total_drops += r.stats.drops;
+    total_dups += r.stats.duplicates;
+
+    // Replays of a pinned spec are bit-identical.
+    EXPECT_EQ(run_scenario(*scenario, options).trace_digest, r.trace_digest)
+        << spec;
+  }
+  EXPECT_GT(total_drops, 0u);
+  EXPECT_GT(total_dups, 0u);
+}
+
+TEST(FuzzOracle, DetectsAgreementViolationUnderPermanentLinkLoss) {
+  // WHY the envelope exists: AnonymousMinFlood is reliable-delivery-only
+  // (Theorem 3.3's model), so a permanent drop window on the value-flow
+  // link — outside the generator's and clamp's envelope, inside the spec
+  // language — makes node 1 decide its own 1 while node 0 decides 0. The
+  // oracle must flag it (agreement is unconditional under faults).
+  const auto scenario = parse_spec(
+      "amacfuzz1:seed=1:alg=anonymous:topo=line:n=2:aux=0:sched=sync:"
+      "fack=2:late=0:in=split:ids=identity:f=0:hz=1000000:faults=0@1@0@inf");
+  ASSERT_TRUE(scenario.has_value());
+  const RunReport r = run_scenario(*scenario);
+  EXPECT_EQ(r.failure, FailureKind::kAgreement) << r.detail;
+  EXPECT_FALSE(r.verdict.agreement);
+  EXPECT_TRUE(r.verdict.validity);
+  EXPECT_GT(r.stats.drops, 0u);
+}
+
+TEST(FuzzShrinker, StripsFaultNoiseToTheMinimalPlan) {
+  // A bloated variant of the same violation: five nodes, a duplicate
+  // rate, and three windows that do NOT matter alongside the one that
+  // does. Two-phase shrinking must strip every irrelevant fault field
+  // (structural candidates drop whole windows and zero the rates; the
+  // value phase can't touch the essential window's infinite end) and
+  // reach the minimal plan: exactly the severed 0->1 link, rates zero.
+  const auto scenario = parse_spec(
+      "amacfuzz1:seed=1:alg=anonymous:topo=line:n=5:aux=0:sched=sync:"
+      "fack=3:late=0:in=split:ids=identity:f=0:hz=1000000:"
+      "dup=200:faults=0@1@0@inf,3@4@5@90,2@1@10@60,4@3@0@40");
+  ASSERT_TRUE(scenario.has_value());
+  ASSERT_EQ(run_scenario(*scenario).failure, FailureKind::kAgreement);
+
+  const ShrinkResult shrunk =
+      shrink_scenario(*scenario, FailureKind::kAgreement);
+  EXPECT_GT(shrunk.reductions, 0u);
+  EXPECT_EQ(shrunk.scenario.dup_rate_bp, 0u);
+  EXPECT_EQ(shrunk.scenario.drop_rate_bp, 0u);
+  ASSERT_EQ(shrunk.scenario.faults.size(), 1u);
+  EXPECT_EQ(shrunk.scenario.faults[0].from, 0u);
+  EXPECT_EQ(shrunk.scenario.faults[0].to, 1u);
+  EXPECT_EQ(shrunk.scenario.faults[0].until_tick, mac::kForever);
+  EXPECT_LE(shrunk.scenario.n, 3u);  // surplus nodes shed too
+  // The minimal scenario still fails the same way, and its spec replays.
+  EXPECT_EQ(shrunk.report.failure, FailureKind::kAgreement);
+  const auto replayed = parse_spec(format_spec(shrunk.scenario));
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(run_scenario(*replayed).failure, FailureKind::kAgreement);
+}
+
 TEST(FuzzOracle, DetectsTheorem33StyleAgreementViolation) {
   // AnonymousMinFlood under a holdback adversary — outside the generator's
   // envelope, inside the spec language: node 0 (the only 0-input) has every
