@@ -1,6 +1,9 @@
 // Fuzz soak entry point: the CI fuzz lane and the command-line replay tool.
 //
 //   ./bench_fuzz_soak --count 1000                 # soak seeds [1, 1000]
+//   ./bench_fuzz_soak --count 40000 --jobs 4       # sharded parallel soak
+//                         (merged digest bit-identical to --jobs 1 when
+//                          mutation is off; see fuzzer.hpp "Sharded")
 //   ./bench_fuzz_soak --seed-base 5000 --count 200 # a different corpus
 //   ./bench_fuzz_soak --count 20000 --mutate 0.35  # coverage-steered soak
 //   ./bench_fuzz_soak --count 2000 --fault-rate 0.05 --dup-rate 0.02
@@ -17,12 +20,14 @@
 // minimal self-contained repro line is printed; paste it back via --replay
 // to reproduce the identical run. See fuzz/fuzzer.hpp for the full fuzzing
 // HOWTO.
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <iostream>
 #include <string>
 
+#include "fuzz/corpus_io.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "util/parse.hpp"
 
@@ -37,15 +42,17 @@ struct CliOptions {
   std::string corpus_in;
   std::uint64_t expect_digest = 0;
   bool has_expect_digest = false;
+  bool corpus_strict = false;
   std::size_t progress_every = 0;
 };
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--count N] [--seed-base S] [--differential-every K]\n"
+      "usage: %s [--count N] [--seed-base S] [--jobs J]\n"
+      "          [--differential-every K]\n"
       "          [--mutate RATIO] [--fault-rate RATIO] [--dup-rate RATIO]\n"
-      "          [--corpus-out FILE] [--corpus-in FILE]\n"
+      "          [--corpus-out FILE] [--corpus-in FILE] [--corpus-strict]\n"
       "          [--no-shrink] [--max-shrink-attempts A] [--progress-every P]\n"
       "          [--no-protocol-stats] [--replay SPEC] [--expect-digest HEX]\n"
       "          [--sig-version]\n",
@@ -125,42 +132,40 @@ int run_replay(const CliOptions& cli) {
   return ok ? 0 : 1;
 }
 
-/// Loads a --corpus-in file: one spec line (or bare seed) per line; blank
-/// lines and #-comments are skipped. Returns false on unreadable files or
-/// malformed lines (the soak must not silently run with a partial corpus).
-bool load_corpus(const std::string& path, std::vector<fuzz::Scenario>& out) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot read --corpus-in file: %s\n",
-                 path.c_str());
+/// Loads a --corpus-in file (fuzz::load_corpus_file): tolerant by default —
+/// malformed lines are skipped with a per-line warning and a summary, and
+/// only an unreadable file or one whose EVERY spec line is malformed fails
+/// the soak (a stale actions/cache frontier restored across a grammar
+/// change must not kill the whole nightly). --corpus-strict restores the
+/// old all-or-nothing contract.
+bool load_corpus(const std::string& path, bool strict,
+                 std::vector<fuzz::Scenario>& out) {
+  fuzz::CorpusLoadResult res =
+      fuzz::load_corpus_file(path, strict, &std::cerr);
+  if (!res.ok) {
+    std::fprintf(stderr, "error: --corpus-in: %s\n", res.error.c_str());
     return false;
   }
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty() || line[0] == '#') continue;
-    const auto scenario = fuzz::parse_spec(line);
-    if (!scenario) {
-      std::fprintf(stderr, "error: %s:%zu: malformed corpus spec: %s\n",
-                   path.c_str(), lineno, line.c_str());
-      return false;
-    }
-    out.push_back(*scenario);
+  if (res.skipped > 0) {
+    std::fprintf(stderr,
+                 "warning: --corpus-in %s: loaded %zu specs, skipped %zu "
+                 "malformed line(s)\n",
+                 path.c_str(), res.loaded, res.skipped);
   }
+  for (auto& s : res.scenarios) out.push_back(std::move(s));
   return true;
 }
 
+/// Writes --corpus-out via temp-file + atomic rename (fuzz::
+/// write_corpus_file): an interrupted run can never truncate a previously
+/// persisted frontier.
 bool write_corpus(const std::string& path,
                   const std::vector<fuzz::Scenario>& corpus) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "error: cannot write --corpus-out file: %s\n",
-                 path.c_str());
+  std::string error;
+  if (!fuzz::write_corpus_file(path, corpus, &error)) {
+    std::fprintf(stderr, "error: --corpus-out: %s\n", error.c_str());
     return false;
   }
-  out << "# bench_fuzz_soak coverage corpus: one replayable spec per line\n";
-  for (const auto& s : corpus) out << fuzz::format_spec(s) << "\n";
   return true;
 }
 
@@ -195,7 +200,8 @@ void print_coverage_table(const fuzz::SoakResult& result) {
 int run_soak_cli(const CliOptions& cli) {
   fuzz::SoakOptions options = cli.soak;
   if (!cli.corpus_in.empty() &&
-      !load_corpus(cli.corpus_in, options.initial_corpus)) {
+      !load_corpus(cli.corpus_in, cli.corpus_strict,
+                   options.initial_corpus)) {
     return 2;
   }
   if (cli.progress_every != 0) {
@@ -214,8 +220,14 @@ int run_soak_cli(const CliOptions& cli) {
       }
     };
   }
+  const auto t0 = std::chrono::steady_clock::now();
   const auto result = fuzz::run_soak(options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
+  // options.count >= 1 is enforced at parse time (--count 0 is a usage
+  // error), so the inclusive seed range below cannot underflow.
   std::printf("fuzz soak: %zu scenarios (seeds %llu..%llu), %zu differential "
               "replays, mutate ratio %.2f\n",
               result.runs,
@@ -223,6 +235,9 @@ int run_soak_cli(const CliOptions& cli) {
               static_cast<unsigned long long>(options.seed_base +
                                               options.count - 1),
               result.differential_runs, options.mutate_ratio);
+  // Machine-parsed by the CI speedup log ("wall-clock:"); keep the shape.
+  std::printf("  wall-clock: %.3fs across %zu job(s)\n", elapsed,
+              options.jobs);
   if (options.fault_rate > 0.0 || options.dup_rate > 0.0 ||
       result.faulted_scenarios > 0) {
     std::printf("  link-fault floor: drop %.4f dup %.4f -> %zu faulted "
@@ -248,10 +263,11 @@ int run_soak_cli(const CliOptions& cli) {
   std::printf("  corpus digest: 0x%016llx\n",
               static_cast<unsigned long long>(result.corpus_digest));
 
-  if (!cli.corpus_out.empty() &&
-      !write_corpus(cli.corpus_out, result.corpus)) {
-    return 2;
-  }
+  // Persist the corpus BEFORE the failure-exit path: violation soaks are
+  // exactly the nights whose widened frontier is worth resuming from. A
+  // write failure is reported but never masks the violations themselves.
+  const bool corpus_written =
+      cli.corpus_out.empty() || write_corpus(cli.corpus_out, result.corpus);
 
   if (!result.ok()) {
     for (const auto& f : result.failures) {
@@ -266,6 +282,7 @@ int run_soak_cli(const CliOptions& cli) {
     std::printf("FAIL: %zu violation(s)\n", result.failures.size());
     return 1;
   }
+  if (!corpus_written) return 2;
   std::printf("OK: zero property violations\n");
   return 0;
 }
@@ -306,8 +323,18 @@ int main(int argc, char** argv) {
     };
     if (arg == "--count") {
       take_size(cli.soak.count);
+      // A zero-scenario soak is always a command-line mistake (and used to
+      // underflow the "seeds S..S+count-1" summary line): exit 2, same as
+      // the strict-parse contract for garbage values.
+      if (!parse_error && cli.soak.count == 0) fail_flag(arg, "0");
     } else if (arg == "--seed-base") {
       take_u64(cli.soak.seed_base);
+    } else if (arg == "--jobs") {
+      // Worker threads for the sharded soak. 0 is rejected rather than
+      // treated as "auto": an unparsed garbage value must never silently
+      // change the parallelism (and with it the mutant streams).
+      take_size(cli.soak.jobs);
+      if (!parse_error && cli.soak.jobs == 0) fail_flag(arg, "0");
     } else if (arg == "--differential-every") {
       take_size(cli.soak.differential_every);
     } else if (arg == "--no-shrink") {
@@ -362,6 +389,11 @@ int main(int argc, char** argv) {
       } else {
         cli.corpus_in = v;
       }
+    } else if (arg == "--corpus-strict") {
+      // All-or-nothing --corpus-in parsing (the pre-tolerance behavior):
+      // any malformed line fails the load. For hand-maintained corpora
+      // where a bad line means the file itself is wrong.
+      cli.corpus_strict = true;
     } else if (arg == "--replay") {
       const char* v = next();
       if (!v) {

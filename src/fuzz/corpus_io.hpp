@@ -1,0 +1,61 @@
+// Corpus file IO for the fuzz soak: loading `--corpus-in` spec files and
+// persisting `--corpus-out` frontiers.
+//
+// Loading is TOLERANT by default: a malformed line is skipped with a
+// per-line warning and counted, and only a file whose every spec line is
+// malformed fails the load. The nightly lane restores its corpus from an
+// actions/cache entry that may predate a spec-grammar change (the
+// date-fallback prefix match deliberately picks up old frontiers), and one
+// stale line must not kill a 100k-scenario soak — the valid remainder of
+// the frontier is exactly what is worth resuming from. `strict` restores
+// the old all-or-nothing contract for hand-maintained corpora where a
+// malformed line means the file itself is wrong.
+//
+// Writing is ATOMIC: the corpus is written to `<path>.tmp` and renamed
+// over the destination, so an interrupted or failed write can never
+// truncate a previously persisted frontier (the nightly cache would
+// otherwise lose its resume point to a mid-write crash).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/scenario.hpp"
+
+namespace amac::fuzz {
+
+/// Outcome of loading a corpus file or stream.
+struct CorpusLoadResult {
+  std::vector<Scenario> scenarios;  ///< the successfully parsed specs
+  std::size_t loaded = 0;           ///< == scenarios.size()
+  std::size_t skipped = 0;          ///< malformed lines skipped (tolerant)
+  bool ok = false;   ///< false: unreadable file, strict-mode malformed
+                     ///< line, or every spec line malformed
+  std::string error;  ///< first fatal diagnostic when !ok
+};
+
+/// Parses corpus spec lines from `in` (one spec or bare seed per line;
+/// blank lines and #-comments are skipped). `name` labels diagnostics
+/// (the file path, or a pseudo-name for streams). Per-line warnings for
+/// skipped lines go to `warnings` when non-null (the CLI passes stderr).
+/// Tolerant unless `strict` (see file comment).
+[[nodiscard]] CorpusLoadResult load_corpus_stream(std::istream& in,
+                                                  const std::string& name,
+                                                  bool strict,
+                                                  std::ostream* warnings);
+
+/// Opens `path` and delegates to load_corpus_stream. An unreadable file is
+/// a failed load in both modes.
+[[nodiscard]] CorpusLoadResult load_corpus_file(const std::string& path,
+                                                bool strict,
+                                                std::ostream* warnings);
+
+/// Writes `corpus` as spec lines to `path` via a temp file + atomic rename
+/// (see file comment). On failure returns false, sets `error` when
+/// non-null, and leaves any pre-existing `path` contents untouched.
+[[nodiscard]] bool write_corpus_file(const std::string& path,
+                                     const std::vector<Scenario>& corpus,
+                                     std::string* error);
+
+}  // namespace amac::fuzz

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <type_traits>
 
 #include "mac/reference_engine.hpp"
@@ -562,29 +564,58 @@ void note_signature(CoverageSummary& cov, const CoverageSignature& sig) {
 
 }  // namespace
 
-SoakResult run_soak(const SoakOptions& options) {
-  SoakResult result;
+std::vector<SoakShard> partition_soak(std::size_t count, std::size_t jobs) {
+  std::vector<SoakShard> shards;
+  if (count == 0) return shards;
+  jobs = std::clamp<std::size_t>(jobs, 1, count);
+  // Contiguous blocks in ascending seed order, sizes differing by at most
+  // one: canonical merge order == shard order == seed order.
+  const std::size_t chunk = count / jobs;
+  const std::size_t rem = count % jobs;
+  std::size_t next = 0;
+  for (std::size_t k = 0; k < jobs; ++k) {
+    SoakShard shard;
+    shard.shard_index = k;
+    shard.first_index = next;
+    shard.count = chunk + (k < rem ? 1 : 0);
+    next += shard.count;
+    shards.push_back(shard);
+  }
+  return shards;
+}
+
+ShardSoakResult run_soak_shard(const SoakOptions& options,
+                               const SoakShard& shard) {
+  ShardSoakResult out;
+  out.shard_index = shard.shard_index;
+  out.first_index = shard.first_index;
+  out.fingerprints.reserve(shard.count);
+  SoakResult& result = out.local;
   util::Hasher corpus_hash;
   CoverageCorpus corpus(options.corpus_max);
   // Pre-seeded bases carry no observed signature yet (sig_key 0, hits 0):
   // rarity weighting treats them as maximally rare, so a resumed nightly
-  // frontier is mutated first.
+  // frontier is mutated first (every shard resumes from the full frontier).
   for (const Scenario& s : options.initial_corpus) corpus.admit(s);
   // Distinct projections of every observed signature: the engine-only
   // (PR-4) space and the protocol-only space, reported separately so CI
   // can assert the protocol dimension strictly refines engine coverage.
-  std::set<std::uint64_t> engine_seen;
-  std::set<std::uint64_t> protocol_seen;
-  // The mutation stream is salted off seed_base, so a mutating soak is as
-  // reproducible as a pure one. With mutate_ratio == 0 the rng is never
-  // drawn and the run is bit-identical to the pre-mutation soak loop (the
-  // pinned 504-corpus digest depends on this).
+  std::set<std::uint64_t>& engine_seen = out.engine_keys;
+  std::set<std::uint64_t>& protocol_seen = out.protocol_keys;
+  // The mutation stream is salted off the shard's FIRST SEED, so mutant
+  // interleaving is shard-local and a mutating soak is exactly
+  // reproducible for a fixed (seed-base, count, jobs) triple. A
+  // single-shard soak salts with seed_base + 0 — the historical stream
+  // bit for bit. With mutate_ratio == 0 the rng is never drawn and the
+  // run is bit-identical to the pre-mutation soak loop (the pinned
+  // 504-corpus digest depends on this).
   util::Hasher mutate_seed;
-  mutate_seed.mix_u64(options.seed_base);
+  mutate_seed.mix_u64(options.seed_base + shard.first_index);
   mutate_seed.mix_u64(0x4D757461746F72ULL);  // "Mutator"
   util::Rng mutate_rng(mutate_seed.digest());
 
-  for (std::size_t i = 0; i < options.count; ++i) {
+  for (std::size_t i = shard.first_index;
+       i < shard.first_index + shard.count; ++i) {
     Scenario s;
     bool mutated = false;
     if (options.mutate_ratio > 0.0 && corpus.size() > 0 &&
@@ -639,6 +670,7 @@ SoakResult run_soak(const SoakOptions& options) {
       ++result.faulted_scenarios;
     }
     corpus_hash.mix_u64(report.fingerprint);
+    out.fingerprints.push_back(report.fingerprint);
 
     const CoverageSignature sig = coverage_signature(s, report);
     if (engine_seen.insert(sig.engine_key()).second) {
@@ -650,6 +682,7 @@ SoakResult run_soak(const SoakOptions& options) {
     if (corpus.observe(sig)) {
       ++result.novel_runs;
       note_signature(result.coverage, sig);
+      out.signatures.emplace(sig.key(), sig);
       // Only clean runs become mutation bases: mutating a known violation
       // would just keep re-finding it.
       if (report.failure == FailureKind::kNone) corpus.admit(s, sig.key());
@@ -674,7 +707,113 @@ SoakResult run_soak(const SoakOptions& options) {
   }
   result.corpus = corpus.entries();
   result.corpus_digest = corpus_hash.digest();
-  return result;
+  out.sig_hits = corpus.hit_counts();
+  return out;
+}
+
+SoakResult merge_soak_shards(const SoakOptions& options,
+                             std::vector<ShardSoakResult> shards) {
+  // Canonical order is SHARD INDEX (== ascending seed ranges), never the
+  // order shards happened to finish or arrive in — the shuffle-merge test
+  // hands these in arbitrary orders and demands identical output.
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardSoakResult& a, const ShardSoakResult& b) {
+              return a.shard_index < b.shard_index;
+            });
+
+  SoakResult out;
+  util::Hasher digest_fold;
+  std::map<std::uint64_t, CoverageSignature> signatures;
+  std::map<std::uint64_t, std::uint64_t> hits;
+  std::set<std::uint64_t> engine_keys;
+  std::set<std::uint64_t> protocol_keys;
+  std::set<std::string> corpus_specs;  // dedupe (shards share pre-seeds)
+  for (ShardSoakResult& sh : shards) {
+    SoakResult& loc = sh.local;
+    out.runs += loc.runs;
+    out.differential_runs += loc.differential_runs;
+    for (std::size_t i = 0; i < out.per_algorithm.size(); ++i) {
+      out.per_algorithm[i] += loc.per_algorithm[i];
+    }
+    out.crash_scenarios += loc.crash_scenarios;
+    out.mid_flight_crash_scenarios += loc.mid_flight_crash_scenarios;
+    out.wheel_events += loc.wheel_events;
+    out.overflow_events += loc.overflow_events;
+    out.overflow_scenarios += loc.overflow_scenarios;
+    out.resized_scenarios += loc.resized_scenarios;
+    out.dropped_frames += loc.dropped_frames;
+    out.duplicated_frames += loc.duplicated_frames;
+    out.faulted_scenarios += loc.faulted_scenarios;
+    out.mutated_runs += loc.mutated_runs;
+    // The merged digest folds EVERY run fingerprint in seed order — the
+    // same fold a sequential soak of the whole range performs, so the
+    // merged digest of a mutation-free soak is bit-identical to jobs == 1.
+    for (const std::uint64_t fp : sh.fingerprints) digest_fold.mix_u64(fp);
+    // Signature bookkeeping merges as unions: distinct-signature counts
+    // are partition-independent (a set union doesn't care which shard, or
+    // how many, saw a key first).
+    for (const auto& [key, sig] : sh.signatures) signatures.emplace(key, sig);
+    for (const auto& [key, n] : sh.sig_hits) hits[key] += n;
+    engine_keys.insert(sh.engine_keys.begin(), sh.engine_keys.end());
+    protocol_keys.insert(sh.protocol_keys.begin(), sh.protocol_keys.end());
+    for (SoakFailure& f : loc.failures) out.failures.push_back(std::move(f));
+    for (Scenario& s : loc.corpus) {
+      if (corpus_specs.insert(format_spec(s)).second) {
+        out.corpus.push_back(std::move(s));
+      }
+    }
+  }
+  // novel_runs counts first-time signature keys; chronology doesn't matter
+  // — any partition observes each distinct key as novel exactly once.
+  out.novel_runs = signatures.size();
+  out.coverage.engine_distinct = engine_keys.size();
+  out.coverage.protocol_distinct = protocol_keys.size();
+  for (const auto& [key, sig] : signatures) {
+    note_signature(out.coverage, sig);
+  }
+  // Bound the merged corpus like the per-shard rings: keep the NEWEST
+  // corpus_max entries (the frontier), dropping from the front.
+  const std::size_t cap = options.corpus_max == 0 ? 1 : options.corpus_max;
+  if (out.corpus.size() > cap) {
+    out.corpus.erase(out.corpus.begin(),
+                     out.corpus.begin() +
+                         static_cast<std::ptrdiff_t>(out.corpus.size() - cap));
+  }
+  out.corpus_digest = digest_fold.digest();
+  return out;
+}
+
+SoakResult run_soak(const SoakOptions& options) {
+  const std::vector<SoakShard> shards =
+      partition_soak(options.count, options.jobs);
+  std::vector<ShardSoakResult> results(shards.size());
+  if (shards.size() <= 1) {
+    // The historical sequential soak, on the calling thread.
+    if (!shards.empty()) results[0] = run_soak_shard(options, shards[0]);
+  } else {
+    // One thread per shard; shards share no mutable state on the hot path.
+    // Only the caller's progress callback is shared, so it is serialized.
+    SoakOptions threaded = options;
+    std::mutex progress_mutex;
+    if (options.on_scenario) {
+      const auto inner = options.on_scenario;
+      threaded.on_scenario = [&progress_mutex, inner](std::size_t index,
+                                                      const Scenario& s,
+                                                      const RunReport& r) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        inner(index, s, r);
+      };
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(shards.size());
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      workers.emplace_back([&threaded, &results, &shards, k] {
+        results[k] = run_soak_shard(threaded, shards[k]);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  return merge_soak_shards(options, std::move(results));
 }
 
 }  // namespace amac::fuzz

@@ -116,6 +116,37 @@
 // VALUES, not just the fewest entries: a hold at release=37 in a minimal
 // repro means 36 provably does not reproduce (for monotone failures).
 //
+// Sharded parallel soak: --jobs N partitions the seed range into N
+// contiguous per-shard seed streams and runs each shard on its own thread
+// with a PRIVATE Fuzzer state — its own CoverageCorpus, stats block, and
+// mutation RNG (salted by the shard's first seed, so shard 0 of a 1-job
+// soak reproduces the historical single-thread mutation stream exactly).
+// No mutable state is shared on the hot path; when every shard finishes,
+// the per-shard results are merged in CANONICAL SEED ORDER (shard index,
+// then run order within the shard — never completion order):
+//
+//   * the corpus digest folds every run fingerprint in seed order, so the
+//     merged digest is BIT-IDENTICAL to a single-threaded soak of the same
+//     range — `--jobs 4` on the pinned 504 corpus reports the same
+//     0x4bc22ec0b0a6e511 as `--jobs 1` (tests/test_fuzz_shard.cpp pins
+//     this, and the CI lanes assert it on every push);
+//   * distinct-signature coverage merges as a union of per-shard
+//     signature maps — set union is partition- and order-independent, so
+//     every distinct/engine/protocol count matches the sequential soak;
+//   * per-algorithm/per-scheduler tallies and fault counters are sums;
+//     failures and repro lists concatenate in canonical order;
+//   * the merged mutation corpus concatenates shard corpora in canonical
+//     order (deduplicated by spec), keeping the newest corpus_max entries.
+//
+// Runs themselves are seed-deterministic and state-isolated, so with
+// mutation OFF the sharded run executes the exact same scenario set as the
+// sequential one (differential sampling keys off the GLOBAL run index).
+// With mutation ON, mutant interleaving is shard-local: a mutating soak is
+// exactly reproducible for a fixed (seed-base, count, jobs) triple, but
+// different job counts explore different mutant streams — only the
+// seed-only digest is invariant across job counts, which is precisely
+// what the pinned-corpus lanes run.
+//
 // How the corpus is pinned: the CI smoke lane and tests/test_fuzz_smoke.cpp
 // run the FIXED seed range [1, N] (seed-base 1) with mutation OFF, so the
 // pinned corpus only changes when the generator itself changes — a
@@ -142,6 +173,7 @@
 #include <array>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -326,6 +358,12 @@ class CoverageCorpus {
   /// How often a signature key has been observed (0 if never).
   [[nodiscard]] std::uint64_t hits(std::uint64_t sig_key) const;
 
+  /// The full key -> observation-count map (shard merging sums these).
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& hit_counts()
+      const {
+    return hits_;
+  }
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const Scenario& entry(std::size_t i) const {
     return entries_[i].scenario;
@@ -384,6 +422,14 @@ struct ShrinkResult {
 struct SoakOptions {
   std::uint64_t seed_base = 1;
   std::size_t count = 500;
+  /// Worker threads (--jobs): the seed range is partitioned into this many
+  /// contiguous shards, each run on its own thread with private fuzzer
+  /// state, then merged in canonical seed order (see the sharding section
+  /// of the header comment). 1 (the default) runs the historical
+  /// sequential loop on the calling thread; any value reports the same
+  /// corpus digest for a mutation-free soak of the same seed range.
+  /// Clamped to [1, count].
+  std::size_t jobs = 1;
   /// Every k-th scenario is replayed differentially on the reference
   /// engine (0 disables differential sampling).
   std::size_t differential_every = 7;
@@ -479,7 +525,69 @@ struct SoakResult {
 };
 
 /// Runs scenarios for seeds [seed_base, seed_base + count), collecting
-/// failures (each shrunk to a minimal repro when enabled).
+/// failures (each shrunk to a minimal repro when enabled). With
+/// SoakOptions::jobs > 1 the range is sharded across threads and the
+/// per-shard results merged in canonical seed order — the merged corpus
+/// digest of a mutation-free soak is bit-identical to jobs == 1.
 [[nodiscard]] SoakResult run_soak(const SoakOptions& options);
+
+// ---- sharding (the parallel soak's building blocks) ---------------------
+//
+// run_soak == partition_soak -> run_soak_shard (one thread each) ->
+// merge_soak_shards. The pieces are public so the merge-determinism tests
+// can run shards individually and merge them in arbitrary completion
+// orders (tests/test_fuzz_shard.cpp).
+
+/// One contiguous slice of a soak's run-index range.
+struct SoakShard {
+  std::size_t shard_index = 0;  ///< canonical merge position
+  std::size_t first_index = 0;  ///< global run index of the first scenario
+  std::size_t count = 0;        ///< runs in this shard
+};
+
+/// Splits `count` runs into at most `jobs` contiguous shards in ascending
+/// seed order, sizes differing by at most one (earlier shards take the
+/// remainder). jobs is clamped to [1, count]; count == 0 yields no shards.
+[[nodiscard]] std::vector<SoakShard> partition_soak(std::size_t count,
+                                                    std::size_t jobs);
+
+/// Everything one shard observed, carrying both its local SoakResult and
+/// the raw material the canonical merge needs (per-run fingerprints in
+/// seed order, per-key signature structs and hit counts, projection key
+/// sets). Self-contained: two shards share no state, so shards may run on
+/// concurrent threads and merge in any completion order.
+struct ShardSoakResult {
+  std::size_t shard_index = 0;
+  std::size_t first_index = 0;
+  /// Fingerprint of every run, in seed order; the merged corpus digest is
+  /// the canonical-order fold of these across shards.
+  std::vector<std::uint64_t> fingerprints;
+  /// First-seen signature struct per distinct key (key equality implies
+  /// struct equality, so first-seen is canonical).
+  std::map<std::uint64_t, CoverageSignature> signatures;
+  std::map<std::uint64_t, std::uint64_t> sig_hits;  ///< key -> observations
+  std::set<std::uint64_t> engine_keys;    ///< distinct engine projections
+  std::set<std::uint64_t> protocol_keys;  ///< distinct protocol projections
+  /// Shard-local counters, failures, and mutation corpus (its coverage
+  /// table describes this shard alone; the merge recomputes the union).
+  SoakResult local;
+};
+
+/// Runs one shard sequentially on the calling thread: scenarios for global
+/// run indices [shard.first_index, shard.first_index + shard.count), with
+/// a private CoverageCorpus and a mutation RNG salted by the shard's first
+/// seed. Shard 0 of a single-shard partition reproduces the historical
+/// sequential soak exactly.
+[[nodiscard]] ShardSoakResult run_soak_shard(const SoakOptions& options,
+                                             const SoakShard& shard);
+
+/// Merges per-shard results in canonical seed order (sorted by
+/// shard_index — completion/vector order is irrelevant, which the
+/// shuffle-merge test pins): digests fold per-run fingerprints in seed
+/// order, signature bookkeeping merges as map/set unions, tallies sum,
+/// failures concatenate, and the merged corpus keeps the newest
+/// corpus_max spec-deduplicated entries.
+[[nodiscard]] SoakResult merge_soak_shards(const SoakOptions& options,
+                                           std::vector<ShardSoakResult> shards);
 
 }  // namespace amac::fuzz

@@ -178,9 +178,13 @@ TEST(FuzzSoak, PinnedCorpusRunsCleanAcrossAllSixAlgorithms) {
 
   // The corpus digest folds every run fingerprint: rerunning the soak must
   // reproduce it exactly (full-pipeline determinism), so any generator or
-  // engine behavior change is a visible, reviewable digest change.
+  // engine behavior change is a visible, reviewable digest change. The
+  // rerun is SHARDED across three threads — the canonical seed-order merge
+  // makes the job count invisible in every digest (the dedicated suite is
+  // tests/test_fuzz_shard.cpp).
   SoakOptions again = options;
   again.differential_every = 0;  // differential replay never alters runs
+  again.jobs = 3;
   EXPECT_EQ(run_soak(again).corpus_digest, result.corpus_digest);
 }
 
