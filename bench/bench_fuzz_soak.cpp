@@ -8,6 +8,10 @@
 //   ./bench_fuzz_soak --count 20000 --mutate 0.35  # coverage-steered soak
 //   ./bench_fuzz_soak --count 2000 --fault-rate 0.05 --dup-rate 0.02
 //                                                  # unreliable-link floor
+//   ./bench_fuzz_soak --count 2000 --large-every 250 --large-n 4096
+//                                                  # large-topology family
+//   ./bench_fuzz_soak --count 100000 --max-seconds 300 --no-shrink
+//                                                  # wall-clock-budgeted
 //   ./bench_fuzz_soak --replay <spec-or-seed>      # one scenario, verbose
 //   ./bench_fuzz_soak --replay <spec> --expect-digest 0xABCD  # CI pinning
 //   ./bench_fuzz_soak ... --corpus-out corpus.txt  # dump mutation corpus
@@ -52,6 +56,8 @@ int usage(const char* argv0) {
       "usage: %s [--count N] [--seed-base S] [--jobs J]\n"
       "          [--differential-every K]\n"
       "          [--mutate RATIO] [--fault-rate RATIO] [--dup-rate RATIO]\n"
+      "          [--large-every K] [--large-n N] [--differential-max-n N]\n"
+      "          [--max-seconds S]\n"
       "          [--corpus-out FILE] [--corpus-in FILE] [--corpus-strict]\n"
       "          [--no-shrink] [--max-shrink-attempts A] [--progress-every P]\n"
       "          [--no-protocol-stats] [--replay SPEC] [--expect-digest HEX]\n"
@@ -192,9 +198,10 @@ void print_coverage_table(const fuzz::SoakResult& result) {
               cov.overflow_sigs, cov.resize_sigs, cov.batch_sigs,
               cov.crash_sigs, cov.hold_sigs, cov.protocol_sigs,
               cov.distinct);
-  // "distinct fault signatures:" is machine-parsed by the CI
-  // coverage-widening assertion; keep its shape stable.
+  // "distinct fault signatures:" and "distinct large-topology signatures:"
+  // are machine-parsed by CI coverage assertions; keep their shapes stable.
   std::printf("  distinct fault signatures: %zu\n", cov.fault_sigs);
+  std::printf("  distinct large-topology signatures: %zu\n", cov.large_sigs);
 }
 
 int run_soak_cli(const CliOptions& cli) {
@@ -246,6 +253,21 @@ int run_soak_cli(const CliOptions& cli) {
                 result.faulted_scenarios,
                 static_cast<unsigned long long>(result.dropped_frames),
                 static_cast<unsigned long long>(result.duplicated_frames));
+  }
+  if (options.large_every != 0) {
+    std::printf("  large topologies: %zu scenario(s) promoted to n=%zu "
+                "(every %zu)\n",
+                result.large_scenarios, options.large_n, options.large_every);
+  }
+  if (result.differential_skipped > 0) {
+    std::printf("  differential replays skipped (n > %zu): %zu\n",
+                options.differential_max_n, result.differential_skipped);
+  }
+  if (options.max_seconds > 0.0) {
+    // Budgeted soaks are wall-clock-bounded, not digest-reproducible; the
+    // skip count makes the truncation visible in the log.
+    std::printf("  time budget: %.1fs -> %zu run(s) never started\n",
+                options.max_seconds, result.budget_skipped);
   }
   for (std::size_t i = 0; i < harness::kAlgorithmCount; ++i) {
     std::printf("  %-10s %zu\n",
@@ -337,6 +359,28 @@ int main(int argc, char** argv) {
       if (!parse_error && cli.soak.jobs == 0) fail_flag(arg, "0");
     } else if (arg == "--differential-every") {
       take_size(cli.soak.differential_every);
+    } else if (arg == "--differential-max-n") {
+      // Size cap for reference replays (0 = unlimited): scenarios larger
+      // than this still run and are property-checked on the calendar
+      // engine; only the O(n^2)-per-delivery reference A/B is skipped.
+      take_size(cli.soak.differential_max_n);
+    } else if (arg == "--large-every") {
+      // 0 (the default) disables large-topology promotion entirely.
+      take_size(cli.soak.large_every);
+    } else if (arg == "--large-n") {
+      take_size(cli.soak.large_n);
+      if (!parse_error && cli.soak.large_n == 0) fail_flag(arg, "0");
+    } else if (arg == "--max-seconds") {
+      // Wall-clock budget. Strict like every rate flag, and 0 is rejected:
+      // a zero-second budget would skip the whole soak and exit green,
+      // which is only ever a typo (omit the flag for an unbounded soak).
+      const char* v = next();
+      const auto parsed = v ? util::parse_double(v) : std::optional<double>{};
+      if (!parsed || *parsed <= 0.0) {
+        fail_flag(arg, v);
+      } else {
+        cli.soak.max_seconds = *parsed;
+      }
     } else if (arg == "--no-shrink") {
       cli.soak.shrink_failures = false;
     } else if (arg == "--no-protocol-stats") {

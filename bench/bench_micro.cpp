@@ -56,9 +56,9 @@ class Pinger final : public mac::Process {
 template <typename Net, typename MakeScheduler>
 void run_engine_benchmark_on(benchmark::State& state, const net::Graph& g,
                              const MakeScheduler& make_scheduler,
-                             mac::Time max_time) {
-  const mac::ProcessFactory factory = [](NodeId) {
-    return std::make_unique<Pinger>(50);
+                             mac::Time max_time, std::size_t rounds = 50) {
+  const mac::ProcessFactory factory = [rounds](NodeId) {
+    return std::make_unique<Pinger>(rounds);
   };
   std::uint64_t deliveries = 0;
   std::size_t peak_events = 0;
@@ -86,29 +86,36 @@ void run_engine_benchmark(benchmark::State& state,
                                max_time);
 }
 
+// Large-n args: the calendar engine runs 1024 AND 4096; the reference
+// engine stops at 1024 — its per-delivery pending scan makes a 4096 run
+// take minutes, and the /1024 pair already gives CI the machine-independent
+// engine-vs-reference speedup gate (tools/check_bench_regression.py
+// --min-speedup). 4096 is therefore calendar-only trajectory data.
 void BM_EngineSyncRounds(benchmark::State& state) {
   run_engine_benchmark<mac::Network>(
       state, [] { return mac::SynchronousScheduler(1); }, 1000);
 }
-BENCHMARK(BM_EngineSyncRounds)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_EngineSyncRounds)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_RefEngineSyncRounds(benchmark::State& state) {
   run_engine_benchmark<mac::ReferenceNetwork>(
       state, [] { return mac::SynchronousScheduler(1); }, 1000);
 }
-BENCHMARK(BM_RefEngineSyncRounds)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_RefEngineSyncRounds)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_EngineRandomScheduler(benchmark::State& state) {
   run_engine_benchmark<mac::Network>(
       state, [] { return mac::UniformRandomScheduler(8, 42); }, 100000);
 }
-BENCHMARK(BM_EngineRandomScheduler)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_EngineRandomScheduler)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_RefEngineRandomScheduler(benchmark::State& state) {
   run_engine_benchmark<mac::ReferenceNetwork>(
       state, [] { return mac::UniformRandomScheduler(8, 42); }, 100000);
 }
-BENCHMARK(BM_RefEngineRandomScheduler)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_RefEngineRandomScheduler)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 /// Receiver-side contention on a dense clique: the scheduler's per-receiver
 /// next-free-tick table is hit (max in-degree) times per broadcast, so this
@@ -143,21 +150,31 @@ BENCHMARK(BM_RefEngineContention)->Arg(16)->Arg(64);
 /// receiver copy -> CalendarQueue::push_batch into one bucket), so this
 /// isolates the struct-of-arrays delivery fan-out against the reference
 /// engine's per-pair walk.
+/// Rounds per node for the clique fan-out benches: one clique round is
+/// Theta(n^2) deliveries (a 4096-clique sync round is ~16.7M events and
+/// ~670MB of transient queue), so the large args trim the per-node round
+/// count to keep one iteration in benchmark time. The per-delivery cost is
+/// what is measured; items/sec normalizes across the args. The small args
+/// keep the historical 50 so their baseline rows stay comparable.
+std::size_t fanout_rounds(std::size_t n) {
+  return n >= 2048 ? 2 : n >= 1024 ? 8 : 50;
+}
+
 void BM_EngineFanout(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   run_engine_benchmark_on<mac::Network>(
       state, net::make_clique(n), [] { return mac::SynchronousScheduler(1); },
-      1000);
+      1000, fanout_rounds(n));
 }
-BENCHMARK(BM_EngineFanout)->Arg(16)->Arg(64);
+BENCHMARK(BM_EngineFanout)->Arg(16)->Arg(64)->Arg(1024)->Arg(4096);
 
 void BM_RefEngineFanout(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   run_engine_benchmark_on<mac::ReferenceNetwork>(
       state, net::make_clique(n), [] { return mac::SynchronousScheduler(1); },
-      1000);
+      1000, fanout_rounds(n));
 }
-BENCHMARK(BM_RefEngineFanout)->Arg(16)->Arg(64);
+BENCHMARK(BM_RefEngineFanout)->Arg(16)->Arg(64)->Arg(1024);
 
 /// Late-hold workload (the wheel-resize regime): holds registered AFTER
 /// Network construction — the wheel was sized from the tiny pre-hold

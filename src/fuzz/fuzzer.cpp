@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -221,12 +222,14 @@ std::uint64_t CoverageSignature::key() const {
 }
 
 std::uint64_t CoverageSignature::engine_key() const {
+  // 56 bits packed (4+4+6+6+6+4+6+8+4+4+4): still within one word.
   std::uint64_t k = 0;
   const auto pack = [&k](std::uint64_t v, unsigned bits) {
     AMAC_ASSERT(v < (std::uint64_t{1} << bits));
     k = (k << bits) | v;
   };
   pack(scheduler, 4);
+  pack(size_bucket, 4);
   pack(wheel_bucket, 6);
   pack(overflow_bucket, 6);
   pack(batch_bucket, 6);
@@ -248,6 +251,7 @@ std::uint64_t CoverageSignature::protocol_key() const {
 CoverageSignature coverage_signature(const Scenario& s, const RunReport& r) {
   CoverageSignature sig;
   sig.scheduler = static_cast<std::uint8_t>(s.scheduler);
+  sig.size_bucket = saturated_bucket(s.n);
   sig.wheel_bucket = magnitude_bucket(r.stats.wheel_pushes);
   sig.overflow_bucket = magnitude_bucket(r.stats.overflow_pushes);
   sig.batch_bucket = magnitude_bucket(r.stats.batch_pushes);
@@ -560,6 +564,7 @@ void note_signature(CoverageSummary& cov, const CoverageSignature& sig) {
   if (sig.flags & CoverageSignature::kHasHolds) ++cov.hold_sigs;
   if (sig.protocol_key() != 0) ++cov.protocol_sigs;
   if (sig.drop_bucket > 0 || sig.dup_bucket > 0) ++cov.fault_sigs;
+  if (sig.size_bucket >= 6) ++cov.large_sigs;  // log4 bucket 6 <=> n >= 1024
 }
 
 }  // namespace
@@ -613,9 +618,22 @@ ShardSoakResult run_soak_shard(const SoakOptions& options,
   mutate_seed.mix_u64(options.seed_base + shard.first_index);
   mutate_seed.mix_u64(0x4D757461746F72ULL);  // "Mutator"
   util::Rng mutate_rng(mutate_seed.digest());
+  // Wall-clock budget (--max-seconds): each shard measures from its OWN
+  // start, so every shard gets the full budget and a budgeted sharded soak
+  // ends within one scenario of the deadline. Runs never started are
+  // tallied, not silently dropped.
+  const bool budgeted = options.max_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(budgeted ? options.max_seconds : 0.0));
 
   for (std::size_t i = shard.first_index;
        i < shard.first_index + shard.count; ++i) {
+    if (budgeted && std::chrono::steady_clock::now() >= deadline) {
+      result.budget_skipped += shard.first_index + shard.count - i;
+      break;
+    }
     Scenario s;
     bool mutated = false;
     if (options.mutate_ratio > 0.0 && corpus.size() > 0 &&
@@ -647,10 +665,28 @@ ShardSoakResult run_soak_shard(const SoakOptions& options,
       s.dup_rate_bp = std::max(s.dup_rate_bp, floor_bp(options.dup_rate));
       clamp_to_envelope(s);
     }
+    if (!mutated && options.large_every != 0 &&
+        i % options.large_every == 0) {
+      // Large-topology family: promote every k-th GENERATED scenario (the
+      // mutation envelope caps mutants at 24 nodes regardless, and fresh
+      // generation keeps the family's other dimensions varied). Applied
+      // AFTER the fault floors — clamp_to_envelope would shrink n right
+      // back — and keyed off the GLOBAL run index, so the promoted set is
+      // identical across job counts.
+      promote_to_large(s, static_cast<std::uint32_t>(options.large_n));
+      ++result.large_scenarios;
+    }
 
     RunOptions run_options;
-    run_options.differential = options.differential_every != 0 &&
-                               i % options.differential_every == 0;
+    const bool diff_due = options.differential_every != 0 &&
+                          i % options.differential_every == 0;
+    // Size-aware sampling: the frozen reference engine scans all n^2
+    // pending slots per delivery, so replaying a 4096-node scenario there
+    // would dominate the soak. Skips are counted, never silent.
+    const bool diff_too_large =
+        options.differential_max_n != 0 && s.n > options.differential_max_n;
+    run_options.differential = diff_due && !diff_too_large;
+    if (diff_due && diff_too_large) ++result.differential_skipped;
     run_options.collect_protocol_stats = options.collect_protocol_stats;
     const RunReport report = run_scenario(s, run_options);
 
@@ -745,6 +781,9 @@ SoakResult merge_soak_shards(const SoakOptions& options,
     out.duplicated_frames += loc.duplicated_frames;
     out.faulted_scenarios += loc.faulted_scenarios;
     out.mutated_runs += loc.mutated_runs;
+    out.large_scenarios += loc.large_scenarios;
+    out.differential_skipped += loc.differential_skipped;
+    out.budget_skipped += loc.budget_skipped;
     // The merged digest folds EVERY run fingerprint in seed order — the
     // same fold a sequential soak of the whole range performs, so the
     // merged digest of a mutation-free soak is bit-identical to jobs == 1.

@@ -93,6 +93,19 @@
 // empty plan (drop windows removed, rates binary-searched toward 0) before
 // value-minimizing what survives.
 //
+// Large topologies (signature-space v4): `--large-every K --large-n N`
+// promotes every K-th generated scenario to an N-node counterpart
+// (fuzz::promote_to_large — bounded-degree sparse shapes, clique-locked
+// algorithms remapped to flooding, a shortened safety horizon), so scale
+// bugs (lane sizing, wheel resizes at depth, batch reservation) get the
+// same one-line `--replay` repro as everything else. The scenario's size
+// joins the signature as a saturated log4 bucket. Reference replays scan
+// all n^2 pending slots per delivery, so differential sampling skips
+// scenarios above `--differential-max-n` (counted in the summary); and
+// `--max-seconds S` bounds the whole soak by wall clock — each shard stops
+// starting new runs once the deadline passes (budgeted soaks trade digest
+// reproducibility for a predictable CI footprint).
+//
 //   --corpus-out FILE   write the final corpus as spec lines (one per line)
 //   --corpus-in FILE    pre-seed the mutation corpus from such a file
 //                       (# and blank lines are skipped)
@@ -238,8 +251,10 @@ struct RunReport {
 /// (round/coin/proposal/learned buckets) and the scripted scheduler kind;
 /// 3 = + link-fault dimensions (drop/duplicate magnitude buckets) — the
 /// engine projection outgrew 64 bits alongside the protocol buckets, so
-/// key() became a hash combine of the two projections.
-inline constexpr std::uint32_t kSignatureSpaceVersion = 3;
+/// key() became a hash combine of the two projections; 4 = + the scenario
+/// size bucket (saturated log4 of n), so large-topology runs are novel by
+/// construction and scale-dependent engine paths get corpus slots.
+inline constexpr std::uint32_t kSignatureSpaceVersion = 4;
 
 /// Quarter-log (log4) magnitude bucket: 0 -> 0, otherwise
 /// 1 + floor(log4(v)) — boundaries at exact powers of four. Exact counts
@@ -279,6 +294,13 @@ struct CoverageSignature {
   static constexpr std::uint8_t kConditionMet = 1u << 5;
 
   std::uint8_t scheduler = 0;        ///< SchedulerKind
+  /// Saturated log4 bucket of the scenario's n (signature-space v4). Size
+  /// IS a signature dimension, unlike algorithm/topology: engine behavior
+  /// genuinely bifurcates with scale (lane growth, wheel resizes, batch
+  /// reservation sizes), and the generator does NOT sweep it — large
+  /// scenarios only enter via promotion/specs, so the dimension cannot
+  /// make every fresh seed novel. Bucket >= 6 <=> n >= 1024.
+  std::uint8_t size_bucket = 0;
   std::uint8_t wheel_bucket = 0;     ///< log4 bucket of wheel pushes
   std::uint8_t overflow_bucket = 0;  ///< log4 bucket of overflow pushes
   std::uint8_t batch_bucket = 0;     ///< log4 bucket of batch fan-outs
@@ -455,6 +477,28 @@ struct SoakOptions {
   /// leaves scenarios untouched, so the pinned corpus digest is preserved.
   double fault_rate = 0.0;
   double dup_rate = 0.0;
+  /// Every k-th GENERATED (never mutated) scenario is promoted to a
+  /// large-topology counterpart of `large_n` nodes via promote_to_large
+  /// (--large-every / --large-n). 0 (the default) disables promotion and
+  /// leaves the seed stream untouched — the pinned corpus digest depends
+  /// on this. Promotion happens after the fault floors, so large scenarios
+  /// carry the soak's fault envelope too; keyed off the GLOBAL run index,
+  /// so the promoted set is identical across job counts.
+  std::size_t large_every = 0;
+  std::size_t large_n = 4096;
+  /// Wall-clock budget in seconds (--max-seconds; 0 = unlimited). Each
+  /// shard checks the deadline before every run and stops early once it
+  /// passes, recording the skipped remainder in budget_skipped. A budgeted
+  /// soak is NOT digest-reproducible (how far it gets depends on the
+  /// machine) — the pinned-corpus lanes never set this; the nightly's
+  /// bounded step asserts only violations, not digests.
+  double max_seconds = 0.0;
+  /// Differential replays are skipped for scenarios with n above this cap
+  /// (--differential-max-n; 0 = unlimited): the frozen ReferenceNetwork
+  /// scans all n^2 pending slots per delivery, so one 4096-node replay
+  /// would cost more than the rest of the soak combined. Skips are counted
+  /// in SoakResult::differential_skipped and surfaced in the summary.
+  std::size_t differential_max_n = 1024;
   /// Pre-seeded mutation bases (--corpus-in), run before anything else.
   std::vector<Scenario> initial_corpus;
   /// Progress callback after every scenario (may be empty).
@@ -490,6 +534,8 @@ struct CoverageSummary {
                                   ///< (any nonzero protocol bucket)
   std::size_t fault_sigs = 0;     ///< signatures with link-fault traffic
                                   ///< (nonzero drop or duplicate bucket)
+  std::size_t large_sigs = 0;     ///< signatures from large scenarios
+                                  ///< (size_bucket >= 6, i.e. n >= 1024)
 };
 
 struct SoakResult {
@@ -515,6 +561,13 @@ struct SoakResult {
   std::size_t faulted_scenarios = 0;
   std::size_t mutated_runs = 0;     ///< runs drawn from the mutation engine
   std::size_t novel_runs = 0;       ///< runs with a never-seen signature
+  std::size_t large_scenarios = 0;  ///< runs promoted to the large family
+  /// Differential replays skipped because the scenario's n exceeded
+  /// SoakOptions::differential_max_n (they still ran and were checked on
+  /// the calendar engine — only the reference A/B was skipped).
+  std::size_t differential_skipped = 0;
+  /// Runs never started because the --max-seconds budget expired first.
+  std::size_t budget_skipped = 0;
   CoverageSummary coverage;         ///< distinct-signature breakdown
   std::vector<Scenario> corpus;     ///< final mutation corpus (--corpus-out)
   std::uint64_t corpus_digest = 0;  ///< fold of every run fingerprint: the

@@ -24,6 +24,7 @@ constexpr std::uint64_t kInputSalt = 0x1A9B75C1;
 constexpr std::uint64_t kIdSalt = 0x1DA551;
 constexpr std::uint64_t kSchedSalt = 0x5C4EDD1E;
 constexpr std::uint64_t kFaultSalt = 0xFA0175;
+constexpr std::uint64_t kLargeSalt = 0x1A26E701;
 
 [[nodiscard]] std::uint64_t sub_seed(std::uint64_t seed, std::uint64_t salt) {
   util::Hasher h;
@@ -803,6 +804,54 @@ Scenario generate_scenario(std::uint64_t seed) {
   return s;
 }
 
+void promote_to_large(Scenario& s, std::uint32_t n) {
+  s.n = std::max<std::uint32_t>(n, 16);
+  // Clique-locked algorithms cannot scale: single-hop topologies are
+  // Theta(n^2) edges, and Ben-Or's coin convergence needs tiny n anyway.
+  // Flooding accepts every topology, scheduler, crash set, and fault plan,
+  // so it inherits the rest of the scenario unchanged.
+  if (single_hop_only(s.algorithm)) s.algorithm = Algorithm::kFlooding;
+  // Liveness-checked wPAXOS cannot scale either: n concurrent proposers
+  // duel, and convergence time at n >= 1024 has no bound a soak can wait
+  // out (a promoted crash-free run would be held against its 1M-tick
+  // horizon). Safety-only wPAXOS runs — crashed or faulted, on the short
+  // horizon below — are bounded and keep the Lemma 4.2 monitor running at
+  // scale, so only the termination-expected ones are remapped.
+  if (s.algorithm == Algorithm::kWPaxos && termination_expected(s)) {
+    s.algorithm = Algorithm::kFlooding;
+  }
+  // Only bounded-degree, low-diameter shapes are affordable at n >= 1024:
+  // cliques/barbells/randconn materialize ~n^2 edges, geo at the small-n
+  // radii is nearly as dense, and a ring/line's n/2 diameter turns
+  // D-knowledge runs quadratic. Other draws remap deterministically so
+  // promotion stays a pure function of the scenario.
+  const bool sparse = s.topology == TopologyKind::kGrid ||
+                      s.topology == TopologyKind::kTorus ||
+                      s.topology == TopologyKind::kBinaryTree ||
+                      s.topology == TopologyKind::kStar;
+  if (!sparse) {
+    static constexpr TopologyKind kSparseFamily[] = {
+        TopologyKind::kGrid, TopologyKind::kTorus, TopologyKind::kBinaryTree,
+        TopologyKind::kStar};
+    s.topology = kSparseFamily[sub_seed(s.seed, kLargeSalt) % 4];
+  }
+  if (s.topology == TopologyKind::kGrid ||
+      s.topology == TopologyKind::kTorus) {
+    // Near-square: width*height lands close to n and diameter ~2*sqrt(n).
+    std::uint32_t w = 3;
+    while ((w + 1) * (w + 1) <= s.n) ++w;
+    s.aux = w;
+  } else {
+    s.aux = 0;
+  }
+  normalize_scenario(s);
+  // Liveness runs keep the generator's horizon (they stop at decide, in
+  // O(diameter) rounds); safety-only runs get a shorter prefix than the
+  // small-n policy — the interesting schedule prefix is no longer at 4096
+  // nodes than at 14, but each tick costs ~300x more deliveries.
+  s.horizon = termination_expected(s) ? 1'000'000 : 4'000;
+}
+
 // ---- spec round-trip ----------------------------------------------------
 
 std::string format_spec(const Scenario& s) {
@@ -1043,11 +1092,11 @@ std::optional<Scenario> parse_spec(std::string_view spec) {
       }
       seen |= 1u << 2;
     } else if (key == "n") {
-      if (!parse_u64(val, u) || u == 0 || u > 4096) return std::nullopt;
+      if (!parse_u64(val, u) || u == 0 || u > 16384) return std::nullopt;
       s.n = static_cast<std::uint32_t>(u);
       seen |= 1u << 3;
     } else if (key == "aux") {
-      if (!parse_u64(val, u) || u > 4096) return std::nullopt;
+      if (!parse_u64(val, u) || u > 16384) return std::nullopt;
       s.aux = static_cast<std::uint32_t>(u);
       seen |= 1u << 4;
     } else if (key == "sched") {
@@ -1232,6 +1281,9 @@ BuiltScenario build_scenario(const Scenario& s) {
   params.seed = s.seed;
   if (s.algorithm == harness::Algorithm::kAnonymous ||
       s.algorithm == harness::Algorithm::kStability) {
+    // Only the D-knowledge algorithms pay for this, and Graph::diameter is
+    // double-sweep + iFUB (not all-pairs BFS), so a 4096-node build stays
+    // sub-second — pinned by the wall-clock regression in test_net_graph.
     params.diameter = b.graph.diameter();
   }
   // The Lemma 4.2 monitor needs response tracking; it does not change the

@@ -180,6 +180,19 @@ struct Scenario {
 /// expects an already-normalized scenario.
 void normalize_scenario(Scenario& s);
 
+/// Rewrites a generated scenario into its large-topology counterpart at
+/// `n` nodes (n >= 16): the topology is forced into a bounded-degree,
+/// low-diameter family (grid/torus/tree/star — a 4096-clique is ~8.4M
+/// edges and a 4096-ring gives D-knowledge algorithms a quadratic run),
+/// clique-locked algorithms (two-phase, Ben-Or) become flooding, and the
+/// safety-only horizon shrinks so non-terminating runs stay soak-sized.
+/// Deterministic in (s, n); every other dimension — seed, scheduler,
+/// inputs, ids, crashes, holds, faults — is kept, so the large family
+/// inherits the generator's variety. NOT called by generate_scenario: the
+/// pinned seed-only corpus digest never sees it. Large scenarios enter via
+/// SoakOptions::large_every, hand-written specs, and --replay.
+void promote_to_large(Scenario& s, std::uint32_t n);
+
 // ---- mutation -----------------------------------------------------------
 
 /// One mutation step applied to a corpus scenario by the coverage-steered

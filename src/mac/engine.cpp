@@ -133,7 +133,9 @@ std::size_t Network::in_flight_from(NodeId sender) const {
   AMAC_EXPECTS(sender < nodes_.size());
   const std::uint32_t slot = nodes_[sender].flight_slot;
   if (slot == kNoFlight) return 0;
-  return flights_[slot].pending.size();
+  // Live (non-tombstoned) pending entries; tracks pending occupancy exactly
+  // because each entry is retired by exactly one popped deliver event.
+  return flights_[slot].undrained_events;
 }
 
 void Network::for_each_in_flight(
@@ -147,6 +149,7 @@ void Network::for_each_in_flight(
     const Flight& flight = flights_[slot];
     const util::Buffer& payload = pool_.at(flight.payload_slot);
     for (const NodeId receiver : flight.pending) {
+      if (receiver == kNoNode) continue;  // tombstone: already delivered
       fn(u, receiver, payload);
     }
   }
@@ -154,7 +157,8 @@ void Network::for_each_in_flight(
 
 void Network::release_flight(std::uint32_t slot) {
   Flight& flight = flights_[slot];
-  AMAC_ENSURES(flight.undrained_events == 0 && flight.pending.empty());
+  AMAC_ENSURES(flight.undrained_events == 0);
+  flight.pending.clear();  // all tombstones by now; capacity is recycled
   pool_.release(flight.payload_slot);
   AMAC_ENSURES(nodes_[flight.sender].flight_slot == slot);
   nodes_[flight.sender].flight_slot = kNoFlight;
@@ -242,6 +246,10 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
     flight.sender = u;
     flight.payload_slot = pool_.acquire(payload);
     flight.id = id;
+    // Deliver events take consecutive seqs from here in pending-append
+    // order (drops take none; the ack's seq comes after every copy's), so
+    // the event popped later finds its slot at e.seq - first_seq.
+    flight.first_seq = next_seq_;
     AMAC_ENSURES(flight.pending.empty() && flight.undrained_events == 0);
     st.flight_slot = slot;
 
@@ -404,8 +412,12 @@ void Network::process_event(const Event& e) {
       {
         Flight& flight = flights_[slot];
         AMAC_ENSURES(flight.id == e.broadcast_id);
-        auto& pending = flight.pending;
-        pending.erase(std::find(pending.begin(), pending.end(), e.node));
+        // O(1) retire: the seq-derived slot (see Flight) is tombstoned in
+        // place — erase-by-find here made clique rounds O(n^3) overall.
+        const auto idx = static_cast<std::size_t>(e.seq - flight.first_seq);
+        AMAC_ENSURES(idx < flight.pending.size() &&
+                     flight.pending[idx] == e.node);
+        flight.pending[idx] = kNoNode;
         drained = --flight.undrained_events == 0;
         payload_slot = flight.payload_slot;
       }

@@ -64,11 +64,81 @@ bool Graph::is_connected() const {
 
 std::uint32_t Graph::diameter() const {
   AMAC_EXPECTS(!adj_.empty());
-  std::uint32_t diam = 0;
-  for (NodeId u = 0; u < adj_.size(); ++u) {
-    diam = std::max(diam, eccentricity(u));
+  const std::size_t n = adj_.size();
+  if (n == 1) return 0;
+  // Complete graph: diameter 1 with no BFS at all. The level rule below
+  // cannot prune a clique (every vertex sits at level 1) and each clique
+  // BFS costs O(n^2), so this is the one shape that needs a shortcut.
+  if (edge_count_ == n * (n - 1) / 2) return 1;
+
+  const auto farthest = [](const std::vector<std::uint32_t>& dist) {
+    NodeId best = 0;
+    for (NodeId v = 0; v < dist.size(); ++v) {
+      AMAC_EXPECTS(dist[v] != kUnreachable);
+      if (dist[v] > dist[best]) best = v;
+    }
+    return best;
+  };
+
+  // Double sweep from a max-degree vertex: d(a, b) is the classic strong
+  // diameter lower bound; every BFS also yields the upper bound
+  // diam <= 2*ecc(x) (any a'-b' path detours through x).
+  NodeId u0 = 0;
+  for (NodeId u = 1; u < n; ++u) {
+    if (adj_[u].size() > adj_[u0].size()) u0 = u;
   }
-  return diam;
+  const auto dist_u0 = bfs_distances(u0);
+  const NodeId a = farthest(dist_u0);
+  const auto dist_a = bfs_distances(a);
+  const NodeId b = farthest(dist_a);
+  const std::uint32_t d_ab = dist_a[b];
+  std::uint32_t lb = d_ab;
+  std::uint32_t ub = 2 * std::min(dist_u0[a], d_ab);
+  if (lb >= ub) return lb;
+
+  const auto dist_b = bfs_distances(b);
+  const std::uint32_t ecc_b = dist_b[farthest(dist_b)];
+  lb = std::max(lb, ecc_b);
+  ub = std::min(ub, 2 * ecc_b);
+  if (lb >= ub) return lb;
+
+  // iFUB refinement from the sweep-path midpoint r (on a shortest a-b path,
+  // as close to d_ab/2 from a as possible; lowest id on ties so the scan is
+  // deterministic). Vertices are processed in descending BFS level from r:
+  // once every vertex above level i has its exact eccentricity folded into
+  // lb, any remaining pair meets through r in <= 2i hops, so lb >= 2i
+  // proves lb is the diameter.
+  NodeId r = a;
+  std::uint32_t best_off = kUnreachable;
+  const std::uint32_t half = d_ab / 2;
+  for (NodeId x = 0; x < n; ++x) {
+    if (dist_a[x] + dist_b[x] != d_ab) continue;  // not on a shortest path
+    const std::uint32_t off =
+        dist_a[x] > half ? dist_a[x] - half : half - dist_a[x];
+    if (off < best_off) {
+      best_off = off;
+      r = x;
+    }
+  }
+  const auto dist_r = bfs_distances(r);
+  const std::uint32_t ecc_r = dist_r[farthest(dist_r)];
+  lb = std::max(lb, ecc_r);
+  ub = std::min(ub, 2 * ecc_r);
+  if (lb >= ub) return lb;
+
+  std::vector<std::vector<NodeId>> levels(ecc_r + 1);
+  for (NodeId x = 0; x < n; ++x) levels[dist_r[x]].push_back(x);
+  for (std::uint32_t i = ecc_r; i > 0; --i) {
+    if (lb >= 2 * i) return lb;
+    for (const NodeId x : levels[i]) {
+      const auto dx = bfs_distances(x);
+      const std::uint32_t ecc_x = dx[farthest(dx)];
+      lb = std::max(lb, ecc_x);
+      ub = std::min(ub, 2 * ecc_x);
+      if (lb >= ub) return lb;
+    }
+  }
+  return lb;
 }
 
 }  // namespace amac::net

@@ -128,6 +128,48 @@ TEST(CalendarQueueProperty, HeavyOverflowPressureTriggersResizeMidRun) {
   }
 }
 
+TEST(CalendarQueueProperty, ResizeCapsAtMaxWheelAndStaysCorrect) {
+  // Drives the self-resize all the way to its 64k-bucket cap
+  // (kMaxResizedWheel = 1 << 16) — the regime a 4096-node soak's far
+  // timers live in — and keeps checking order against the oracle across
+  // the rebuild. Far pushes land ~26k-31k ticks out: resizable (under
+  // kMaxResizedWheel / 2), and 2*horizon + 4 overshoots the cap, so the
+  // one resize jumps straight to exactly 65536 buckets. Very-far pushes
+  // (70k-90k ticks) have non-resizable horizons: they must stay on the
+  // overflow heap without re-triggering a resize, and still pop in order
+  // once the cursor rebases onto them.
+  util::Rng rng(0xCA11DA);
+  CalendarQueue q(4);
+  Oracle ref;
+  std::uint64_t seq = 0;
+  Time now = 0;
+  for (int step = 0; step < 12000; ++step) {
+    if (!q.empty() && rng.chance(0.5)) {
+      const Event got = q.pop();
+      expect_same_event(got, ref.top());
+      ref.pop();
+      now = got.t;
+    } else {
+      Event e;
+      if (rng.chance(0.2)) {
+        e.t = now + rng.uniform(26000, 31000);
+      } else if (rng.chance(0.05)) {
+        e.t = now + rng.uniform(70000, 90000);
+      } else {
+        e.t = now + rng.uniform(0, 7);
+      }
+      e.kind = static_cast<EventKind>(rng.uniform(0, 2));
+      e.seq = seq++;
+      q.push(e);
+      ref.push(e);
+    }
+  }
+  EXPECT_GE(q.resizes(), 1u);
+  EXPECT_EQ(q.span(), 65536u);  // capped exactly at kMaxResizedWheel
+  EXPECT_GT(q.overflow_pushes(), 0u);
+  drain_and_compare(q, ref);
+}
+
 TEST(CalendarQueueProperty, DisabledResizeStaysOnOverflowHeapAndCorrect) {
   util::Rng rng(0xD15AB1E);
   for (int trial = 0; trial < 8; ++trial) {

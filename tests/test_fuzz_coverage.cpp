@@ -55,6 +55,30 @@ TEST(FuzzBuckets, SaturatedVariantCapsAt15) {
   }
 }
 
+TEST(FuzzSignature, SizeBucketSeparatesLargeTopologies) {
+  // v4 added the scenario size bucket to the engine projection: identical
+  // engine observables at n=24 and n=4096 are different coverage points,
+  // so a soak that promotes scenarios to large topologies grows distinct
+  // signatures instead of folding into the small-n ones.
+  const Scenario s = generate_scenario(3);
+  RunReport r;
+  const CoverageSignature small_sig = coverage_signature(s, r);
+  EXPECT_EQ(small_sig.size_bucket, saturated_bucket(s.n));
+  EXPECT_LT(small_sig.size_bucket, 6);  // the pinned corpus stays small-n
+
+  Scenario big = s;
+  promote_to_large(big, 4096);
+  const CoverageSignature big_sig = coverage_signature(big, r);
+  EXPECT_EQ(big_sig.size_bucket, 7);  // 4^6 <= 4096 < 4^7
+  EXPECT_NE(big_sig.engine_key(), small_sig.engine_key());
+  EXPECT_NE(big_sig.key(), small_sig.key());
+
+  // n = 1024 is the first bucket counted as large (CoverageSummary
+  // large_sigs: size_bucket >= 6).
+  EXPECT_EQ(saturated_bucket(1024), 6);
+  EXPECT_EQ(saturated_bucket(1023), 5);
+}
+
 TEST(FuzzSignature, ProtocolStatsFoldIntoProtocolBuckets) {
   const Scenario s = generate_scenario(11);
   RunReport r;

@@ -43,6 +43,48 @@ TEST(FuzzSpec, RejectsMalformedInput) {
   EXPECT_FALSE(parse_spec(good + ":bogus=1").has_value());
 }
 
+TEST(FuzzLargeTopology, PromotedScenariosStaySparseAndRoundTrip) {
+  // promote_to_large rewrites any generated scenario into its n=4096
+  // counterpart. The result must stay inside the large-topology envelope
+  // (sparse O(n)-edge family; no clique-locked algorithm; no
+  // liveness-checked wPAXOS, whose n-proposer duel is unbounded) and its
+  // spec line must survive format -> parse -> format exactly — the
+  // --replay contract the soak's repro lines depend on.
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Scenario s = generate_scenario(seed);
+    promote_to_large(s, 4096);
+    EXPECT_EQ(s.n, 4096u);
+    const bool sparse = s.topology == TopologyKind::kGrid ||
+                        s.topology == TopologyKind::kTorus ||
+                        s.topology == TopologyKind::kBinaryTree ||
+                        s.topology == TopologyKind::kStar;
+    EXPECT_TRUE(sparse) << format_spec(s);
+    EXPECT_NE(s.algorithm, Algorithm::kTwoPhase) << format_spec(s);
+    EXPECT_NE(s.algorithm, Algorithm::kBenOr) << format_spec(s);
+    if (s.algorithm == Algorithm::kWPaxos) {
+      EXPECT_FALSE(termination_expected(s)) << format_spec(s);
+    }
+    const std::string spec = format_spec(s);
+    const auto parsed = parse_spec(spec);
+    ASSERT_TRUE(parsed.has_value()) << spec;
+    EXPECT_EQ(format_spec(*parsed), spec);
+  }
+}
+
+TEST(FuzzLargeTopology, PromotionIsDeterministicAndBuildsConnected) {
+  Scenario a = generate_scenario(17);
+  Scenario b = generate_scenario(17);
+  promote_to_large(a, 4096);
+  promote_to_large(b, 4096);
+  EXPECT_EQ(format_spec(a), format_spec(b));  // pure function of (s, n)
+  const BuiltScenario built = build_scenario(a);
+  // Grid/torus promotion picks the near-square w with (w+1)^2 <= n, so
+  // w * (n / w) may round a node or two below n; never more.
+  EXPECT_GE(built.graph.node_count(), 4095u);
+  EXPECT_LE(built.graph.node_count(), 4096u);
+  EXPECT_TRUE(built.graph.is_connected());
+}
+
 TEST(FuzzGenerator, StaysInsideGuaranteeEnvelopes) {
   for (std::uint64_t seed = 1; seed <= 300; ++seed) {
     const Scenario s = generate_scenario(seed);

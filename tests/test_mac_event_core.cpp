@@ -388,6 +388,49 @@ class SteadyPinger final : public Process {
   util::Buffer payload_;
 };
 
+/// SteadyPinger with a round cap: broadcasts on start and on each of the
+/// first `rounds - 1` acks, then goes quiet. Keeps large-n differential
+/// runs bounded (the reference engine pays heap-log cost per event).
+class BoundedPinger final : public Process {
+ public:
+  explicit BoundedPinger(std::size_t rounds)
+      : rounds_(rounds), payload_(8, 0xAB) {}
+
+  void on_start(Context& ctx) override {
+    if (sent_ < rounds_) {
+      ++sent_;
+      ctx.broadcast(payload_);
+    }
+  }
+  void on_receive(const Packet&, Context&) override {}
+  void on_ack(Context& ctx) override { on_start(ctx); }
+  std::unique_ptr<Process> clone() const override {
+    return std::make_unique<BoundedPinger>(*this);
+  }
+  void digest(util::Hasher& h) const override { h.mix_u64(sent_); }
+
+ private:
+  std::size_t rounds_;
+  std::size_t sent_ = 0;
+  util::Buffer payload_;
+};
+
+TEST(EngineDifferential, LargeCliquePeakEventsAgree) {
+  // n = 1024 clique, two bounded broadcast rounds per node: ~2.1M
+  // deliveries, with ~1M events simultaneously queued at the fan-out
+  // peak. Both engines must report the identical high-water mark (and
+  // digest, stats, end time — the full differential contract) at a scale
+  // three orders of magnitude past the other differential tests. This is
+  // the regime the O(n^2) retire bug lived in; the reference engine is
+  // the ground truth the calendar engine's large-n fast paths are held
+  // to.
+  const auto g = net::make_clique(1024);
+  expect_engines_agree(
+      g, [](NodeId) { return std::make_unique<BoundedPinger>(2); },
+      [] { return std::make_unique<SynchronousScheduler>(1); }, {},
+      StopWhen::kQuiescent, 100000);
+}
+
 TEST(EngineAllocation, SteadyStateCycleAllocatesNothingSynchronous) {
   const auto g = net::make_ring(16);
   SynchronousScheduler sched(1);
@@ -419,6 +462,27 @@ TEST(EngineAllocation, SteadyStateCycleAllocatesNothingRandomDelays) {
   const std::uint64_t after = g_alloc_count;
   EXPECT_EQ(after - before, 0u);
   EXPECT_GT(net.stats().deliveries, 10000u);
+}
+
+TEST(EngineAllocation, LargeTopologySteadyStateAllocatesNothing) {
+  // Same zero-allocation contract at soak scale: a 32x32 torus (n = 1024,
+  // degree 4) with every node re-broadcasting on ack. The warm-up run
+  // grows the payload pool, per-node pending arrays, and the circulating
+  // lane set to their n=1024 high-water marks; after that, millions of
+  // broadcast->deliver->ack cycles must not allocate once. Guards the
+  // large-n hot path specifically: a per-delivery or per-retire
+  // allocation that is invisible at n=16 dominates the profile at 4096.
+  const auto g = net::make_torus(32, 32);
+  SynchronousScheduler sched(1);
+  Network net(g, [](NodeId) { return std::make_unique<SteadyPinger>(); },
+              sched);
+  net.run(StopWhen::kQuiescent, 50);  // warm-up
+  const std::uint64_t before = g_alloc_count;
+  net.run(StopWhen::kQuiescent, 1000);
+  const std::uint64_t after = g_alloc_count;
+  EXPECT_EQ(after - before, 0u)
+      << "large-topology steady state allocated";
+  EXPECT_GT(net.stats().deliveries, 1000000u);  // the cycle ran at scale
 }
 
 TEST(EngineAllocation, SoAUniformFanoutBatchPathAllocatesNothing) {

@@ -2,8 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "net/topologies.hpp"
+#include "util/rng.hpp"
+
 namespace amac::net {
 namespace {
+
+/// The definition, for cross-checking the pruned diameter(): max over all
+/// eccentricities.
+std::uint32_t brute_force_diameter(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    diam = std::max(diam, g.eccentricity(u));
+  }
+  return diam;
+}
 
 TEST(Graph, EmptyAndIsolated) {
   Graph g(3);
@@ -72,6 +87,52 @@ TEST(Graph, EccentricityEndpointsOfPath) {
   EXPECT_EQ(g.eccentricity(0), 4u);
   EXPECT_EQ(g.eccentricity(2), 2u);
   EXPECT_EQ(g.diameter(), 4u);
+}
+
+// The double-sweep + iFUB diameter must return the exact all-pairs value on
+// every topology family the generators produce, including the shapes that
+// stress its pruning (cliques prune not at all, barbells pull the sweep
+// midpoint onto the bridge, random graphs exercise the level refinement).
+TEST(Graph, DiameterMatchesBruteForceAcrossFamilies) {
+  util::Rng rng(0xD1A7u);
+  std::vector<Graph> graphs;
+  graphs.push_back(make_clique(17));
+  graphs.push_back(make_line(23));
+  graphs.push_back(make_ring(24));
+  graphs.push_back(make_ring(25));
+  graphs.push_back(make_star(19));
+  graphs.push_back(make_grid(7, 5));
+  graphs.push_back(make_torus(6, 4));
+  graphs.push_back(make_binary_tree(31));
+  graphs.push_back(make_barbell(9, 5));
+  for (int i = 0; i < 6; ++i) {
+    graphs.push_back(make_random_connected(40, 0.08, rng));
+    graphs.push_back(make_random_geometric(40, 0.2, rng));
+  }
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_EQ(graphs[i].diameter(), brute_force_diameter(graphs[i]))
+        << "graph #" << i;
+  }
+}
+
+// Regression for the large-scenario hang: diameter() used to be all-pairs
+// BFS (~10^10 ops on a 4096-clique, minutes on a 4096-grid). The pruned
+// version must handle 4096-node graphs in interactive time — the bound is
+// deliberately loose (CI machines vary) but orders of magnitude below the
+// all-pairs cost, so a regression to O(n^2 (n+m)) trips it immediately.
+TEST(Graph, DiameterAtLargeNIsWallClockBounded) {
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(make_clique(4096).diameter(), 1u);
+  EXPECT_EQ(make_grid(64, 64).diameter(), 126u);
+  EXPECT_EQ(make_torus(64, 64).diameter(), 64u);
+  EXPECT_EQ(make_binary_tree(4095).diameter(), 22u);  // leaf-root-leaf, depth 11
+  util::Rng rng(5);
+  const Graph geo = make_random_geometric(4096, 0.04, rng);
+  EXPECT_GT(geo.diameter(), 2u);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
 }
 
 TEST(Graph, EdgeCountAccumulates) {

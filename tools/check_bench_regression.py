@@ -26,6 +26,20 @@ The ratio is deliberately generous (default 1.5x): CI machines are noisy
 and heterogeneous; the gate exists to catch step-function regressions
 (an accidental O(n) in the event loop), not percent-level drift — the
 uploaded BENCH_engine.json artifact tracks that.
+
+A gated benchmark that is missing from the BASELINE file is reported and
+skipped, not failed: that is exactly what a freshly added benchmark looks
+like before the baseline is refreshed, and a new row must not force the
+refresh into the same commit. Missing from the CURRENT file still fails
+(the gate exists to notice rows disappearing), and malformed rows in
+either file still abort with an error.
+
+With --min-speedup R (requires --relative-to), each gated benchmark must
+additionally be at least R times faster than its reference benchmark IN
+THE CURRENT FILE: reference ns_per_op / gated ns_per_op >= R. This is an
+absolute floor, baseline-free — it gates brand-new rows (e.g. the
+/1024 engine-vs-reference pairs) the moment they exist, and it is
+machine-independent for the same reason --relative-to is.
 """
 import argparse
 import json
@@ -74,30 +88,52 @@ def main() -> int:
     parser.add_argument("--relative-to", default=None,
                         help="normalize by this benchmark from the same "
                              "file before comparing (machine-independent)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="with --relative-to: also fail any gated "
+                             "benchmark whose current speedup over the "
+                             "reference (reference ns_per_op / gated "
+                             "ns_per_op) is below this floor")
     args = parser.parse_args()
+    if args.min_speedup is not None and args.relative_to is None:
+        parser.error("--min-speedup requires --relative-to")
 
     current = load_ns_per_op(args.current)
     baseline = load_ns_per_op(args.baseline)
 
-    def metric(table: dict, path: str, name: str):
-        if name not in table:
-            print(f"FAIL {name}: missing from {path}")
-            return None
+    def metric(table: dict, path: str, name: str, *, missing_fails: bool):
+        """The (optionally normalized) value of `name` in `table`, or None
+        when it (or the normalizer) is absent — printing FAIL only when the
+        absence is from the current file (missing_fails)."""
+        needed = [name] + ([args.relative_to] if args.relative_to else [])
+        for key in needed:
+            if key not in table:
+                if missing_fails:
+                    print(f"FAIL {key}: missing from {path}")
+                return None
         value = table[name]
         if args.relative_to is not None:
-            if args.relative_to not in table:
-                print(f"FAIL {args.relative_to}: missing from {path}")
-                return None
             value /= table[args.relative_to]
         return value
 
     unit = f"x {args.relative_to}" if args.relative_to else "ns/op"
     failed = False
     for name in args.bench:
-        cur = metric(current, args.current, name)
-        base = metric(baseline, args.baseline, name)
-        if cur is None or base is None:
+        cur = metric(current, args.current, name, missing_fails=True)
+        if cur is None:
             failed = True
+            continue
+        if args.min_speedup is not None:
+            # cur is gated/reference, so the speedup is its reciprocal.
+            speedup = 1.0 / cur
+            verdict = "FAIL" if speedup < args.min_speedup else "ok"
+            print(f"{verdict:4} {name}: {speedup:.2f}x over "
+                  f"{args.relative_to} (floor {args.min_speedup:.2f}x)")
+            if speedup < args.min_speedup:
+                failed = True
+        base = metric(baseline, args.baseline, name, missing_fails=False)
+        if base is None:
+            print(f"skip {name}: not in baseline {args.baseline} (new "
+                  f"benchmark — refresh the baseline to gate its ratio)")
             continue
         ratio = cur / base
         verdict = "FAIL" if ratio > args.max_ratio else "ok"
