@@ -186,6 +186,14 @@ void print_coverage_table(const fuzz::SoakResult& result) {
               result.mutated_runs, fuzz::kSignatureSpaceVersion);
   std::printf("  distinct engine-only signatures: %zu\n", cov.engine_distinct);
   std::printf("  distinct protocol signatures: %zu\n", cov.protocol_distinct);
+  // Machine-parsed by the CI coverage set-difference assertion (the
+  // mutating soak must reach protocol corners pure generation missed);
+  // keys are sorted, so the line is deterministic.
+  std::printf("  protocol signature keys:");
+  for (const std::uint64_t key : result.protocol_keys) {
+    std::printf(" %llx", static_cast<unsigned long long>(key));
+  }
+  std::printf("\n");
   std::printf("  coverage by scheduler:");
   for (std::size_t i = 0; i < fuzz::kSchedulerKindCount; ++i) {
     std::printf(" %s=%zu",

@@ -1,0 +1,46 @@
+// CommitFlood: the replicated log's leased-slot fast path (src/log/).
+//
+// Not a consensus algorithm — a commit broadcast. The slot's value was
+// already fixed by the leader's lease (itself established by a full wPAXOS
+// slot, paper §4.2); what remains is disseminating one decided value to
+// every node. The leader decides immediately and floods the value; every
+// other node decides on first receipt and re-floods exactly once, so the
+// value crosses any connected graph in O(D * F_ack) with one broadcast per
+// node — the Lemma 4.2-style point: coordination amortizes to one
+// dissemination wave per slot once leadership is stable.
+//
+// Agreement/validity per slot are trivially inherited (only the leader's
+// value ever enters the network); the per-slot oracle in
+// verify/checker.hpp still checks them against the batch inputs.
+#pragma once
+
+#include "mac/process.hpp"
+
+namespace amac::core {
+
+class CommitFlood final : public mac::Process {
+ public:
+  /// `leader` nodes originate `value`; followers ignore their argument
+  /// value and adopt the first received one.
+  CommitFlood(bool leader, mac::Value value);
+
+  void on_start(mac::Context& ctx) override;
+  void on_receive(const mac::Packet& packet, mac::Context& ctx) override;
+  void on_ack(mac::Context& ctx) override;
+  [[nodiscard]] std::unique_ptr<mac::Process> clone() const override;
+  void digest(util::Hasher& h) const override;
+  void protocol_stats(mac::ProtocolStats& out) const override;
+
+  [[nodiscard]] bool has_decided() const { return decided_; }
+
+ private:
+  void relay(mac::Context& ctx);
+
+  bool leader_;
+  mac::Value value_;
+  bool decided_ = false;
+  bool relay_pending_ = false;
+  bool relayed_ = false;
+};
+
+}  // namespace amac::core

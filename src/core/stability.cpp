@@ -55,6 +55,7 @@ void StabilityConsensus::on_receive(const mac::Packet& packet,
 void StabilityConsensus::on_ack(mac::Context& ctx) {
   if (decided_) return;
   if (learned_this_phase_) {
+    if (quiet_ > 0) ++quiet_resets_;
     quiet_ = 0;
   } else {
     ++quiet_;
@@ -75,6 +76,7 @@ std::unique_ptr<mac::Process> StabilityConsensus::clone() const {
 void StabilityConsensus::protocol_stats(mac::ProtocolStats& out) const {
   out.max_round = std::max<std::uint64_t>(out.max_round, quiet_);
   out.max_learned = std::max<std::uint64_t>(out.max_learned, known_.size());
+  out.quiet_resets += quiet_resets_;
 }
 
 void StabilityConsensus::digest(util::Hasher& h) const {

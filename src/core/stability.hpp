@@ -40,6 +40,7 @@ class StabilityConsensus final : public mac::Process {
 
   [[nodiscard]] std::size_t known_count() const { return known_.size(); }
   [[nodiscard]] std::uint32_t quiet_phases() const { return quiet_; }
+  [[nodiscard]] std::uint64_t quiet_resets() const { return quiet_resets_; }
 
  private:
   void send_batch(mac::Context& ctx);
@@ -54,6 +55,12 @@ class StabilityConsensus final : public mac::Process {
   std::uint32_t quiet_ = 0;
   bool learned_this_phase_ = false;
   bool decided_ = false;
+  /// How often late learning reset a NONZERO quiet counter: a pure
+  /// observability counter (coverage dimension v5), deliberately kept out
+  /// of digest() — the digest contract is behavioral equivalence, and two
+  /// behaviorally identical executions must hash identically whether or
+  /// not stats were ever read.
+  std::uint64_t quiet_resets_ = 0;
 };
 
 }  // namespace amac::core

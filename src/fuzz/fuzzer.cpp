@@ -243,7 +243,8 @@ std::uint64_t CoverageSignature::engine_key() const {
 }
 
 std::uint64_t CoverageSignature::protocol_key() const {
-  return (std::uint64_t{round_bucket} << 12) |
+  return (std::uint64_t{quiet_bucket} << 16) |
+         (std::uint64_t{round_bucket} << 12) |
          (std::uint64_t{coin_bucket} << 8) |
          (std::uint64_t{proposal_bucket} << 4) | learned_bucket;
 }
@@ -266,6 +267,7 @@ CoverageSignature coverage_signature(const Scenario& s, const RunReport& r) {
   sig.proposal_bucket =
       saturated_bucket(r.protocol.proposals + r.protocol.change_events);
   sig.learned_bucket = saturated_bucket(r.protocol.max_learned);
+  sig.quiet_bucket = saturated_bucket(r.protocol.quiet_resets);
   if (!s.crashes.empty()) sig.flags |= CoverageSignature::kHasCrashes;
   if (r.mid_flight_crashes > 0) sig.flags |= CoverageSignature::kMidFlightCrash;
   if (!s.holds.empty()) sig.flags |= CoverageSignature::kHasHolds;
@@ -317,6 +319,14 @@ const Scenario& CoverageCorpus::select_base(util::Rng& rng) const {
     if (draw < 0.0) return e.scenario;
   }
   return entries_.back().scenario;  // floating-point edge: last entry
+}
+
+const Scenario& CoverageCorpus::select_partner(util::Rng& rng) const {
+  // Identical inverse-frequency weighting as select_base, as its own
+  // entry point: the partner draw must consume exactly one uniform
+  // variate regardless of how select_base evolves, so splice streams
+  // replay bit-for-bit from a soak's seed base.
+  return select_base(rng);
 }
 
 std::vector<Scenario> CoverageCorpus::entries() const {
@@ -643,7 +653,10 @@ ShardSoakResult run_soak_shard(const SoakOptions& options,
       const Scenario& base = corpus.select_base(mutate_rng);
       const Scenario* splice = nullptr;
       if (corpus.size() > 1 && mutate_rng.chance(0.35)) {
-        splice = &corpus.entry(mutate_rng.uniform(0, corpus.size() - 1));
+        // Partner selection is rarity-weighted too (same inverse-frequency
+        // draw as the base), so splices import structure from the
+        // frontier rather than from whichever signature floods the pool.
+        splice = &corpus.select_partner(mutate_rng);
       }
       s = mutate_scenario(base, splice, mutate_rng);
       mutated = true;
@@ -807,6 +820,7 @@ SoakResult merge_soak_shards(const SoakOptions& options,
   out.novel_runs = signatures.size();
   out.coverage.engine_distinct = engine_keys.size();
   out.coverage.protocol_distinct = protocol_keys.size();
+  out.protocol_keys = std::move(protocol_keys);
   for (const auto& [key, sig] : signatures) {
     note_signature(out.coverage, sig);
   }

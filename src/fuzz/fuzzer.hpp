@@ -253,8 +253,12 @@ struct RunReport {
 /// engine projection outgrew 64 bits alongside the protocol buckets, so
 /// key() became a hash combine of the two projections; 4 = + the scenario
 /// size bucket (saturated log4 of n), so large-topology runs are novel by
-/// construction and scale-dependent engine paths get corpus slots.
-inline constexpr std::uint32_t kSignatureSpaceVersion = 4;
+/// construction and scale-dependent engine paths get corpus slots;
+/// 5 = + the stability quiet-reset bucket (how often late learning reset a
+/// node's quiet-phase counter), so runs that stress the stability
+/// algorithm's convergence detection are distinguishable from
+/// straight-line floods.
+inline constexpr std::uint32_t kSignatureSpaceVersion = 5;
 
 /// Quarter-log (log4) magnitude bucket: 0 -> 0, otherwise
 /// 1 + floor(log4(v)) — boundaries at exact powers of four. Exact counts
@@ -320,6 +324,10 @@ struct CoverageSignature {
   std::uint8_t coin_bucket = 0;      ///< Ben-Or coin flips
   std::uint8_t proposal_bucket = 0;  ///< wPAXOS proposals + change events
   std::uint8_t learned_bucket = 0;   ///< widest gather set (flooding et al.)
+  /// Stability quiet-phase resets (signature-space v5): how often late
+  /// learning pulled a node's quiet counter back to zero. Zero for every
+  /// other algorithm, so pre-v5 signatures survive unchanged there.
+  std::uint8_t quiet_bucket = 0;
 
   /// The identity: equal keys <=> equal signatures (up to hash collision —
   /// since v3 the engine projection plus the protocol buckets no longer
@@ -333,8 +341,8 @@ struct CoverageSignature {
   /// strictly refines it.
   [[nodiscard]] std::uint64_t engine_key() const;
 
-  /// The protocol-only projection (just the four protocol buckets): how
-  /// many distinct ALGORITHM corners a soak reached, independent of which
+  /// The protocol-only projection (the protocol buckets alone): how many
+  /// distinct ALGORITHM corners a soak reached, independent of which
   /// queue paths carried them.
   [[nodiscard]] std::uint64_t protocol_key() const;
 };
@@ -376,6 +384,14 @@ class CoverageCorpus {
   /// Rarity-weighted draw of a mutation base (see class comment).
   /// Deterministic given the rng state. Requires size() > 0.
   [[nodiscard]] const Scenario& select_base(util::Rng& rng) const;
+
+  /// Rarity-weighted draw of a SPLICE PARTNER: same inverse-frequency
+  /// weighting as select_base, so cross-scenario splices pull structure
+  /// from the thinly-explored frontier instead of re-importing whatever
+  /// signature dominates the pool. Kept separate from select_base so the
+  /// base and partner draws each consume exactly one uniform variate (the
+  /// mutant stream stays reproducible spec-for-spec). Requires size() > 0.
+  [[nodiscard]] const Scenario& select_partner(util::Rng& rng) const;
 
   /// How often a signature key has been observed (0 if never).
   [[nodiscard]] std::uint64_t hits(std::uint64_t sig_key) const;
@@ -569,6 +585,14 @@ struct SoakResult {
   /// Runs never started because the --max-seconds budget expired first.
   std::size_t budget_skipped = 0;
   CoverageSummary coverage;         ///< distinct-signature breakdown
+  /// Every distinct protocol projection (CoverageSignature::protocol_key)
+  /// the soak reached, as a set — printed by the soak summary so the CI
+  /// acceptance assertion can be a SET DIFFERENCE: the mutating soak must
+  /// reach protocol corners pure generation missed. (A count comparison is
+  /// the wrong pin: replacing half the generated stream with mutants can
+  /// lose a pure corner for every mutant corner gained, so strict
+  /// count-widening flips on noise while the difference stays non-empty.)
+  std::set<std::uint64_t> protocol_keys;
   std::vector<Scenario> corpus;     ///< final mutation corpus (--corpus-out)
   std::uint64_t corpus_digest = 0;  ///< fold of every run fingerprint: the
                                     ///< one number that pins the corpus

@@ -272,6 +272,7 @@ const char* mutation_name(MutationOp op) {
     case MutationOp::kNarrowDropWindow: return "narrow-window";
     case MutationOp::kPerturbFaultRates: return "perturb-rates";
     case MutationOp::kScriptReceiverDelay: return "receiver-delay";
+    case MutationOp::kSpliceFaultWindows: return "splice-windows";
   }
   AMAC_ASSERT(false);
   return "?";
@@ -590,6 +591,35 @@ bool apply_mutation(Scenario& s, MutationOp op, const Scenario* splice,
         }
       }
       if (!replaced) t.delays.emplace_back(receiver, delay);
+      return true;
+    }
+    case MutationOp::kSpliceFaultWindows: {
+      // Window-granular crossover (contrast kSpliceTransport, which copies
+      // the partner's whole plan along with its transport): slot i of the
+      // child takes parent A's or parent B's window i by a fair coin,
+      // falling back to whichever parent still has a window there. The
+      // global rates recombine the same way, and clamp_to_envelope +
+      // normalize keep the child inside the algorithm's bounded-loss
+      // envelope (out-of-range links are dropped, not remapped).
+      if (splice == nullptr || !faults_allowed(s)) return false;
+      if (s.faults.empty() && splice->faults.empty()) return false;
+      const std::size_t slots = std::min<std::size_t>(
+          std::max(s.faults.size(), splice->faults.size()), kMaxFaultWindows);
+      std::vector<FaultSpec> child;
+      child.reserve(slots);
+      for (std::size_t i = 0; i < slots; ++i) {
+        const bool from_base = rng.chance(0.5);
+        const auto& first = from_base ? s.faults : splice->faults;
+        const auto& second = from_base ? splice->faults : s.faults;
+        if (i < first.size()) {
+          child.push_back(first[i]);
+        } else if (i < second.size()) {
+          child.push_back(second[i]);
+        }
+      }
+      s.faults = std::move(child);
+      if (rng.chance(0.5)) s.drop_rate_bp = splice->drop_rate_bp;
+      if (rng.chance(0.5)) s.dup_rate_bp = splice->dup_rate_bp;
       return true;
     }
   }

@@ -230,8 +230,14 @@ enum class MutationOp : std::uint8_t {
   kNarrowDropWindow = 19,  ///< shrink one window
   kPerturbFaultRates = 20, ///< nudge the global drop/duplicate rates
   kScriptReceiverDelay = 21,  ///< retime ONE receiver inside a scripted slot
+  /// Per-window fault-plan recombination with a second parent: each window
+  /// slot takes the base's or the partner's window by a fair coin, and the
+  /// global drop/duplicate rates recombine the same way. Complements
+  /// kSpliceTransport, which copies the partner's whole plan along with
+  /// its transport — this op explores fault timelines NEITHER parent ran.
+  kSpliceFaultWindows = 22,
 };
-inline constexpr std::size_t kMutationOpCount = 22;
+inline constexpr std::size_t kMutationOpCount = 23;
 
 [[nodiscard]] const char* mutation_name(MutationOp op);
 

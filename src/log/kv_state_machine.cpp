@@ -1,0 +1,21 @@
+#include "log/kv_state_machine.hpp"
+
+#include "util/assert.hpp"
+
+namespace amac::log {
+
+void KvStateMachine::apply(std::size_t index, const ClientOp& op) {
+  AMAC_EXPECTS(index == applied_);  // in order, no gaps, no duplicates
+  kv_[op.key] = op.value;
+  fold_.mix_u64(index);
+  fold_.mix_u64(op.key);
+  fold_.mix_u64(op.value);
+  ++applied_;
+}
+
+std::uint32_t KvStateMachine::get(std::uint32_t key) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? 0 : it->second;
+}
+
+}  // namespace amac::log

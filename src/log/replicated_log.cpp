@@ -1,0 +1,200 @@
+#include "log/replicated_log.hpp"
+
+#include <algorithm>
+
+#include "core/commit_flood.hpp"
+#include "verify/checker.hpp"
+
+namespace amac::log {
+
+ReplicatedLog::ReplicatedLog(const net::Graph& graph,
+                             mac::Scheduler& scheduler,
+                             const Workload& workload, LogConfig config)
+    : graph_(graph),
+      workload_(workload),
+      config_(config),
+      n_(graph.node_count()),
+      leader_(static_cast<NodeId>(n_ - 1)),
+      total_slots_((workload.size() + config.batch_size - 1) /
+                   config.batch_size),
+      net_(graph, slot_factory(0, true), scheduler) {
+  AMAC_EXPECTS(workload.size() > 0);
+  AMAC_EXPECTS(config_.batch_size >= 1);
+  AMAC_EXPECTS(config_.window >= 1);
+  AMAC_EXPECTS(config_.lease_slots >= 1);
+  AMAC_EXPECTS(n_ >= 2);
+
+  for (const mac::CrashPlan& plan : config_.crashes) {
+    net_.schedule_crash(plan);
+  }
+
+  slots_.resize(total_slots_);
+  stats_.slots_total = total_slots_;
+  stats_.decide_latency.assign(total_slots_, 0);
+
+  // Slot 0 is instance 0 (built by the Network constructor) and always a
+  // lease renewal; the rest of the initial window launches pre-run.
+  slots_[0].instance = 0;
+  slots_[0].launched = true;
+  slots_[0].full_paxos = true;
+  ++stats_.slots_full_paxos;
+  inflight_.push_back(0);
+  next_launch_ = 1;
+  launch_ready_slots();
+}
+
+std::pair<std::size_t, std::size_t> ReplicatedLog::batch_range(
+    std::size_t slot) const {
+  AMAC_EXPECTS(slot < total_slots_);
+  const std::size_t first = slot * config_.batch_size;
+  const std::size_t last =
+      std::min(first + config_.batch_size, workload_.size());
+  return {first, last};
+}
+
+mac::ProcessFactory ReplicatedLog::slot_factory(std::size_t slot,
+                                                bool full_paxos) const {
+  // The slot's consensus value is its batch id. Full-paxos slots give
+  // EVERY node that input, so validity alone forces the decided value;
+  // leased slots let only the leader originate it.
+  const auto value = static_cast<mac::Value>(slot);
+  if (full_paxos) {
+    const std::size_t n = n_;
+    const auto wpaxos = config_.wpaxos;
+    return [n, value, wpaxos](NodeId u) -> std::unique_ptr<mac::Process> {
+      return std::make_unique<core::wpaxos::WPaxos>(u, n, value, wpaxos);
+    };
+  }
+  const NodeId leader = leader_;
+  return [leader, value](NodeId u) -> std::unique_ptr<mac::Process> {
+    return std::make_unique<core::CommitFlood>(u == leader, value);
+  };
+}
+
+void ReplicatedLog::launch_ready_slots() {
+  while (inflight_.size() < config_.window && next_launch_ < total_slots_) {
+    const std::size_t slot = next_launch_++;
+    const bool full = lease_renewal_slot(slot) || lease_broken_;
+    SlotRecord& rec = slots_[slot];
+    rec.instance = net_.add_instance(slot_factory(slot, full));
+    rec.launched = true;
+    rec.launched_at = net_.now();
+    rec.full_paxos = full;
+    if (full) {
+      ++stats_.slots_full_paxos;
+    } else {
+      ++stats_.slots_leased;
+    }
+    inflight_.push_back(slot);
+  }
+}
+
+void ReplicatedLog::pump(mac::Network& net) {
+  // Scan the (window-bounded) in-flight set for freshly decided slots.
+  // instance_all_decided is O(1) per instance, so this is O(window) per
+  // event — the service layer's constant, not a hidden O(slots).
+  bool any = false;
+  for (std::size_t i = 0; i < inflight_.size();) {
+    const std::size_t slot = inflight_[i];
+    if (net.instance_all_decided(slots_[slot].instance)) {
+      inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(i));
+      on_slot_decided(slot);
+      any = true;
+    } else {
+      ++i;
+    }
+  }
+  if (any) {
+    apply_ready_prefix();
+    launch_ready_slots();
+  }
+}
+
+void ReplicatedLog::on_slot_decided(std::size_t slot) {
+  SlotRecord& rec = slots_[slot];
+  rec.decided = true;
+  rec.decided_at = net_.now();
+  ++stats_.slots_decided;
+  stats_.decide_latency[slot] = rec.decided_at - rec.launched_at;
+
+  // Per-slot oracle: agreement + validity against the slot's sole
+  // proposable input (its batch id). Judged before retirement out of
+  // tidiness only — decisions stay readable after retire_instance.
+  const std::vector<mac::Value> inputs(n_, static_cast<mac::Value>(slot));
+  const auto verdict = verify::check_consensus(net_, rec.instance, inputs);
+  if (!verdict.ok() ||
+      verdict.decision != std::optional<mac::Value>(
+                              static_cast<mac::Value>(slot))) {
+    ++stats_.oracle_failures;
+  }
+
+  const mac::InstanceStats& is = net_.instance_stats(rec.instance);
+  stats_.payload_bytes += is.payload_bytes;
+  stats_.broadcasts += is.broadcasts;
+  net_.retire_instance(rec.instance);
+}
+
+void ReplicatedLog::apply_ready_prefix() {
+  // Pipelined decides can land out of slot order; the state machine only
+  // ever consumes the contiguous decided prefix, so application order is
+  // slot order — the log's linearization guarantee.
+  while (next_apply_ < total_slots_ && slots_[next_apply_].decided) {
+    const auto [first, last] = batch_range(next_apply_);
+    for (std::size_t i = first; i < last; ++i) {
+      kv_.apply(i, workload_.op(i));
+    }
+    stats_.ops_applied += last - first;
+    ++next_apply_;
+  }
+}
+
+void ReplicatedLog::recover_stalled_slots() {
+  // A leased slot can stall for good: a crashed leader floods nothing and
+  // the queue drains. Relaunch every in-flight undecided slot as a full
+  // wPAXOS instance — the slow path needs no leader and decides whenever
+  // a live majority can still talk. The stalled CommitFlood instance is
+  // retired; any node that DID decide in it keeps that decision readable,
+  // and the replacement proposes the same sole value, so agreement across
+  // the retirements is by construction. Once the lease holder has failed a
+  // slot it cannot be trusted with future ones either, so the remaining
+  // slots all take the slow path (see lease_broken_).
+  lease_broken_ = true;
+  for (std::size_t i = 0; i < inflight_.size(); ++i) {
+    const std::size_t slot = inflight_[i];
+    SlotRecord& rec = slots_[slot];
+    net_.retire_instance(rec.instance);
+    rec.instance = net_.add_instance(slot_factory(slot, true));
+    rec.launched_at = net_.now();
+    if (!rec.full_paxos) {
+      rec.full_paxos = true;
+      --stats_.slots_leased;
+      ++stats_.slots_full_paxos;
+    }
+    ++stats_.slots_recovered;
+  }
+}
+
+const LogServiceStats& ReplicatedLog::drive(mac::Time horizon) {
+  AMAC_EXPECTS(!driven_);  // one service run per ReplicatedLog
+  driven_ = true;
+  net_.set_post_event_hook([this](mac::Network& net) { pump(net); });
+
+  std::size_t recovery_rounds = 0;
+  for (;;) {
+    const auto result = net_.run(mac::StopWhen::kQuiescent, horizon);
+    pump(net_);  // a final event can decide the last slot
+    stats_.end_time = net_.now();
+    if (next_apply_ == total_slots_) {
+      stats_.complete = true;
+      break;
+    }
+    // Quiescent with undecided slots = stalled (e.g. crashed leader).
+    // Horizon exhaustion is terminal either way.
+    if (!result.condition_met || net_.now() >= horizon) break;
+    if (recovery_rounds++ >= config_.max_recovery_rounds) break;
+    recover_stalled_slots();
+  }
+  return stats_;
+}
+
+}  // namespace amac::log

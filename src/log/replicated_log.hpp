@@ -1,0 +1,156 @@
+// ReplicatedLog: consensus as a service over the multiplexed MAC engine.
+//
+// PRs 1-8 ran consensus as a one-shot: one Network, one protocol instance,
+// one decided value. This driver turns the same engine into a service — a
+// numbered sequence of SLOT instances multiplexed over one Network (see
+// "Instance multiplexing" in mac/engine.hpp), each slot deciding which
+// batch of client ops commits at its position, with a deterministic
+// KvStateMachine applying decided batches in slot order.
+//
+// Cost model (the A/B the log-service bench pins):
+//   * Slot 0 and every `lease_slots`-th slot run FULL wPAXOS (paper §4.2):
+//     every node proposes the slot's batch id, so validity alone forces
+//     the decided value, and the decide doubles as a LEADER LEASE — the
+//     max-id node won Algorithm 2's Omega election during the slot, and
+//     under identity ids that winner is pinned (node n-1).
+//   * The other slots ride the lease: a CommitFlood instance in which the
+//     leased leader decides immediately and floods the batch id, every
+//     node deciding on first receipt. One dissemination wave per slot
+//     instead of a full proposer/acceptor exchange — the Lemma 4.2-style
+//     amortization: coordination is paid once per lease, not once per op.
+//   * Batching multiplies the win: one decided value commits `batch_size`
+//     client ops, so bytes-per-op and slots-per-op both shrink.
+//   With lease_slots = 1 and batch_size = 1 the same code path IS the
+//   naive one-op-per-slot service, which is how the bench A/Bs them in one
+//   binary.
+//
+// Pipelining: up to `window` slot instances are in flight concurrently —
+// later slots launch mid-run (from the engine's post-event hook) as
+// earlier ones decide. Decides may land out of slot order; the state
+// machine still applies batches in slot order (contiguous-prefix rule).
+//
+// Correctness: every decided slot is judged by the per-instance oracle
+// (verify::check_consensus(net, instance, inputs)) — per-slot agreement
+// and validity are what make a log of consensus instances a correct log.
+// If a leased slot stalls (a crashed leader floods nothing and the event
+// queue drains), recovery relaunches the slot as a full wPAXOS instance —
+// the slow path is always safe, the fast path is merely fast.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/wpaxos/wpaxos.hpp"
+#include "log/kv_state_machine.hpp"
+#include "log/workload.hpp"
+#include "mac/engine.hpp"
+#include "mac/scheduler.hpp"
+#include "net/graph.hpp"
+
+namespace amac::log {
+
+struct LogConfig {
+  /// Client ops committed per decided slot. 1 = one op per slot.
+  std::size_t batch_size = 8;
+  /// Max slot instances in flight concurrently (pipelining depth >= 1).
+  std::size_t window = 4;
+  /// Every lease_slots-th slot renews the lease with full wPAXOS; the
+  /// rest ride it on the CommitFlood fast path. 1 = full wPAXOS always.
+  std::size_t lease_slots = 64;
+  /// Stalled-slot recovery attempts (each relaunches the undecided slots
+  /// as full wPAXOS instances) before drive() gives up.
+  std::size_t max_recovery_rounds = 4;
+  core::wpaxos::WPaxosConfig wpaxos;  ///< config for full-paxos slots
+  /// Crashes to inject (node-level, engine CrashPlan semantics). The
+  /// service owns its Network, so fault tests thread crash plans through
+  /// here instead of reaching into the engine.
+  std::vector<mac::CrashPlan> crashes;
+};
+
+/// Everything drive() observed, for benches and tests.
+struct LogServiceStats {
+  std::size_t slots_total = 0;
+  std::size_t slots_decided = 0;
+  std::size_t slots_full_paxos = 0;  ///< lease-renewal slots (incl. slot 0)
+  std::size_t slots_leased = 0;      ///< CommitFlood fast-path slots
+  std::size_t slots_recovered = 0;   ///< stalled slots relaunched as wPAXOS
+  std::size_t ops_applied = 0;
+  /// Slots whose per-instance oracle verdict failed, or whose decided
+  /// value was not the slot's batch id. Zero on every healthy run.
+  std::size_t oracle_failures = 0;
+  std::uint64_t payload_bytes = 0;  ///< sum of slot instances' broadcast bytes
+  std::uint64_t broadcasts = 0;     ///< sum of slot instances' broadcasts
+  mac::Time end_time = 0;
+  bool complete = false;  ///< every slot decided and applied
+  /// Per-slot decide latency in ticks (decided_at - launched_at), indexed
+  /// by slot. Benches fold this into p50/p99.
+  std::vector<mac::Time> decide_latency;
+};
+
+class ReplicatedLog {
+ public:
+  /// The log serves `workload` over `graph` with `scheduler` timing.
+  /// Identity node ids are assumed (the lease pins node n-1 as leader —
+  /// the winner of wPAXOS's max-id Omega election under identity ids).
+  ReplicatedLog(const net::Graph& graph, mac::Scheduler& scheduler,
+                const Workload& workload, LogConfig config = {});
+
+  ReplicatedLog(const ReplicatedLog&) = delete;
+  ReplicatedLog& operator=(const ReplicatedLog&) = delete;
+
+  /// Runs the service until every slot is decided and applied, the
+  /// virtual-time horizon is hit, or recovery gives up. Call once.
+  const LogServiceStats& drive(mac::Time horizon);
+
+  [[nodiscard]] const LogServiceStats& stats() const { return stats_; }
+  [[nodiscard]] const KvStateMachine& state_machine() const { return kv_; }
+  [[nodiscard]] const mac::Network& network() const { return net_; }
+
+  /// The ops slot `s` commits: indices [s * batch, min((s+1) * batch, N)).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> batch_range(
+      std::size_t slot) const;
+
+ private:
+  struct SlotRecord {
+    mac::InstanceId instance = 0;
+    mac::Time launched_at = 0;
+    mac::Time decided_at = 0;
+    bool launched = false;
+    bool decided = false;
+    bool full_paxos = false;
+  };
+
+  [[nodiscard]] bool lease_renewal_slot(std::size_t slot) const {
+    return slot % config_.lease_slots == 0;
+  }
+  [[nodiscard]] mac::ProcessFactory slot_factory(std::size_t slot,
+                                                 bool full_paxos) const;
+  void pump(mac::Network& net);
+  void on_slot_decided(std::size_t slot);
+  void apply_ready_prefix();
+  void launch_ready_slots();
+  void recover_stalled_slots();
+
+  const net::Graph& graph_;
+  const Workload& workload_;
+  LogConfig config_;
+  std::size_t n_;
+  NodeId leader_;
+  std::size_t total_slots_;
+  mac::Network net_;
+
+  std::vector<SlotRecord> slots_;
+  std::vector<std::size_t> inflight_;  ///< launched, not yet decided
+  std::size_t next_launch_ = 0;
+  std::size_t next_apply_ = 0;
+  /// Set by the first recovery: the lease holder failed to serve a slot,
+  /// so every remaining slot takes the full-wPAXOS slow path. (A richer
+  /// service would re-elect a lease holder; falling back to the always-
+  /// safe path keeps recovery simple and bounded.)
+  bool lease_broken_ = false;
+  KvStateMachine kv_;
+  LogServiceStats stats_;
+  bool driven_ = false;
+};
+
+}  // namespace amac::log

@@ -1,0 +1,25 @@
+#include "log/workload.hpp"
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace amac::log {
+
+Workload::Workload(std::uint64_t seed, std::size_t total_ops,
+                   std::uint32_t key_space)
+    : seed_(seed), total_ops_(total_ops),
+      key_space_(key_space == 0 ? 1 : key_space) {}
+
+ClientOp Workload::op(std::size_t i) const {
+  AMAC_EXPECTS(i < total_ops_);
+  util::Hasher h;
+  h.mix_u64(seed_);
+  h.mix_u64(i);
+  const std::uint64_t bits = h.digest();
+  ClientOp op;
+  op.key = static_cast<std::uint32_t>(bits % key_space_);
+  op.value = static_cast<std::uint32_t>(bits >> 32);
+  return op;
+}
+
+}  // namespace amac::log

@@ -1,0 +1,42 @@
+// Seed-deterministic client workload for the replicated log service.
+//
+// Op i is derived STATELESSLY from (seed, i) by one hash — no rng stream
+// to advance, so any consumer (the log driver batching ops into slots, a
+// state-machine replica applying a decided slot, a test regenerating a
+// batch to cross-check a digest) can materialize any op in any order and
+// always sees the same bytes. That statelessness is what lets the batched
+// and naive log services apply the IDENTICAL op sequence and be compared
+// by state-machine digest alone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace amac::log {
+
+/// One client operation: write `value` to `key`. Keys live in a bounded
+/// space so replicas exercise overwrites, not just inserts.
+struct ClientOp {
+  std::uint32_t key = 0;
+  std::uint32_t value = 0;
+};
+
+class Workload {
+ public:
+  /// `total_ops` ops over `key_space` distinct keys, pinned by `seed`.
+  Workload(std::uint64_t seed, std::size_t total_ops,
+           std::uint32_t key_space = 1024);
+
+  /// The i-th op (i < size()), stateless and O(1).
+  [[nodiscard]] ClientOp op(std::size_t i) const;
+
+  [[nodiscard]] std::size_t size() const { return total_ops_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t total_ops_;
+  std::uint32_t key_space_;
+};
+
+}  // namespace amac::log

@@ -7,22 +7,26 @@ namespace amac::mac {
 /// Context implementation handed to a process during a callback.
 class Network::NodeContext final : public Context {
  public:
-  NodeContext(Network& net, NodeId node) : net_(&net), node_(node) {}
+  NodeContext(Network& net, NodeId node, InstanceId instance)
+      : net_(&net), node_(node), instance_(instance) {}
 
   void broadcast(const util::Buffer& payload) override {
-    net_->start_broadcast(node_, payload);
+    net_->start_broadcast(node_, instance_, payload);
   }
 
   void decide(Value v) override {
-    auto& st = net_->nodes_[node_];
+    Instance& inst = net_->instances_[instance_];
+    auto& st = inst.nodes[node_];
     AMAC_EXPECTS(!st.decision.decided);
     st.decision = Decision{true, v, net_->now_};
+    AMAC_ENSURES(inst.undecided_alive > 0);
+    --inst.undecided_alive;
     AMAC_ENSURES(net_->undecided_alive_ > 0);
     --net_->undecided_alive_;
   }
 
   [[nodiscard]] bool busy() const override {
-    return net_->nodes_[node_].busy;
+    return net_->instances_[instance_].nodes[node_].busy;
   }
 
   [[nodiscard]] Time now() const override { return net_->now_; }
@@ -30,6 +34,7 @@ class Network::NodeContext final : public Context {
  private:
   Network* net_;
   NodeId node_;
+  InstanceId instance_;
 };
 
 Network::Network(const net::Graph& graph, const ProcessFactory& factory,
@@ -47,14 +52,43 @@ Network::Network(const net::Graph& graph, const ProcessFactory& factory,
       }
     }
   }
-  nodes_.reserve(n);
-  for (NodeId u = 0; u < n; ++u) {
-    NodeState st;
-    st.process = factory(u);
-    AMAC_ENSURES(st.process != nullptr);
-    nodes_.push_back(std::move(st));
+  nodes_.resize(n);
+  (void)add_instance(factory);
+}
+
+InstanceId Network::add_instance(const ProcessFactory& factory) {
+  const auto id = static_cast<InstanceId>(instances_.size());
+  Instance inst;
+  inst.nodes.resize(nodes_.size());
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    if (nodes_[u].crashed) continue;  // mid-run launch: the dead stay dead
+    inst.nodes[u].process = factory(u);
+    AMAC_ENSURES(inst.nodes[u].process != nullptr);
+    ++inst.undecided_alive;
   }
-  undecided_alive_ = n;
+  undecided_alive_ += inst.undecided_alive;
+  instances_.push_back(std::move(inst));
+  if (started_) {
+    // Launched mid-run (e.g. a pipelined log slot): start callbacks fire
+    // now, at the current tick — local computation takes zero time.
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      if (instances_[id].nodes[u].process == nullptr) continue;
+      NodeContext ctx(*this, u, id);
+      instances_[id].nodes[u].process->on_start(ctx);
+    }
+  }
+  return id;
+}
+
+void Network::retire_instance(InstanceId instance) {
+  AMAC_EXPECTS(instance < instances_.size());
+  Instance& inst = instances_[instance];
+  if (inst.retired) return;
+  inst.retired = true;
+  for (auto& node : inst.nodes) node.process.reset();
+  AMAC_ENSURES(undecided_alive_ >= inst.undecided_alive);
+  undecided_alive_ -= inst.undecided_alive;
+  inst.undecided_alive = 0;
 }
 
 void Network::schedule_crash(const CrashPlan& plan) {
@@ -74,25 +108,26 @@ void Network::set_link_faults(const LinkFaultPlan& plan) {
 }
 
 void Network::reset(const ProcessFactory& factory) {
-  for (NodeId u = 0; u < nodes_.size(); ++u) {
-    auto& st = nodes_[u];
-    if (st.flight_slot != kNoFlight) {
-      // Abandon the in-flight broadcast: release its payload slot and keep
-      // the flight record (capacity included) on the free list.
-      Flight& flight = flights_[st.flight_slot];
-      pool_.release(flight.payload_slot);
-      flight.pending.clear();
-      flight.undrained_events = 0;
-      st.flight_slot = kNoFlight;
+  for (Instance& inst : instances_) {
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      auto& st = inst.nodes[u];
+      if (st.flight_slot != kNoFlight) {
+        // Abandon the in-flight broadcast: release its payload slot and
+        // keep the flight record (capacity included) on the free list.
+        Flight& flight = flights_[st.flight_slot];
+        pool_.release(flight.payload_slot);
+        flight.pending.clear();
+        flight.undrained_events = 0;
+        st.flight_slot = kNoFlight;
+      }
     }
-    st.process = factory(u);
-    AMAC_ENSURES(st.process != nullptr);
-    st.busy = false;
+  }
+  for (auto& st : nodes_) {
     st.crashed = false;
     st.crash_time = kForever;
-    st.current_broadcast = 0;
-    st.decision = Decision{};
   }
+  instances_.clear();
+  undecided_alive_ = 0;
   free_flights_.clear();
   for (std::uint32_t slot = 0; slot < flights_.size(); ++slot) {
     free_flights_.push_back(slot);
@@ -101,15 +136,16 @@ void Network::reset(const ProcessFactory& factory) {
   next_seq_ = 0;
   next_broadcast_id_ = 1;
   now_ = 0;
-  undecided_alive_ = nodes_.size();
   stats_ = EngineStats{};
   started_ = false;
   trace_hasher_ = util::Hasher{};
+  (void)add_instance(factory);
 }
 
-const Decision& Network::decision(NodeId u) const {
+const Decision& Network::decision(NodeId u, InstanceId instance) const {
   AMAC_EXPECTS(u < nodes_.size());
-  return nodes_[u].decision;
+  AMAC_EXPECTS(instance < instances_.size());
+  return instances_[instance].nodes[u].decision;
 }
 
 bool Network::crashed(NodeId u) const {
@@ -117,21 +153,37 @@ bool Network::crashed(NodeId u) const {
   return nodes_[u].crashed;
 }
 
-Process& Network::process(NodeId u) {
-  AMAC_EXPECTS(u < nodes_.size());
-  return *nodes_[u].process;
+const InstanceStats& Network::instance_stats(InstanceId instance) const {
+  AMAC_EXPECTS(instance < instances_.size());
+  return instances_[instance].stats;
 }
 
-const Process& Network::process(NodeId u) const {
+Process& Network::process(NodeId u, InstanceId instance) {
   AMAC_EXPECTS(u < nodes_.size());
-  return *nodes_[u].process;
+  AMAC_EXPECTS(instance < instances_.size());
+  AMAC_EXPECTS(instances_[instance].nodes[u].process != nullptr);
+  return *instances_[instance].nodes[u].process;
+}
+
+const Process& Network::process(NodeId u, InstanceId instance) const {
+  AMAC_EXPECTS(u < nodes_.size());
+  AMAC_EXPECTS(instance < instances_.size());
+  AMAC_EXPECTS(instances_[instance].nodes[u].process != nullptr);
+  return *instances_[instance].nodes[u].process;
 }
 
 bool Network::all_alive_decided() const { return undecided_alive_ == 0; }
 
-std::size_t Network::in_flight_from(NodeId sender) const {
+bool Network::instance_all_decided(InstanceId instance) const {
+  AMAC_EXPECTS(instance < instances_.size());
+  return instances_[instance].undecided_alive == 0;
+}
+
+std::size_t Network::in_flight_from(NodeId sender,
+                                    InstanceId instance) const {
   AMAC_EXPECTS(sender < nodes_.size());
-  const std::uint32_t slot = nodes_[sender].flight_slot;
+  AMAC_EXPECTS(instance < instances_.size());
+  const std::uint32_t slot = instances_[instance].nodes[sender].flight_slot;
   if (slot == kNoFlight) return 0;
   // Live (non-tombstoned) pending entries; tracks pending occupancy exactly
   // because each entry is retired by exactly one popped deliver event.
@@ -144,13 +196,15 @@ void Network::for_each_in_flight(
     // A crashed sender's undelivered copies will never arrive; they are no
     // longer "in flight" for accounting purposes.
     if (nodes_[u].crashed) continue;
-    const std::uint32_t slot = nodes_[u].flight_slot;
-    if (slot == kNoFlight) continue;
-    const Flight& flight = flights_[slot];
-    const util::Buffer& payload = pool_.at(flight.payload_slot);
-    for (const NodeId receiver : flight.pending) {
-      if (receiver == kNoNode) continue;  // tombstone: already delivered
-      fn(u, receiver, payload);
+    for (const Instance& inst : instances_) {
+      const std::uint32_t slot = inst.nodes[u].flight_slot;
+      if (slot == kNoFlight) continue;
+      const Flight& flight = flights_[slot];
+      const util::Buffer& payload = pool_.at(flight.payload_slot);
+      for (const NodeId receiver : flight.pending) {
+        if (receiver == kNoNode) continue;  // tombstone: already delivered
+        fn(u, receiver, payload);
+      }
     }
   }
 }
@@ -159,27 +213,40 @@ void Network::release_flight(std::uint32_t slot) {
   Flight& flight = flights_[slot];
   AMAC_ENSURES(flight.undrained_events == 0);
   flight.pending.clear();  // all tombstones by now; capacity is recycled
+  Instance& inst = instances_[flight.instance];
+  AMAC_ENSURES(inst.stats.live_pool_slots > 0);
+  --inst.stats.live_pool_slots;
+  inst.stats.live_pool_bytes -= pool_.at(flight.payload_slot).size();
   pool_.release(flight.payload_slot);
-  AMAC_ENSURES(nodes_[flight.sender].flight_slot == slot);
-  nodes_[flight.sender].flight_slot = kNoFlight;
+  AMAC_ENSURES(inst.nodes[flight.sender].flight_slot == slot);
+  inst.nodes[flight.sender].flight_slot = kNoFlight;
   free_flights_.push_back(slot);
 }
 
-void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
-  auto& st = nodes_[u];
-  if (st.crashed) return;
+void Network::start_broadcast(NodeId u, InstanceId instance,
+                              const util::Buffer& payload) {
+  if (nodes_[u].crashed) return;
+  Instance& inst = instances_[instance];
+  auto& st = inst.nodes[u];
   if (st.busy) {
     // Model rule: extra broadcasts while one is outstanding are discarded.
+    // Busy is per (node, instance): each instance has its own logical MAC
+    // channel, so instance A's outstanding broadcast never discards B's.
     ++stats_.dropped_busy;
+    ++inst.stats.dropped_busy;
     return;
   }
   st.busy = true;
   const std::uint64_t id = next_broadcast_id_++;
   st.current_broadcast = id;
   ++stats_.broadcasts;
+  ++inst.stats.broadcasts;
   stats_.payload_bytes += payload.size();
   stats_.max_payload_bytes = std::max(stats_.max_payload_bytes,
                                       payload.size());
+  inst.stats.payload_bytes += payload.size();
+  inst.stats.max_payload_bytes = std::max(inst.stats.max_payload_bytes,
+                                          payload.size());
 
   const auto& neighbors = graph_->neighbors(u);
   BroadcastSchedule& sched = schedule_scratch_;
@@ -215,14 +282,19 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
       fault_scratch_.push_back(d);
       if (!d.deliver) {
         ++stats_.drops;
+        ++inst.stats.drops;
         continue;
       }
       ++emitted;
-      if (d.deliver_at != arrival) ++stats_.drops;  // lost, retransmitted
+      if (d.deliver_at != arrival) {
+        ++stats_.drops;  // lost, retransmitted
+        ++inst.stats.drops;
+      }
       latest = std::max(latest, d.deliver_at);
       if (d.duplicate) {
         ++emitted;
         ++stats_.duplicates;
+        ++inst.stats.duplicates;
         latest = std::max(latest, d.duplicate_at);
       }
     }
@@ -246,18 +318,26 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
     flight.sender = u;
     flight.payload_slot = pool_.acquire(payload);
     flight.id = id;
+    flight.instance = instance;
     // Deliver events take consecutive seqs from here in pending-append
     // order (drops take none; the ack's seq comes after every copy's), so
     // the event popped later finds its slot at e.seq - first_seq.
     flight.first_seq = next_seq_;
     AMAC_ENSURES(flight.pending.empty() && flight.undrained_events == 0);
     st.flight_slot = slot;
+    ++inst.stats.live_pool_slots;
+    inst.stats.peak_pool_slots = std::max(inst.stats.peak_pool_slots,
+                                          inst.stats.live_pool_slots);
+    inst.stats.live_pool_bytes += payload.size();
+    inst.stats.peak_pool_bytes = std::max(inst.stats.peak_pool_bytes,
+                                          inst.stats.live_pool_bytes);
 
     Event e;
     e.kind = EventKind::kDeliver;
     e.broadcast_id = id;
     e.flight_slot = slot;
     e.sender = u;
+    e.instance = instance;
     e.reliable = true;
 #if AMAC_CHECK
     for (std::size_t i = 0; i < fanout; ++i) {
@@ -373,10 +453,13 @@ void Network::start_broadcast(NodeId u, const util::Buffer& payload) {
   ack.seq = next_seq_++;
   ack.node = u;
   ack.broadcast_id = id;
+  ack.instance = instance;
   events_.push(ack);
 }
 
 void Network::trace_event(const Event& e) {
+  // Event::instance is deliberately NOT mixed (see enable_trace_digest):
+  // single-instance digests must match the pre-instance engine bit for bit.
   trace_hasher_.mix_u64(e.t);
   trace_hasher_.mix_u8(static_cast<std::uint8_t>(e.kind));
   trace_hasher_.mix_u64(e.seq);
@@ -396,7 +479,12 @@ void Network::process_event(const Event& e) {
       if (st.crashed) return;
       st.crashed = true;
       st.crash_time = now_;
-      if (!st.decision.decided) {
+      // A crash is node-level: the node leaves every live instance's
+      // undecided set at once (retired instances already left the count).
+      for (Instance& inst : instances_) {
+        if (inst.retired || inst.nodes[e.node].decision.decided) continue;
+        AMAC_ENSURES(inst.undecided_alive > 0);
+        --inst.undecided_alive;
         AMAC_ENSURES(undecided_alive_ > 0);
         --undecided_alive_;
       }
@@ -412,6 +500,7 @@ void Network::process_event(const Event& e) {
       {
         Flight& flight = flights_[slot];
         AMAC_ENSURES(flight.id == e.broadcast_id);
+        AMAC_ENSURES(flight.instance == e.instance);
         // O(1) retire: the seq-derived slot (see Flight) is tombstoned in
         // place — erase-by-find here made clique rounds O(n^3) overall.
         const auto idx = static_cast<std::size_t>(e.seq - flight.first_seq);
@@ -427,23 +516,30 @@ void Network::process_event(const Event& e) {
       // non-atomic broadcast reached only the earlier-scheduled neighbors.
       const bool cancelled =
           sender_st.crashed && sender_st.crash_time < e.t;
-      auto& st = nodes_[e.node];
-      if (!cancelled && !st.crashed) {
+      Instance& inst = instances_[e.instance];
+      // A retired instance's events are pure bookkeeping: the flight still
+      // drains (releasing its pool slot) but no callback or counter runs.
+      Process* const process = inst.nodes[e.node].process.get();
+      if (!cancelled && !nodes_[e.node].crashed && process != nullptr) {
         ++stats_.deliveries;
-        NodeContext ctx(*this, e.node);
+        ++inst.stats.deliveries;
+        NodeContext ctx(*this, e.node, e.instance);
         const Packet packet{e.sender, pool_.at(payload_slot), e.reliable};
-        st.process->on_receive(packet, ctx);
+        process->on_receive(packet, ctx);
       }
       if (drained) release_flight(slot);
       return;
     }
     case EventKind::kAck: {
-      auto& st = nodes_[e.node];
-      if (st.crashed) return;
+      if (nodes_[e.node].crashed) return;
+      Instance& inst = instances_[e.instance];
+      auto& st = inst.nodes[e.node];
       AMAC_ENSURES(st.busy && st.current_broadcast == e.broadcast_id);
       st.busy = false;
+      if (st.process == nullptr) return;  // retired mid-flight
       ++stats_.acks;
-      NodeContext ctx(*this, e.node);
+      ++inst.stats.acks;
+      NodeContext ctx(*this, e.node, e.instance);
       st.process->on_ack(ctx);
       return;
     }
@@ -453,9 +549,14 @@ void Network::process_event(const Event& e) {
 RunResult Network::run(StopWhen until, Time max_time) {
   if (!started_) {
     started_ = true;
-    for (NodeId u = 0; u < nodes_.size(); ++u) {
-      NodeContext ctx(*this, u);
-      nodes_[u].process->on_start(ctx);
+    // Instance-major start order (matched by ReferenceNetwork): every
+    // pre-run instance starts its nodes 0..n-1 before the next instance.
+    for (InstanceId i = 0; i < instances_.size(); ++i) {
+      for (NodeId u = 0; u < nodes_.size(); ++u) {
+        if (instances_[i].nodes[u].process == nullptr) continue;
+        NodeContext ctx(*this, u, i);
+        instances_[i].nodes[u].process->on_start(ctx);
+      }
     }
   }
 

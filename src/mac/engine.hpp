@@ -58,11 +58,11 @@
 // that names it.
 //
 // Flat flights. Flight records live in a slot vector with a free list; the
-// broadcast id is only carried for assertions. Each sender has at most one
-// live flight (a node is busy until its ack, and the ack pops after the
-// flight's last delivery), so NodeState holds the sender's flight slot
-// directly: in_flight_from is O(1) and for_each_in_flight is O(active
-// flights), not O(all flights ever).
+// broadcast id is only carried for assertions. Each (node, instance) pair
+// has at most one live flight (a node's instance is busy until its ack, and
+// the ack pops after the flight's last delivery), so the per-instance node
+// state holds the sender's flight slot directly: in_flight_from is O(1) and
+// for_each_in_flight is O(active flights), not O(all flights ever).
 //
 // Zero-allocation steady state. After warm-up (pool slots, lane and scratch
 // capacities grown), the broadcast -> deliver -> ack cycle performs zero
@@ -90,6 +90,41 @@
 // identical to a fault-free build, which the pinned fuzz-corpus digest
 // pins down.
 //
+// Instance multiplexing (consensus as a service). One Network can host
+// multiple concurrent PROTOCOL INSTANCES — numbered slots of a replicated
+// log (src/log/), each an independent run of a consensus algorithm — over
+// the same nodes, topology, scheduler, fault plan, and event queue:
+//   * Identity. Every broadcast, flight, deliver, and ack carries the
+//     InstanceId of the instance that issued it (Event::instance,
+//     Flight::instance). Crash events are node-level: a crash at u halts
+//     u's process in EVERY instance, exactly once.
+//   * Per-instance state. A node's process, busy flag, outstanding
+//     broadcast, live flight slot, and decision are per (instance, node);
+//     crash state is per node. Each instance therefore has its own logical
+//     MAC channel per node: instance A being busy never discards instance
+//     B's broadcast, which is what makes interleaved instances behave
+//     exactly like solo runs (pinned by tests/test_multi_instance.cpp
+//     under stateless schedulers and empty fault plans).
+//   * Shared substrate. The event queue, seq counter, broadcast-id counter,
+//     payload pool, and flight slots are shared — instances multiplex over
+//     one MAC layer rather than simulating parallel networks, so the
+//     service layer's costs (queue pressure, pool occupancy) are the real
+//     multiplexed costs. Per-instance InstanceStats track each instance's
+//     traffic and payload-pool footprint (live/peak slots and bytes).
+//   * Lifecycle. add_instance() may be called before or DURING a run (a
+//     replicated log launches pipelined slots as earlier slots decide);
+//     mid-run instances get their on_start callbacks at the current tick.
+//     retire_instance() destroys a finished instance's processes and
+//     returns its pool claims as its flights drain; events addressed to a
+//     retired instance are consumed as pure bookkeeping (no callbacks, no
+//     delivery/ack counters).
+//   * Digest neutrality. A single-instance Network is bit-identical to the
+//     pre-instance engine: instance 0 is the implicit default everywhere,
+//     the trace digest never mixes instance ids, and no counter moves —
+//     the pinned 504-corpus fuzz digest is the regression oracle for this.
+//     Multi-instance runs stay engine-differential: ReferenceNetwork
+//     mirrors add_instance with the same seq allocation order.
+//
 // Large-n sizing and cache behavior (n = 4096-10k). A clique round is
 // O(n^2) deliveries by definition — the engine's job is to keep the
 // constant per delivery flat as n grows:
@@ -102,7 +137,7 @@
 //     bucket reservation filled in place (sequential writes into one lane
 //     vector — the cache-friendly regime), and pops walk the same lane
 //     sequentially. Peak queue memory is the real n=4096 cost: a clique
-//     sync round holds ~n^2 40-byte deliver events (~670 MB transient at
+//     sync round holds ~n^2 deliver events (~670 MB transient at
 //     n=4096), so big-clique benches are calendar-only and sized to few
 //     rounds.
 //   * Capacity warms once. Flight slots, pending vectors, pool slots, and
@@ -172,9 +207,32 @@ struct EngineStats {
   std::uint64_t duplicates = 0;  ///< extra copies the plan scheduled
 };
 
+/// Per-instance slice of the engine's accounting: the traffic one protocol
+/// instance generated plus its payload-pool footprint. Engine-independent
+/// (both engines count these identically), so multi-instance differential
+/// fingerprints may include them. The global EngineStats is NOT the sum of
+/// these views — queue-path fields (wheel_*, peak_events) are substrate-
+/// level and have no per-instance meaning.
+struct InstanceStats {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t dropped_busy = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t payload_bytes = 0;
+  std::size_t max_payload_bytes = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  /// Payload-pool accounting: slots/bytes currently held by this
+  /// instance's live flights, and their high-water marks.
+  std::size_t live_pool_slots = 0;
+  std::size_t peak_pool_slots = 0;
+  std::size_t live_pool_bytes = 0;
+  std::size_t peak_pool_bytes = 0;
+};
+
 /// When `run` should stop (besides the time horizon).
 enum class StopWhen {
-  kAllDecided,  ///< every non-crashed node has decided
+  kAllDecided,  ///< every non-crashed node has decided (in every instance)
   kQuiescent,   ///< no events left
 };
 
@@ -186,9 +244,9 @@ struct RunResult {
 /// One simulated network: topology + processes + scheduler.
 class Network {
  public:
-  /// Builds a process per node via `factory`. The scheduler is borrowed and
-  /// must outlive the network. `unreliable_overlay`, if given, is a second
-  /// edge set (disjoint from `graph`'s) on which deliveries are
+  /// Builds instance 0's process per node via `factory`. The scheduler is
+  /// borrowed and must outlive the network. `unreliable_overlay`, if given,
+  /// is a second edge set (disjoint from `graph`'s) on which deliveries are
   /// best-effort, decided per broadcast by Scheduler::schedule_unreliable —
   /// the dual-graph abstract MAC layer model the paper leaves as future
   /// work. Acks never wait for overlay deliveries beyond the reliable ack
@@ -201,7 +259,8 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Registers a crash before running. Multiple crashes are allowed (the
-  /// paper's impossibility needs one; the engine does not restrict).
+  /// paper's impossibility needs one; the engine does not restrict). A
+  /// crash is node-level: it halts the node's process in every instance.
   void schedule_crash(const CrashPlan& plan);
 
   /// Installs the link-fault plan (link_faults.hpp). Must be called before
@@ -210,12 +269,30 @@ class Network {
   void set_link_faults(const LinkFaultPlan& plan);
 
   /// Returns the network to its pre-run state for another experiment on the
-  /// same topology/scheduler/plan: fresh processes from `factory`, empty
-  /// event queue (capacity kept), zeroed stats — including the link-fault
-  /// counters — and released flights/payload slots. Scheduler-internal
-  /// state (e.g. Holdback holds, RNG positions) is the caller's to reset;
-  /// the installed fault plan and crash-free slate carry over.
+  /// same topology/scheduler/plan: back to a SINGLE instance 0 with fresh
+  /// processes from `factory`, empty event queue (capacity kept), zeroed
+  /// stats — including the link-fault counters — and released
+  /// flights/payload slots. Scheduler-internal state (e.g. Holdback holds,
+  /// RNG positions) is the caller's to reset; the installed fault plan and
+  /// crash-free slate carry over.
   void reset(const ProcessFactory& factory);
+
+  /// Adds a concurrent protocol instance (design doc: "Instance
+  /// multiplexing") and returns its id. Callable before the first run or
+  /// mid-run from a post-event hook: once the run has started, the new
+  /// instance's on_start callbacks fire immediately at the current tick
+  /// (crashed nodes get no process and no callbacks).
+  InstanceId add_instance(const ProcessFactory& factory);
+
+  /// Destroys a finished instance's processes. Subsequent events addressed
+  /// to it are consumed as pure bookkeeping (flights still drain, pool
+  /// slots still release, busy flags still clear) with no callbacks and no
+  /// delivery/ack counters. Decisions and InstanceStats remain readable.
+  void retire_instance(InstanceId instance);
+
+  [[nodiscard]] std::size_t instance_count() const {
+    return instances_.size();
+  }
 
   /// Disables the calendar wheel's self-resize, pinning the overflow-heap
   /// fallback for far events. A/B benchmark support (BM_EngineLateHolds*);
@@ -225,7 +302,8 @@ class Network {
   }
 
   /// Invoked after every processed event; used by invariant monitors
-  /// (e.g. the Lemma 4.2 response-count conservation check).
+  /// (e.g. the Lemma 4.2 response-count conservation check) and by the
+  /// replicated-log driver to launch pipelined slot instances mid-run.
   void set_post_event_hook(std::function<void(Network&)> hook) {
     post_event_hook_ = std::move(hook);
   }
@@ -236,35 +314,55 @@ class Network {
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] Time now() const { return now_; }
-  [[nodiscard]] const Decision& decision(NodeId u) const;
+  [[nodiscard]] const Decision& decision(NodeId u) const {
+    return decision(u, 0);
+  }
+  [[nodiscard]] const Decision& decision(NodeId u, InstanceId instance) const;
   [[nodiscard]] bool crashed(NodeId u) const;
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] const InstanceStats& instance_stats(InstanceId instance) const;
   [[nodiscard]] const net::Graph& graph() const { return *graph_; }
 
-  /// The process at u (for tests and invariant monitors).
-  [[nodiscard]] Process& process(NodeId u);
-  [[nodiscard]] const Process& process(NodeId u) const;
+  /// The process at u (for tests and invariant monitors). The two-argument
+  /// form addresses a specific instance; retired instances have none.
+  [[nodiscard]] Process& process(NodeId u) { return process(u, 0); }
+  [[nodiscard]] const Process& process(NodeId u) const {
+    return process(u, 0);
+  }
+  [[nodiscard]] Process& process(NodeId u, InstanceId instance);
+  [[nodiscard]] const Process& process(NodeId u, InstanceId instance) const;
 
   /// Count of in-flight (scheduled, not yet delivered/cancelled) payload
-  /// copies from `sender`'s current broadcast (monitor support). O(1) via
-  /// the per-sender flight index.
-  [[nodiscard]] std::size_t in_flight_from(NodeId sender) const;
+  /// copies from `sender`'s current instance-0 broadcast (monitor support).
+  /// O(1) via the per-sender flight index.
+  [[nodiscard]] std::size_t in_flight_from(NodeId sender) const {
+    return in_flight_from(sender, 0);
+  }
+  [[nodiscard]] std::size_t in_flight_from(NodeId sender,
+                                           InstanceId instance) const;
 
   /// Visits every in-flight copy as (sender, receiver-not-yet-delivered,
-  /// payload). Used by the Lemma 4.2 response-count conservation monitor,
-  /// whose invariant Q(p, s) sums over exactly these messages. Visits in
-  /// sender order (each sender has at most one live flight); cost is
-  /// O(active flights), not O(every flight in the simulation).
+  /// payload), across all instances (instance 0 first per sender). Used by
+  /// the Lemma 4.2 response-count conservation monitor, whose invariant
+  /// Q(p, s) sums over exactly these messages. Cost is O(active flights),
+  /// not O(every flight in the simulation).
   void for_each_in_flight(
       const std::function<void(NodeId, NodeId, const util::Buffer&)>& fn)
       const;
 
-  /// True once every non-crashed node decided.
+  /// True once every non-crashed node decided in every live instance.
   [[nodiscard]] bool all_alive_decided() const;
+
+  /// True once every non-crashed node decided in `instance` (vacuously true
+  /// for a retired instance).
+  [[nodiscard]] bool instance_all_decided(InstanceId instance) const;
 
   /// Starts folding every processed event (t, kind, node, sender,
   /// broadcast id, seq, payload bytes) into a digest. Used by the A/B
   /// differential tests to prove event-order equivalence across engines.
+  /// Deliberately does NOT mix Event::instance: a single-instance run's
+  /// digest is bit-identical to the pre-instance engine's, and instance
+  /// identity is already pinned by per-instance decisions/stats.
   void enable_trace_digest() { trace_enabled_ = true; }
   [[nodiscard]] std::uint64_t trace_digest() const {
     return trace_hasher_.digest();
@@ -274,14 +372,27 @@ class Network {
   [[nodiscard]] const PayloadPool& payload_pool() const { return pool_; }
 
  private:
+  /// Node-level state: crash status only — everything protocol-facing is
+  /// per (instance, node).
   struct NodeState {
-    std::unique_ptr<Process> process;
-    bool busy = false;
     bool crashed = false;
     Time crash_time = kForever;
+  };
+
+  /// One node's state within one instance.
+  struct InstanceNode {
+    std::unique_ptr<Process> process;
+    bool busy = false;
     std::uint64_t current_broadcast = 0;  ///< id of outstanding broadcast
     std::uint32_t flight_slot = kNoFlight;  ///< live flight, if any
     Decision decision;
+  };
+
+  struct Instance {
+    std::vector<InstanceNode> nodes;
+    InstanceStats stats;
+    std::size_t undecided_alive = 0;
+    bool retired = false;
   };
 
   /// Bookkeeping for one broadcast's undelivered copies, in slot storage.
@@ -301,13 +412,15 @@ class Network {
     std::uint32_t payload_slot = 0;
     std::uint64_t id = 0;                 ///< broadcast id (assertions)
     std::uint64_t first_seq = 0;          ///< seq of the first deliver event
+    InstanceId instance = 0;              ///< owning protocol instance
     std::vector<NodeId> pending;          ///< receivers; kNoNode = delivered
     std::size_t undrained_events = 0;     ///< deliver events not yet popped
   };
 
-  class NodeContext;  // Context implementation bound to one node
+  class NodeContext;  // Context implementation bound to one (node, instance)
 
-  void start_broadcast(NodeId u, const util::Buffer& payload);
+  void start_broadcast(NodeId u, InstanceId instance,
+                       const util::Buffer& payload);
   void process_event(const Event& e);
   void release_flight(std::uint32_t slot);
   void trace_event(const Event& e);
@@ -316,6 +429,7 @@ class Network {
   const net::Graph* overlay_ = nullptr;  ///< unreliable edges (optional)
   Scheduler* scheduler_;
   std::vector<NodeState> nodes_;
+  std::vector<Instance> instances_;
   std::vector<Flight> flights_;           ///< slot storage + free list
   std::vector<std::uint32_t> free_flights_;
   PayloadPool pool_;
@@ -327,7 +441,7 @@ class Network {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_broadcast_id_ = 1;
   Time now_ = 0;
-  std::size_t undecided_alive_ = 0;
+  std::size_t undecided_alive_ = 0;  ///< sum across live instances
   EngineStats stats_;
   std::function<void(Network&)> post_event_hook_;
   bool started_ = false;

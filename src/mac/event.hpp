@@ -32,6 +32,10 @@ struct Event {
   std::uint32_t flight_slot = kNoFlight;  ///< deliver only: payload home
   NodeId node = kNoNode;  ///< receiver (deliver), sender (ack), crashee
   NodeId sender = kNoNode;                ///< deliver only
+  /// Deliver/ack: the protocol instance that issued the broadcast (stored,
+  /// not derived — an ack must find its instance's busy flag without an
+  /// O(instances) scan). Crash events are node-level and leave it 0.
+  InstanceId instance = 0;
   EventKind kind = EventKind::kDeliver;
   bool reliable = true;                   ///< deliver: edge class
 };

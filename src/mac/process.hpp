@@ -59,6 +59,8 @@ struct ProtocolStats {
   std::uint64_t change_events = 0; ///< total change-service events (wPAXOS)
   std::uint64_t max_learned = 0;   ///< widest gather set any node accumulated
                                    ///< (flooding / stability / two-phase ids)
+  std::uint64_t quiet_resets = 0;  ///< stability: quiet-phase counters that
+                                   ///< late learning pulled back to zero
 };
 
 /// A deterministic algorithm instance running at one node.

@@ -7,22 +7,26 @@ namespace amac::mac {
 /// Context implementation handed to a process during a callback.
 class ReferenceNetwork::NodeContext final : public Context {
  public:
-  NodeContext(ReferenceNetwork& net, NodeId node) : net_(&net), node_(node) {}
+  NodeContext(ReferenceNetwork& net, NodeId node, InstanceId instance)
+      : net_(&net), node_(node), instance_(instance) {}
 
   void broadcast(const util::Buffer& payload) override {
-    net_->start_broadcast(node_, payload);
+    net_->start_broadcast(node_, instance_, payload);
   }
 
   void decide(Value v) override {
-    auto& st = net_->nodes_[node_];
+    Instance& inst = net_->instances_[instance_];
+    auto& st = inst.nodes[node_];
     AMAC_EXPECTS(!st.decision.decided);
     st.decision = Decision{true, v, net_->now_};
+    AMAC_ENSURES(inst.undecided_alive > 0);
+    --inst.undecided_alive;
     AMAC_ENSURES(net_->undecided_alive_ > 0);
     --net_->undecided_alive_;
   }
 
   [[nodiscard]] bool busy() const override {
-    return net_->nodes_[node_].busy;
+    return net_->instances_[instance_].nodes[node_].busy;
   }
 
   [[nodiscard]] Time now() const override { return net_->now_; }
@@ -30,6 +34,7 @@ class ReferenceNetwork::NodeContext final : public Context {
  private:
   ReferenceNetwork* net_;
   NodeId node_;
+  InstanceId instance_;
 };
 
 ReferenceNetwork::ReferenceNetwork(const net::Graph& graph,
@@ -46,14 +51,23 @@ ReferenceNetwork::ReferenceNetwork(const net::Graph& graph,
       }
     }
   }
-  nodes_.reserve(n);
-  for (NodeId u = 0; u < n; ++u) {
-    NodeState st;
-    st.process = factory(u);
-    AMAC_ENSURES(st.process != nullptr);
-    nodes_.push_back(std::move(st));
+  nodes_.resize(n);
+  (void)add_instance(factory);
+}
+
+InstanceId ReferenceNetwork::add_instance(const ProcessFactory& factory) {
+  AMAC_EXPECTS(!started_);
+  const auto id = static_cast<InstanceId>(instances_.size());
+  Instance inst;
+  inst.nodes.resize(nodes_.size());
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    inst.nodes[u].process = factory(u);
+    AMAC_ENSURES(inst.nodes[u].process != nullptr);
+    ++inst.undecided_alive;
   }
-  undecided_alive_ = n;
+  undecided_alive_ += inst.undecided_alive;
+  instances_.push_back(std::move(inst));
+  return id;
 }
 
 void ReferenceNetwork::push_event(RefEvent e) {
@@ -75,9 +89,11 @@ void ReferenceNetwork::set_link_faults(const LinkFaultPlan& plan) {
   faults_ = plan;
 }
 
-const Decision& ReferenceNetwork::decision(NodeId u) const {
+const Decision& ReferenceNetwork::decision(NodeId u,
+                                           InstanceId instance) const {
   AMAC_EXPECTS(u < nodes_.size());
-  return nodes_[u].decision;
+  AMAC_EXPECTS(instance < instances_.size());
+  return instances_[instance].nodes[u].decision;
 }
 
 bool ReferenceNetwork::crashed(NodeId u) const {
@@ -85,25 +101,41 @@ bool ReferenceNetwork::crashed(NodeId u) const {
   return nodes_[u].crashed;
 }
 
-Process& ReferenceNetwork::process(NodeId u) {
-  AMAC_EXPECTS(u < nodes_.size());
-  return *nodes_[u].process;
+const InstanceStats& ReferenceNetwork::instance_stats(
+    InstanceId instance) const {
+  AMAC_EXPECTS(instance < instances_.size());
+  return instances_[instance].stats;
 }
 
-const Process& ReferenceNetwork::process(NodeId u) const {
+Process& ReferenceNetwork::process(NodeId u, InstanceId instance) {
   AMAC_EXPECTS(u < nodes_.size());
-  return *nodes_[u].process;
+  AMAC_EXPECTS(instance < instances_.size());
+  return *instances_[instance].nodes[u].process;
+}
+
+const Process& ReferenceNetwork::process(NodeId u,
+                                         InstanceId instance) const {
+  AMAC_EXPECTS(u < nodes_.size());
+  AMAC_EXPECTS(instance < instances_.size());
+  return *instances_[instance].nodes[u].process;
 }
 
 bool ReferenceNetwork::all_alive_decided() const {
   return undecided_alive_ == 0;
 }
 
+bool ReferenceNetwork::instance_all_decided(InstanceId instance) const {
+  AMAC_EXPECTS(instance < instances_.size());
+  return instances_[instance].undecided_alive == 0;
+}
+
 std::size_t ReferenceNetwork::in_flight_from(NodeId sender) const {
   AMAC_EXPECTS(sender < nodes_.size());
   std::size_t count = 0;
   for (const auto& [id, flight] : flights_) {
-    if (flight.sender == sender) count += flight.pending.size();
+    if (flight.sender == sender && flight.instance == 0) {
+      count += flight.pending.size();
+    }
   }
   return count;
 }
@@ -118,20 +150,27 @@ void ReferenceNetwork::for_each_in_flight(
   }
 }
 
-void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
-  auto& st = nodes_[u];
-  if (st.crashed) return;
+void ReferenceNetwork::start_broadcast(NodeId u, InstanceId instance,
+                                       const util::Buffer& payload) {
+  if (nodes_[u].crashed) return;
+  Instance& inst = instances_[instance];
+  auto& st = inst.nodes[u];
   if (st.busy) {
     ++stats_.dropped_busy;
+    ++inst.stats.dropped_busy;
     return;
   }
   st.busy = true;
   const std::uint64_t id = next_broadcast_id_++;
   st.current_broadcast = id;
   ++stats_.broadcasts;
+  ++inst.stats.broadcasts;
   stats_.payload_bytes += payload.size();
   stats_.max_payload_bytes = std::max(stats_.max_payload_bytes,
                                       payload.size());
+  inst.stats.payload_bytes += payload.size();
+  inst.stats.max_payload_bytes = std::max(inst.stats.max_payload_bytes,
+                                          payload.size());
 
   const auto& neighbors = graph_->neighbors(u);
   // Faithful to the original engine: one schedule allocation per broadcast.
@@ -146,6 +185,7 @@ void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
   Flight flight;
   flight.sender = u;
   flight.payload = shared;
+  flight.instance = instance;
   Time ack_at = now_ + sched.ack_delay;
   if (faults_.empty()) {
     for (std::size_t i = 0; i < sched.size(); ++i) {
@@ -154,7 +194,7 @@ void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
       AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
       AMAC_ENSURES(graph_->has_edge(u, v));
       push_event(RefEvent{now_ + delay, RefEventKind::kDeliver, next_seq_++, v,
-                          u, id, shared, /*reliable=*/true});
+                          u, id, shared, instance, /*reliable=*/true});
       flight.pending.push_back(v);
       ++flight.undrained_events;
     }
@@ -173,12 +213,17 @@ void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
       decisions.push_back(d);
       if (!d.deliver) {
         ++stats_.drops;
+        ++inst.stats.drops;
         continue;
       }
-      if (d.deliver_at != arrival) ++stats_.drops;  // lost, retransmitted
+      if (d.deliver_at != arrival) {
+        ++stats_.drops;  // lost, retransmitted
+        ++inst.stats.drops;
+      }
       latest = std::max(latest, d.deliver_at);
       if (d.duplicate) {
         ++stats_.duplicates;
+        ++inst.stats.duplicates;
         latest = std::max(latest, d.duplicate_at);
       }
     }
@@ -186,7 +231,7 @@ void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
     const auto emit = [&](NodeId v, Time t) {
       AMAC_ENSURES(graph_->has_edge(u, v));
       push_event(RefEvent{t, RefEventKind::kDeliver, next_seq_++, v, u, id,
-                          shared, /*reliable=*/true});
+                          shared, instance, /*reliable=*/true});
       flight.pending.push_back(v);
       ++flight.undrained_events;
     };
@@ -214,7 +259,7 @@ void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
       AMAC_ENSURES(delay >= 1 && delay <= sched.ack_delay);
       AMAC_ENSURES(overlay_->has_edge(u, v));
       push_event(RefEvent{now_ + delay, RefEventKind::kDeliver, next_seq_++,
-                          v, u, id, shared, /*reliable=*/false});
+                          v, u, id, shared, instance, /*reliable=*/false});
       flight.pending.push_back(v);
       ++flight.undrained_events;
     }
@@ -226,7 +271,7 @@ void ReferenceNetwork::start_broadcast(NodeId u, const util::Buffer& payload) {
     flights_.emplace(id, std::move(flight));
   }
   push_event(RefEvent{ack_at, RefEventKind::kAck, next_seq_++,
-                      u, kNoNode, id, nullptr});
+                      u, kNoNode, id, nullptr, instance});
 }
 
 void ReferenceNetwork::trace_event(const RefEvent& e) {
@@ -249,7 +294,10 @@ void ReferenceNetwork::process_event(const RefEvent& e) {
       if (st.crashed) return;
       st.crashed = true;
       st.crash_time = now_;
-      if (!st.decision.decided) {
+      for (Instance& inst : instances_) {
+        if (inst.nodes[e.node].decision.decided) continue;
+        AMAC_ENSURES(inst.undecided_alive > 0);
+        --inst.undecided_alive;
         AMAC_ENSURES(undecided_alive_ > 0);
         --undecided_alive_;
       }
@@ -259,6 +307,7 @@ void ReferenceNetwork::process_event(const RefEvent& e) {
       auto flight_it = flights_.find(e.broadcast_id);
       AMAC_ENSURES(flight_it != flights_.end());
       Flight& flight = flight_it->second;
+      AMAC_ENSURES(flight.instance == e.instance);
       auto& pending = flight.pending;
       pending.erase(std::find(pending.begin(), pending.end(), e.node));
       const bool drained = --flight.undrained_events == 0;
@@ -266,23 +315,26 @@ void ReferenceNetwork::process_event(const RefEvent& e) {
       const auto& sender_st = nodes_[e.sender];
       const bool cancelled =
           sender_st.crashed && sender_st.crash_time < e.t;
-      auto& st = nodes_[e.node];
-      if (!cancelled && !st.crashed) {
+      Instance& inst = instances_[e.instance];
+      if (!cancelled && !nodes_[e.node].crashed) {
         ++stats_.deliveries;
-        NodeContext ctx(*this, e.node);
+        ++inst.stats.deliveries;
+        NodeContext ctx(*this, e.node, e.instance);
         const Packet packet{e.sender, *e.payload, e.reliable};
-        st.process->on_receive(packet, ctx);
+        inst.nodes[e.node].process->on_receive(packet, ctx);
       }
       if (drained) flights_.erase(flight_it);
       return;
     }
     case RefEventKind::kAck: {
-      auto& st = nodes_[e.node];
-      if (st.crashed) return;
+      if (nodes_[e.node].crashed) return;
+      Instance& inst = instances_[e.instance];
+      auto& st = inst.nodes[e.node];
       AMAC_ENSURES(st.busy && st.current_broadcast == e.broadcast_id);
       st.busy = false;
       ++stats_.acks;
-      NodeContext ctx(*this, e.node);
+      ++inst.stats.acks;
+      NodeContext ctx(*this, e.node, e.instance);
       st.process->on_ack(ctx);
       return;
     }
@@ -292,9 +344,12 @@ void ReferenceNetwork::process_event(const RefEvent& e) {
 RunResult ReferenceNetwork::run(StopWhen until, Time max_time) {
   if (!started_) {
     started_ = true;
-    for (NodeId u = 0; u < nodes_.size(); ++u) {
-      NodeContext ctx(*this, u);
-      nodes_[u].process->on_start(ctx);
+    // Instance-major start order, matching Network::run.
+    for (InstanceId i = 0; i < instances_.size(); ++i) {
+      for (NodeId u = 0; u < nodes_.size(); ++u) {
+        NodeContext ctx(*this, u, i);
+        instances_[i].nodes[u].process->on_start(ctx);
+      }
     }
   }
 

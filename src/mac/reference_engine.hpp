@@ -11,6 +11,13 @@
 //   2. bench_micro benchmarks both engines in the same binary, so the
 //      speedup claim is always measurable on the current tree.
 // Do not optimize this file; its slowness is the point.
+//
+// Instance multiplexing parity: the reference engine mirrors Network's
+// add_instance / decision(u, i) / process(u, i) surface with the identical
+// seq-allocation and on_start order, so multi-instance runs stay
+// differential-testable (tests/test_multi_instance.cpp). Per-instance
+// InstanceStats cover the engine-independent traffic fields; the pool
+// footprint fields stay 0 here (this engine has no payload pool).
 #pragma once
 
 #include <functional>
@@ -46,6 +53,15 @@ class ReferenceNetwork {
   /// order: kept, deferred, duplicates).
   void set_link_faults(const LinkFaultPlan& plan);
 
+  /// Identical contract to Network::add_instance (instance-major start
+  /// order, same seq allocation); pre-run only on this engine — the
+  /// replicated-log driver that launches mid-run targets Network.
+  InstanceId add_instance(const ProcessFactory& factory);
+
+  [[nodiscard]] std::size_t instance_count() const {
+    return instances_.size();
+  }
+
   void set_post_event_hook(std::function<void(ReferenceNetwork&)> hook) {
     post_event_hook_ = std::move(hook);
   }
@@ -54,13 +70,21 @@ class ReferenceNetwork {
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] Time now() const { return now_; }
-  [[nodiscard]] const Decision& decision(NodeId u) const;
+  [[nodiscard]] const Decision& decision(NodeId u) const {
+    return decision(u, 0);
+  }
+  [[nodiscard]] const Decision& decision(NodeId u, InstanceId instance) const;
   [[nodiscard]] bool crashed(NodeId u) const;
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] const InstanceStats& instance_stats(InstanceId instance) const;
   [[nodiscard]] const net::Graph& graph() const { return *graph_; }
 
-  [[nodiscard]] Process& process(NodeId u);
-  [[nodiscard]] const Process& process(NodeId u) const;
+  [[nodiscard]] Process& process(NodeId u) { return process(u, 0); }
+  [[nodiscard]] const Process& process(NodeId u) const {
+    return process(u, 0);
+  }
+  [[nodiscard]] Process& process(NodeId u, InstanceId instance);
+  [[nodiscard]] const Process& process(NodeId u, InstanceId instance) const;
 
   [[nodiscard]] std::size_t in_flight_from(NodeId sender) const;
 
@@ -69,6 +93,7 @@ class ReferenceNetwork {
       const;
 
   [[nodiscard]] bool all_alive_decided() const;
+  [[nodiscard]] bool instance_all_decided(InstanceId instance) const;
 
   void enable_trace_digest() { trace_enabled_ = true; }
   [[nodiscard]] std::uint64_t trace_digest() const {
@@ -87,6 +112,7 @@ class ReferenceNetwork {
     NodeId sender = kNoNode;               ///< deliver only
     std::uint64_t broadcast_id = 0;        ///< deliver/ack: which broadcast
     std::shared_ptr<const util::Buffer> payload;  ///< deliver only
+    InstanceId instance = 0;               ///< deliver/ack: issuing instance
     bool reliable = true;                  ///< deliver: edge class
 
     [[nodiscard]] bool operator>(const RefEvent& o) const {
@@ -96,26 +122,38 @@ class ReferenceNetwork {
     }
   };
 
+  /// Node-level state: crash status only (mirrors Network).
   struct NodeState {
-    std::unique_ptr<Process> process;
-    bool busy = false;
     bool crashed = false;
     Time crash_time = kForever;
+  };
+
+  struct InstanceNode {
+    std::unique_ptr<Process> process;
+    bool busy = false;
     std::uint64_t current_broadcast = 0;
     Decision decision;
+  };
+
+  struct Instance {
+    std::vector<InstanceNode> nodes;
+    InstanceStats stats;
+    std::size_t undecided_alive = 0;
   };
 
   /// Bookkeeping for one broadcast's undelivered copies.
   struct Flight {
     NodeId sender = kNoNode;
     std::shared_ptr<const util::Buffer> payload;
+    InstanceId instance = 0;
     std::vector<NodeId> pending;
     std::size_t undrained_events = 0;
   };
 
   class NodeContext;
 
-  void start_broadcast(NodeId u, const util::Buffer& payload);
+  void start_broadcast(NodeId u, InstanceId instance,
+                       const util::Buffer& payload);
   void process_event(const RefEvent& e);
   void trace_event(const RefEvent& e);
   void push_event(RefEvent e);
@@ -124,6 +162,7 @@ class ReferenceNetwork {
   const net::Graph* overlay_ = nullptr;
   Scheduler* scheduler_;
   std::vector<NodeState> nodes_;
+  std::vector<Instance> instances_;
   LinkFaultPlan faults_;
   std::map<std::uint64_t, Flight> flights_;
   std::priority_queue<RefEvent, std::vector<RefEvent>, std::greater<>>

@@ -39,4 +39,9 @@ struct Packet {
 /// Binary consensus value (paper §2 studies binary consensus).
 using Value = int;
 
+/// Identifies one protocol instance multiplexed over a Network (see the
+/// "Instance multiplexing" section of engine.hpp). Instance 0 is the
+/// implicit default everywhere, so single-instance code never mentions it.
+using InstanceId = std::uint32_t;
+
 }  // namespace amac::mac

@@ -28,11 +28,14 @@ void ConsensusVerdict::digest(util::Hasher& h) const {
 
 namespace {
 
-/// Shared implementation over any engine exposing node_count / decision /
-/// crashed (mac::Network and mac::ReferenceNetwork).
-template <typename Net>
+/// Shared implementation over any engine exposing node_count / crashed
+/// (mac::Network and mac::ReferenceNetwork); `decision_of` maps a node to
+/// the mac::Decision under judgment, which is how the same logic serves
+/// both the instance-0 legacy oracle and the per-instance one.
+template <typename Net, typename DecisionOf>
 ConsensusVerdict check_consensus_impl(const Net& net,
-                                      const std::vector<mac::Value>& inputs) {
+                                      const std::vector<mac::Value>& inputs,
+                                      const DecisionOf& decision_of) {
   AMAC_EXPECTS(inputs.size() == net.node_count());
   ConsensusVerdict v;
   v.termination = true;
@@ -42,7 +45,7 @@ ConsensusVerdict check_consensus_impl(const Net& net,
   bool any_decision = false;
   mac::Value common = -1;
   for (NodeId u = 0; u < net.node_count(); ++u) {
-    const auto& d = net.decision(u);
+    const auto& d = decision_of(u);
     if (net.crashed(u)) continue;
     if (!d.decided) {
       v.termination = false;
@@ -67,7 +70,7 @@ ConsensusVerdict check_consensus_impl(const Net& net,
   // cover those decisions too (a decision is irrevocable the moment it is
   // made — a later crash cannot retract it).
   for (NodeId u = 0; u < net.node_count(); ++u) {
-    const auto& d = net.decision(u);
+    const auto& d = decision_of(u);
     if (net.crashed(u) && d.decided) {
       if (std::none_of(inputs.begin(), inputs.end(),
                        [&](mac::Value in) { return in == d.value; })) {
@@ -88,12 +91,36 @@ ConsensusVerdict check_consensus_impl(const Net& net,
 
 ConsensusVerdict check_consensus(const mac::Network& net,
                                  const std::vector<mac::Value>& inputs) {
-  return check_consensus_impl(net, inputs);
+  return check_consensus_impl(
+      net, inputs, [&](NodeId u) -> const mac::Decision& {
+        return net.decision(u);
+      });
 }
 
 ConsensusVerdict check_consensus(const mac::ReferenceNetwork& net,
                                  const std::vector<mac::Value>& inputs) {
-  return check_consensus_impl(net, inputs);
+  return check_consensus_impl(
+      net, inputs, [&](NodeId u) -> const mac::Decision& {
+        return net.decision(u);
+      });
+}
+
+ConsensusVerdict check_consensus(const mac::Network& net,
+                                 mac::InstanceId instance,
+                                 const std::vector<mac::Value>& inputs) {
+  return check_consensus_impl(
+      net, inputs, [&](NodeId u) -> const mac::Decision& {
+        return net.decision(u, instance);
+      });
+}
+
+ConsensusVerdict check_consensus(const mac::ReferenceNetwork& net,
+                                 mac::InstanceId instance,
+                                 const std::vector<mac::Value>& inputs) {
+  return check_consensus_impl(
+      net, inputs, [&](NodeId u) -> const mac::Decision& {
+        return net.decision(u, instance);
+      });
 }
 
 }  // namespace amac::verify

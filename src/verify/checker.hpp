@@ -45,4 +45,16 @@ struct ConsensusVerdict {
 [[nodiscard]] ConsensusVerdict check_consensus(
     const mac::ReferenceNetwork& net, const std::vector<mac::Value>& inputs);
 
+/// Per-instance oracle for multiplexed runs (design doc: "Instance
+/// multiplexing" in mac/engine.hpp): the same three properties judged
+/// against ONE instance's decisions and ITS input set. The replicated log
+/// (src/log/) checks every decided slot with this — per-slot agreement and
+/// validity are what make a log of consensus instances a correct log.
+[[nodiscard]] ConsensusVerdict check_consensus(
+    const mac::Network& net, mac::InstanceId instance,
+    const std::vector<mac::Value>& inputs);
+[[nodiscard]] ConsensusVerdict check_consensus(
+    const mac::ReferenceNetwork& net, mac::InstanceId instance,
+    const std::vector<mac::Value>& inputs);
+
 }  // namespace amac::verify

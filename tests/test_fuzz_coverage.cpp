@@ -87,14 +87,16 @@ TEST(FuzzSignature, ProtocolStatsFoldIntoProtocolBuckets) {
   r.protocol.proposals = 3;        // proposals + changes = 5 -> bucket 2
   r.protocol.change_events = 2;
   r.protocol.max_learned = 0;      // bucket 0
+  r.protocol.quiet_resets = 5;     // bucket 2 (4..15), v5 dimension
   const CoverageSignature sig = coverage_signature(s, r);
   EXPECT_EQ(sig.round_bucket, 3);
   EXPECT_EQ(sig.coin_bucket, 1);
   EXPECT_EQ(sig.proposal_bucket, 2);
   EXPECT_EQ(sig.learned_bucket, 0);
+  EXPECT_EQ(sig.quiet_bucket, 2);
   EXPECT_EQ(sig.protocol_key(),
-            (std::uint64_t{3} << 12) | (std::uint64_t{1} << 8) |
-                (std::uint64_t{2} << 4));
+            (std::uint64_t{2} << 16) | (std::uint64_t{3} << 12) |
+                (std::uint64_t{1} << 8) | (std::uint64_t{2} << 4));
 }
 
 TEST(FuzzSignature, KeyProjectionsPartitionTheDimensions) {
@@ -250,6 +252,37 @@ TEST(FuzzCorpusRarity, RareSignaturesAreSelectedAtTwiceUniformShare) {
   // Uniform share would be ~1000; demand at least double.
   EXPECT_GE(rare_draws, 2 * kDraws / 10)
       << "rarity weighting did not favor the rare signature";
+}
+
+TEST(FuzzCorpusRarity, SplicePartnersAreSelectedAtTwiceUniformShare) {
+  // Same statistical pin as select_base, for the SPLICE PARTNER draw:
+  // cross-scenario splices must pull structure from the frontier, not
+  // from whichever signature floods the pool. Identical skewed corpus,
+  // fixed draw stream — deterministic, never flakes.
+  CoverageCorpus corpus(16);
+  CoverageSignature common;
+  common.scheduler = 1;
+  CoverageSignature rare;
+  rare.scheduler = 2;
+  (void)corpus.observe(rare);
+  for (int i = 0; i < 100; ++i) (void)corpus.observe(common);
+
+  for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+    corpus.admit(generate_scenario(seed), common.key());
+  }
+  const Scenario rare_scenario = generate_scenario(777);
+  corpus.admit(rare_scenario, rare.key());
+  ASSERT_EQ(corpus.size(), 10u);
+
+  const std::string rare_spec = format_spec(rare_scenario);
+  util::Rng rng(0xB5121CE);
+  std::size_t rare_draws = 0;
+  constexpr std::size_t kDraws = 10000;
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    if (format_spec(corpus.select_partner(rng)) == rare_spec) ++rare_draws;
+  }
+  EXPECT_GE(rare_draws, 2 * kDraws / 10)
+      << "partner selection did not favor the rare signature";
 }
 
 TEST(FuzzCorpusRarity, PreSeededEntriesCountAsMaximallyRare) {

@@ -1,0 +1,233 @@
+// Instance-multiplexing isolation (design doc: "Instance multiplexing" in
+// mac/engine.hpp): instances share one Network — event queue, payload
+// pool, sequence numbers — but must not be able to OBSERVE each other.
+// Two pins:
+//   * interleaved-vs-solo: each instance of a multiplexed run produces
+//     bit-identical per-instance observables (decisions, process digests,
+//     traffic stats) to the same protocol run alone on an identical
+//     network. Deterministic schedulers only — sharing one RNG-driven
+//     scheduler interleaves the draws by construction.
+//   * engine differential: the calendar-queue engine and the frozen
+//     reference-heap engine agree on every per-instance observable of a
+//     multi-instance run (the single-instance differential is already
+//     pinned by the fuzz soak; this extends it to >= 2 instances).
+#include <gtest/gtest.h>
+
+#include "core/commit_flood.hpp"
+#include "core/wpaxos/wpaxos.hpp"
+#include "mac/engine.hpp"
+#include "mac/reference_engine.hpp"
+#include "mac/schedulers.hpp"
+#include "net/topologies.hpp"
+#include "util/hash.hpp"
+#include "verify/checker.hpp"
+
+namespace amac::mac {
+namespace {
+
+ProcessFactory wpaxos_factory(std::size_t n, Value value) {
+  return [n, value](NodeId u) {
+    return std::make_unique<core::wpaxos::WPaxos>(u, n, value, core::wpaxos::WPaxosConfig{});
+  };
+}
+
+ProcessFactory commit_flood_factory(NodeId leader, Value value) {
+  return [leader, value](NodeId u) {
+    return std::make_unique<core::CommitFlood>(u == leader, value);
+  };
+}
+
+std::uint64_t process_digest(const Process& p) {
+  util::Hasher h;
+  p.digest(h);
+  return h.digest();
+}
+
+/// The engine-independent traffic fields of an instance's stats (the pool
+/// fields are engine-specific bookkeeping: zero on ReferenceNetwork).
+struct TrafficStats {
+  std::uint64_t broadcasts, dropped_busy, deliveries, acks, payload_bytes;
+  std::size_t max_payload_bytes;
+
+  explicit TrafficStats(const InstanceStats& s)
+      : broadcasts(s.broadcasts), dropped_busy(s.dropped_busy),
+        deliveries(s.deliveries), acks(s.acks),
+        payload_bytes(s.payload_bytes),
+        max_payload_bytes(s.max_payload_bytes) {}
+
+  bool operator==(const TrafficStats& o) const {
+    return broadcasts == o.broadcasts && dropped_busy == o.dropped_busy &&
+           deliveries == o.deliveries && acks == o.acks &&
+           payload_bytes == o.payload_bytes &&
+           max_payload_bytes == o.max_payload_bytes;
+  }
+};
+
+/// Everything a tenant can observe about its own instance.
+template <typename Net>
+void expect_instance_equal(const Net& a, InstanceId ia, const Net& b,
+                           InstanceId ib, std::size_t n) {
+  for (NodeId u = 0; u < n; ++u) {
+    const Decision& da = a.decision(u, ia);
+    const Decision& db = b.decision(u, ib);
+    EXPECT_EQ(da.decided, db.decided) << "node " << u;
+    EXPECT_EQ(da.value, db.value) << "node " << u;
+    EXPECT_EQ(da.time, db.time) << "node " << u;
+    EXPECT_EQ(process_digest(a.process(u, ia)), process_digest(b.process(u, ib)))
+        << "node " << u;
+  }
+  EXPECT_TRUE(TrafficStats(a.instance_stats(ia)) ==
+              TrafficStats(b.instance_stats(ib)));
+}
+
+TEST(MultiInstance, InterleavedInstancesMatchSoloRuns) {
+  const std::size_t n = 8;
+  const net::Graph graph = net::make_clique(n);
+
+  // Three tenants with deliberately different traffic shapes: two wPAXOS
+  // instances with different values and a CommitFlood burst.
+  const std::vector<ProcessFactory> tenants = {
+      wpaxos_factory(n, 3), wpaxos_factory(n, 7),
+      commit_flood_factory(/*leader=*/2, 42)};
+
+  SynchronousScheduler interleaved_sched(1);
+  Network interleaved(graph, tenants[0], interleaved_sched);
+  for (std::size_t i = 1; i < tenants.size(); ++i) {
+    interleaved.add_instance(tenants[i]);
+  }
+  ASSERT_EQ(interleaved.instance_count(), tenants.size());
+  // Run to quiescence, not kAllDecided: the multiplexed run keeps serving
+  // a fast tenant's in-flight events while slower tenants finish, so only
+  // the drained totals are comparable to a solo run's.
+  const auto r = interleaved.run(StopWhen::kQuiescent, 10000);
+  ASSERT_TRUE(r.condition_met);
+
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    SynchronousScheduler solo_sched(1);
+    Network solo(graph, tenants[i], solo_sched);
+    ASSERT_TRUE(solo.run(StopWhen::kQuiescent, 10000).condition_met);
+    expect_instance_equal(interleaved, static_cast<InstanceId>(i), solo, 0,
+                          n);
+  }
+}
+
+TEST(MultiInstance, EngineMatchesReferenceAcrossInstances) {
+  const std::size_t n = 6;
+  const net::Graph graph = net::make_ring(n);
+  const std::vector<ProcessFactory> tenants = {
+      wpaxos_factory(n, 11), commit_flood_factory(/*leader=*/0, 5),
+      wpaxos_factory(n, 2)};
+
+  SynchronousScheduler sched_a(2);
+  Network engine(graph, tenants[0], sched_a);
+  SynchronousScheduler sched_b(2);
+  ReferenceNetwork reference(graph, tenants[0], sched_b);
+  for (std::size_t i = 1; i < tenants.size(); ++i) {
+    EXPECT_EQ(engine.add_instance(tenants[i]),
+              reference.add_instance(tenants[i]));
+  }
+  ASSERT_TRUE(engine.run(StopWhen::kAllDecided, 10000).condition_met);
+  ASSERT_TRUE(reference.run(StopWhen::kAllDecided, 10000).condition_met);
+
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const auto instance = static_cast<InstanceId>(i);
+    for (NodeId u = 0; u < n; ++u) {
+      const Decision& de = engine.decision(u, instance);
+      const Decision& dr = reference.decision(u, instance);
+      EXPECT_EQ(de.decided, dr.decided);
+      EXPECT_EQ(de.value, dr.value);
+      EXPECT_EQ(de.time, dr.time);
+      EXPECT_EQ(process_digest(engine.process(u, instance)),
+                process_digest(reference.process(u, instance)));
+    }
+    EXPECT_TRUE(TrafficStats(engine.instance_stats(instance)) ==
+                TrafficStats(reference.instance_stats(instance)));
+  }
+}
+
+TEST(MultiInstance, PerInstanceOracleJudgesEachSlotIndependently) {
+  const std::size_t n = 5;
+  const net::Graph graph = net::make_clique(n);
+  SynchronousScheduler sched(1);
+  Network net(graph, wpaxos_factory(n, 9), sched);
+  net.add_instance(wpaxos_factory(n, 4));
+  ASSERT_TRUE(net.run(StopWhen::kAllDecided, 10000).condition_met);
+
+  const auto v0 = verify::check_consensus(net, 0, std::vector<Value>(n, 9));
+  const auto v1 = verify::check_consensus(net, 1, std::vector<Value>(n, 4));
+  EXPECT_TRUE(v0.ok());
+  EXPECT_TRUE(v1.ok());
+  EXPECT_EQ(v0.decision, std::optional<Value>(9));
+  EXPECT_EQ(v1.decision, std::optional<Value>(4));
+}
+
+TEST(MultiInstance, PoolAccountingDrainsPerInstance) {
+  const std::size_t n = 8;
+  const net::Graph graph = net::make_clique(n);
+  SynchronousScheduler sched(1);
+  Network net(graph, wpaxos_factory(n, 1), sched);
+  const InstanceId second = net.add_instance(commit_flood_factory(3, 2));
+  ASSERT_TRUE(net.run(StopWhen::kQuiescent, 10000).condition_met);
+
+  for (InstanceId i = 0; i <= second; ++i) {
+    const InstanceStats& s = net.instance_stats(i);
+    EXPECT_GT(s.broadcasts, 0u) << "instance " << i;
+    EXPECT_GT(s.peak_pool_slots, 0u) << "instance " << i;
+    // Quiescent: every flight landed, so each instance's pool share is
+    // fully returned — leak detection per tenant, not just globally.
+    EXPECT_EQ(s.live_pool_slots, 0u) << "instance " << i;
+    EXPECT_EQ(s.live_pool_bytes, 0u) << "instance " << i;
+  }
+}
+
+TEST(MultiInstance, RetiredInstanceKeepsDecisionsAndStatsReadable) {
+  const std::size_t n = 4;
+  const net::Graph graph = net::make_clique(n);
+  SynchronousScheduler sched(1);
+  Network net(graph, commit_flood_factory(1, 77), sched);
+  const InstanceId live = net.add_instance(wpaxos_factory(n, 8));
+  ASSERT_TRUE(net.run(StopWhen::kAllDecided, 10000).condition_met);
+
+  const std::uint64_t broadcasts_before = net.instance_stats(0).broadcasts;
+  net.retire_instance(0);
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_TRUE(net.decision(u, 0).decided);
+    EXPECT_EQ(net.decision(u, 0).value, 77);
+  }
+  EXPECT_EQ(net.instance_stats(0).broadcasts, broadcasts_before);
+  // The surviving tenant is untouched.
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(net.decision(u, live).value, 8);
+  }
+}
+
+TEST(MultiInstance, MidRunInstanceLaunchesAtCurrentTickAndDecides) {
+  const std::size_t n = 6;
+  const net::Graph graph = net::make_clique(n);
+  SynchronousScheduler sched(1);
+  Network net(graph, wpaxos_factory(n, 5), sched);
+
+  // Launch a second tenant from inside the run, the moment the first one
+  // fully decides (the ReplicatedLog pipelining primitive).
+  InstanceId second = 0;
+  bool launched = false;
+  net.set_post_event_hook([&](Network& inner) {
+    if (!launched && inner.instance_all_decided(0)) {
+      launched = true;
+      second = inner.add_instance(commit_flood_factory(0, 123));
+    }
+  });
+  ASSERT_TRUE(net.run(StopWhen::kAllDecided, 10000).condition_met);
+  ASSERT_TRUE(launched);
+
+  const Time first_decided = net.decision(0, 0).time;
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_TRUE(net.decision(u, second).decided);
+    EXPECT_EQ(net.decision(u, second).value, 123);
+    // The late tenant's timeline starts where the run already was.
+    EXPECT_GE(net.decision(u, second).time, first_decided);
+  }
+}
+
+}  // namespace
+}  // namespace amac::mac
