@@ -10,6 +10,7 @@
 //                                                  # unreliable-link floor
 //   ./bench_fuzz_soak --count 2000 --large-every 250 --large-n 4096
 //                                                  # large-topology family
+//   ./bench_fuzz_soak --count 2000 --log-every 40  # replicated-log family
 //   ./bench_fuzz_soak --count 100000 --max-seconds 300 --no-shrink
 //                                                  # wall-clock-budgeted
 //   ./bench_fuzz_soak --replay <spec-or-seed>      # one scenario, verbose
@@ -56,7 +57,8 @@ int usage(const char* argv0) {
       "usage: %s [--count N] [--seed-base S] [--jobs J]\n"
       "          [--differential-every K]\n"
       "          [--mutate RATIO] [--fault-rate RATIO] [--dup-rate RATIO]\n"
-      "          [--large-every K] [--large-n N] [--differential-max-n N]\n"
+      "          [--large-every K] [--large-n N] [--log-every K]\n"
+      "          [--differential-max-n N]\n"
       "          [--max-seconds S]\n"
       "          [--corpus-out FILE] [--corpus-in FILE] [--corpus-strict]\n"
       "          [--no-shrink] [--max-shrink-attempts A] [--progress-every P]\n"
@@ -94,6 +96,13 @@ void print_report(const fuzz::Scenario& s, const fuzz::RunReport& r) {
               static_cast<unsigned long long>(r.protocol.proposals),
               static_cast<unsigned long long>(r.protocol.change_events),
               static_cast<unsigned long long>(r.protocol.max_learned));
+  if (r.log_service) {
+    std::printf("log       recovered=%zu re_elections=%zu lease_broken=%d "
+                "kv=0x%016llx\n",
+                r.log_slots_recovered, r.log_re_elections,
+                r.log_lease_broken ? 1 : 0,
+                static_cast<unsigned long long>(r.log_kv_digest));
+  }
   const fuzz::CoverageSignature sig = fuzz::coverage_signature(s, r);
   std::printf("coverage  signature=0x%016llx (engine=0x%013llx "
               "protocol=0x%04llx, space v%u)\n",
@@ -206,10 +215,20 @@ void print_coverage_table(const fuzz::SoakResult& result) {
               cov.overflow_sigs, cov.resize_sigs, cov.batch_sigs,
               cov.crash_sigs, cov.hold_sigs, cov.protocol_sigs,
               cov.distinct);
-  // "distinct fault signatures:" and "distinct large-topology signatures:"
-  // are machine-parsed by CI coverage assertions; keep their shapes stable.
+  // "distinct fault signatures:", "distinct large-topology signatures:"
+  // and "distinct log-service signatures:" are machine-parsed by CI
+  // coverage assertions; keep their shapes stable.
   std::printf("  distinct fault signatures: %zu\n", cov.fault_sigs);
   std::printf("  distinct large-topology signatures: %zu\n", cov.large_sigs);
+  std::printf("  distinct log-service signatures: %zu\n", cov.log_sigs);
+  // Machine-parsed by the CI log-family set-difference assertion (the
+  // log-promoting soak must reach engine-space keys an instance-only soak
+  // cannot); keys are sorted, so the line is deterministic.
+  std::printf("  engine signature keys:");
+  for (const std::uint64_t key : result.engine_keys) {
+    std::printf(" %llx", static_cast<unsigned long long>(key));
+  }
+  std::printf("\n");
 }
 
 int run_soak_cli(const CliOptions& cli) {
@@ -266,6 +285,12 @@ int run_soak_cli(const CliOptions& cli) {
     std::printf("  large topologies: %zu scenario(s) promoted to n=%zu "
                 "(every %zu)\n",
                 result.large_scenarios, options.large_n, options.large_every);
+  }
+  if (options.log_every != 0 || result.log_scenarios > 0) {
+    // log_scenarios counts family MEMBERSHIP (promoted + mutated-in +
+    // corpus pre-seeds), so it can be nonzero with --log-every 0.
+    std::printf("  log-service scenarios: %zu (every %zu)\n",
+                result.log_scenarios, options.log_every);
   }
   if (result.differential_skipped > 0) {
     std::printf("  differential replays skipped (n > %zu): %zu\n",
@@ -378,6 +403,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--large-n") {
       take_size(cli.soak.large_n);
       if (!parse_error && cli.soak.large_n == 0) fail_flag(arg, "0");
+    } else if (arg == "--log-every") {
+      // 0 (the default) disables log-service promotion entirely; the
+      // family can still enter via mutation or a pre-seeded corpus.
+      take_size(cli.soak.log_every);
     } else if (arg == "--max-seconds") {
       // Wall-clock budget. Strict like every rate flag, and 0 is rejected:
       // a zero-second budget would skip the whole soak and exit green,

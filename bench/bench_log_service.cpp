@@ -23,7 +23,15 @@
 // lease+batch path must beat one-op-per-slot by a machine-independent
 // margin.
 //
-// --smoke runs both configs on a small op count and prints the pinned
+// A third row, LogServiceLeaderReads, re-runs the batched config with a
+// leader read every 2nd decided slot (read-index freshness: each read
+// binds to the latest decided slot and serves once the applied prefix
+// passes it). Its JSON row carries reads_per_sec and read p50/p99 ticks;
+// CI gates it with the same machine-independent --min-speedup floor
+// relative to the naive row (and skip-if-absent from the baseline, so the
+// new row doesn't force a same-commit baseline refresh).
+//
+// --smoke runs the configs on a small op count and prints the pinned
 // decided-log digest line ctest/CI grep:
 //   decided log digest: 0x...
 #include <chrono>
@@ -53,7 +61,12 @@ struct RowResult {
   mac::Time p99 = 0;
   double bytes_per_op = 0;
   std::uint64_t digest = 0;
-  log::LogServiceStats stats;  // decide_latency cleared after folding
+  // Leader-read path (rows with LogConfig::read_every > 0 only).
+  std::size_t reads = 0;
+  double reads_per_sec = 0;
+  mac::Time read_p50 = 0;
+  mac::Time read_p99 = 0;
+  log::LogServiceStats stats;  // latency vectors cleared after folding
 };
 
 /// Decide-latency percentile in virtual ticks (nearest-rank).
@@ -93,7 +106,14 @@ RowResult run_service(const std::string& name, std::size_t n,
                        static_cast<double>(stats.ops_applied);
   }
   row.digest = service.state_machine().digest();
+  row.reads = stats.reads_served;
+  if (stats.reads_served > 0) {
+    row.reads_per_sec = 1e9 * static_cast<double>(stats.reads_served) / wall_ns;
+    row.read_p50 = percentile(stats.read_latency, 0.50);
+    row.read_p99 = percentile(stats.read_latency, 0.99);
+  }
   row.stats.decide_latency.clear();
+  row.stats.read_latency.clear();
   return row;
 }
 
@@ -107,8 +127,14 @@ void write_bench_json(const std::vector<RowResult>& rows, const char* path) {
         << ", \"ops_per_sec\": " << r.ops_per_sec
         << ", \"decide_p50_ticks\": " << r.p50
         << ", \"decide_p99_ticks\": " << r.p99
-        << ", \"bytes_per_decided_op\": " << r.bytes_per_op << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"bytes_per_decided_op\": " << r.bytes_per_op;
+    if (r.reads > 0) {
+      out << ", \"reads\": " << r.reads
+          << ", \"reads_per_sec\": " << r.reads_per_sec
+          << ", \"read_p50_ticks\": " << r.read_p50
+          << ", \"read_p99_ticks\": " << r.read_p99;
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -147,11 +173,43 @@ log::LogConfig naive_config() {
   return config;
 }
 
+log::LogConfig reads_config() {
+  // The batched service with a leader read every 2nd decided slot: each
+  // read binds to the freshest decided slot (read-index) and serves once
+  // the applied prefix passes it.
+  log::LogConfig config = batched_config();
+  config.read_every = 2;
+  return config;
+}
+
+/// Read-path invariants for rows with read_every on: every issued read
+/// must have been served (a complete run leaves no read behind its bound).
+bool check_reads(const RowResult& row) {
+  if (row.stats.reads_issued == 0 ||
+      row.stats.reads_served != row.stats.reads_issued) {
+    std::printf("FAIL %s: %zu of %zu leader reads served\n", row.name.c_str(),
+                row.stats.reads_served, row.stats.reads_issued);
+    return false;
+  }
+  return true;
+}
+
 int run_smoke(std::size_t n, std::size_t ops) {
   const RowResult batched =
       run_service("LogServiceBatched", n, ops, batched_config());
   const RowResult naive = run_service("LogServiceNaive", n, ops, naive_config());
-  bool ok = check_row(batched, ops) && check_row(naive, ops);
+  const RowResult reads =
+      run_service("LogServiceLeaderReads", n, ops, reads_config());
+  bool ok = check_row(batched, ops) && check_row(naive, ops) &&
+            check_row(reads, ops) && check_reads(reads);
+  // Reads are pure observers: the read-enabled service decides the same
+  // log as the read-free one.
+  if (ok && reads.digest != batched.digest) {
+    std::printf("FAIL smoke: reads digest 0x%016llx != batched 0x%016llx\n",
+                static_cast<unsigned long long>(reads.digest),
+                static_cast<unsigned long long>(batched.digest));
+    ok = false;
+  }
   // Same client stream, same op count => the decided logs must linearize
   // identically no matter how they were slotted. This is THE service-level
   // correctness statement, so smoke pins it.
@@ -215,9 +273,12 @@ int main(int argc, char** argv) {
   std::vector<RowResult> rows;
   rows.push_back(run_service("LogServiceBatched", n, ops, batched_config()));
   rows.push_back(run_service("LogServiceNaive", n, naive_ops, naive_config()));
+  rows.push_back(
+      run_service("LogServiceLeaderReads", n, ops, reads_config()));
 
   util::Table table({"service", "client ops", "slots", "full/leased",
-                     "ticks", "ns/op", "ops/sec", "p50", "p99", "bytes/op"});
+                     "ticks", "ns/op", "ops/sec", "p50", "p99", "bytes/op",
+                     "reads", "r/sec", "r_p99"});
   for (const RowResult& r : rows) {
     table.row()
         .cell(r.name)
@@ -230,11 +291,15 @@ int main(int argc, char** argv) {
         .cell(r.ops_per_sec, 0)
         .cell(static_cast<std::uint64_t>(r.p50))
         .cell(static_cast<std::uint64_t>(r.p99))
-        .cell(r.bytes_per_op, 2);
+        .cell(r.bytes_per_op, 2)
+        .cell(static_cast<std::uint64_t>(r.reads))
+        .cell(r.reads_per_sec, 0)
+        .cell(static_cast<std::uint64_t>(r.read_p99));
   }
   table.print();
 
-  bool ok = check_row(rows[0], ops) && check_row(rows[1], naive_ops);
+  bool ok = check_row(rows[0], ops) && check_row(rows[1], naive_ops) &&
+            check_row(rows[2], ops) && check_reads(rows[2]);
   if (ok && rows[0].ns_per_op >= rows[1].ns_per_op) {
     std::printf(
         "\nFAIL: batched service (%0.1f ns/op) did not beat naive "

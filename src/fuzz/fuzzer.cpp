@@ -10,6 +10,8 @@
 #include <thread>
 #include <type_traits>
 
+#include "log/replicated_log.hpp"
+#include "log/workload.hpp"
 #include "mac/reference_engine.hpp"
 #include "verify/invariants.hpp"
 
@@ -135,6 +137,99 @@ Observation run_on_engine(const Scenario& s, bool with_monitor,
   return obs;
 }
 
+/// Runs a log-service scenario (s.log_ops > 0): a log::ReplicatedLog over
+/// the scenario's transport instead of a one-shot instance. The service
+/// runs its own per-slot oracle as slots decide; on top of it the
+/// log-level oracle (verify::check_log_prefix) demands applied-prefix
+/// digest equality across live replicas. The verdict is synthesized from
+/// those, and the fingerprint folds the service observables (kv digest,
+/// prefix digest, stats, per-node crash flags) — no event-trace digest,
+/// which is fine because differential replay is skipped for the family
+/// anyway (the frozen ReferenceNetwork has no instance multiplexing).
+RunReport run_log_scenario(const Scenario& s) {
+  BuiltScenario b = build_scenario(s);
+  log::LogConfig cfg;
+  cfg.batch_size = s.log_batch;
+  cfg.window = s.log_window;
+  cfg.lease_slots = s.log_lease;
+  cfg.crashes = b.crashes;
+  const log::Workload workload(s.seed, s.log_ops);
+  log::ReplicatedLog service(b.graph, *b.scheduler, workload, cfg);
+  // Late holds keep their engine-level meaning: the service's Network sized
+  // its wheel from the pre-hold bound, so held deliveries take the
+  // overflow-heap path mid-service.
+  if (s.late_holds) apply_holds(s, b);
+  const log::LogServiceStats& st = service.drive(s.horizon);
+
+  std::vector<mac::InstanceId> slot_instances;
+  slot_instances.reserve(st.slots_total);
+  for (std::size_t slot = 0; slot < st.slots_total; ++slot) {
+    slot_instances.push_back(service.slot_instance(slot));
+  }
+  const verify::LogPrefixVerdict prefix =
+      verify::check_log_prefix(service.network(), slot_instances);
+
+  RunReport r;
+  r.log_service = true;
+  r.stats = service.network().stats();
+  r.end_time = st.end_time;
+  r.condition_met = st.complete;
+  r.log_slots_recovered = st.slots_recovered;
+  r.log_re_elections = st.re_elections;
+  r.log_lease_broken = !st.lease_ok;
+  r.log_kv_digest = service.state_machine().digest();
+  r.verdict.agreement = st.oracle_failures == 0 && prefix.consistent;
+  r.verdict.validity = st.oracle_failures == 0;
+  r.verdict.termination = st.complete;
+
+  util::Hasher h;
+  h.mix_u64(0x1065E21CE);  // family tag: log fingerprints never alias
+  h.mix_u64(r.log_kv_digest);
+  h.mix_u64(prefix.digest);
+  h.mix_u64(prefix.common_prefix);
+  h.mix_u64(st.slots_decided);
+  h.mix_u64(st.slots_full_paxos);
+  h.mix_u64(st.slots_leased);
+  h.mix_u64(st.slots_recovered);
+  h.mix_u64(st.relaunches);
+  h.mix_u64(st.re_elections);
+  h.mix_u64(st.ops_applied);
+  h.mix_u64(st.oracle_failures);
+  h.mix_u64(r.stats.broadcasts);
+  h.mix_u64(r.stats.deliveries);
+  h.mix_u64(r.stats.payload_bytes);
+  h.mix_u64(st.end_time);
+  h.mix_bool(st.complete);
+  h.mix_bool(st.lease_ok);
+  h.mix_u64(st.leader);
+  for (NodeId u = 0; u < b.graph.node_count(); ++u) {
+    h.mix_bool(service.network().crashed(u));
+  }
+  r.fingerprint = h.digest();
+
+  if (st.oracle_failures > 0) {
+    r.failure = FailureKind::kAgreement;
+    std::ostringstream os;
+    os << "log per-slot oracle failures: " << st.oracle_failures << " (of "
+       << st.slots_decided << " decided slots)";
+    r.detail = os.str();
+  } else if (!prefix.consistent) {
+    r.failure = FailureKind::kAgreement;
+    r.detail = "log " + prefix.detail;
+  } else if (termination_expected(s) && !st.complete) {
+    r.failure = FailureKind::kTermination;
+    std::ostringstream os;
+    os << "log service incomplete: " << st.slots_decided << "/"
+       << st.slots_total << " slots decided, " << st.ops_applied << "/"
+       << s.log_ops << " ops applied by t=" << st.end_time << " (horizon "
+       << s.horizon
+       << (st.horizon_exhausted ? ", horizon exhausted" : ", recovery gave up")
+       << ")";
+    r.detail = os.str();
+  }
+  return r;
+}
+
 }  // namespace
 
 const char* failure_name(FailureKind k) {
@@ -151,6 +246,12 @@ const char* failure_name(FailureKind k) {
 }
 
 RunReport run_scenario(const Scenario& s, const RunOptions& options) {
+  // The log-service family runs a whole replicated log, not a one-shot
+  // instance; its report is synthesized from the service's own oracle plus
+  // the log-prefix check, and differential replay never applies (callers
+  // must not request it — run_soak_shard skips and counts those).
+  if (s.log_ops > 0) return run_log_scenario(s);
+
   const Observation obs = run_on_engine<mac::Network>(
       s, options.with_monitor, options.collect_protocol_stats);
 
@@ -222,7 +323,8 @@ std::uint64_t CoverageSignature::key() const {
 }
 
 std::uint64_t CoverageSignature::engine_key() const {
-  // 56 bits packed (4+4+6+6+6+4+6+8+4+4+4): still within one word.
+  // 64 bits packed (4+4+6+6+6+4+6+8+4+4+4+4+4): exactly one word — any
+  // further dimension must move the key to hash-combining like key() does.
   std::uint64_t k = 0;
   const auto pack = [&k](std::uint64_t v, unsigned bits) {
     AMAC_ASSERT(v < (std::uint64_t{1} << bits));
@@ -239,6 +341,8 @@ std::uint64_t CoverageSignature::engine_key() const {
   pack(failure, 4);
   pack(drop_bucket, 4);
   pack(dup_bucket, 4);
+  pack(recover_bucket, 4);
+  pack(reelect_bucket, 4);
   return k;
 }
 
@@ -276,6 +380,12 @@ CoverageSignature coverage_signature(const Scenario& s, const RunReport& r) {
     sig.flags |= CoverageSignature::kTerminationExpected;
   }
   if (r.condition_met) sig.flags |= CoverageSignature::kConditionMet;
+  if (r.log_service) {
+    sig.flags |= CoverageSignature::kLogService;
+    if (r.log_lease_broken) sig.flags |= CoverageSignature::kLeaseBroken;
+  }
+  sig.recover_bucket = saturated_bucket(r.log_slots_recovered);
+  sig.reelect_bucket = saturated_bucket(r.log_re_elections);
   sig.failure = static_cast<std::uint8_t>(r.failure);
   return sig;
 }
@@ -410,6 +520,36 @@ namespace {
     cand = s;
     cand.fack = s.fack - 1;
     add(std::move(cand));
+  }
+  // Log-service knobs. Leaving the family entirely (log_ops = 0) is the
+  // biggest reduction when the failure isn't service-specific; the halving
+  // probes use normalize's [1, ...] floors, deliberately below the mutation
+  // envelope's — a minimal repro may be smaller than anything the soak
+  // would generate.
+  if (s.log_ops > 0) {
+    Scenario cand = s;
+    cand.log_ops = 0;
+    add(std::move(cand));
+    if (s.log_ops > 1) {
+      cand = s;
+      cand.log_ops = s.log_ops / 2;
+      add(std::move(cand));
+    }
+    if (s.log_batch > 1) {
+      cand = s;
+      cand.log_batch = s.log_batch / 2;
+      add(std::move(cand));
+    }
+    if (s.log_window > 1) {
+      cand = s;
+      cand.log_window = s.log_window / 2;
+      add(std::move(cand));
+    }
+    if (s.log_lease > 1) {
+      cand = s;
+      cand.log_lease = s.log_lease / 2;
+      add(std::move(cand));
+    }
   }
   return out;
 }
@@ -575,6 +715,7 @@ void note_signature(CoverageSummary& cov, const CoverageSignature& sig) {
   if (sig.protocol_key() != 0) ++cov.protocol_sigs;
   if (sig.drop_bucket > 0 || sig.dup_bucket > 0) ++cov.fault_sigs;
   if (sig.size_bucket >= 6) ++cov.large_sigs;  // log4 bucket 6 <=> n >= 1024
+  if (sig.flags & CoverageSignature::kLogService) ++cov.log_sigs;
 }
 
 }  // namespace
@@ -678,8 +819,16 @@ ShardSoakResult run_soak_shard(const SoakOptions& options,
       s.dup_rate_bp = std::max(s.dup_rate_bp, floor_bp(options.dup_rate));
       clamp_to_envelope(s);
     }
-    if (!mutated && options.large_every != 0 &&
-        i % options.large_every == 0) {
+    if (!mutated && options.log_every != 0 && i % options.log_every == 0) {
+      // Log-service family: promote every k-th GENERATED scenario to run
+      // the whole replicated log. Wins over the large promotion on a
+      // shared index (a 4096-node log run would dominate the shard), and
+      // like it is keyed off the GLOBAL run index so the promoted set is
+      // identical across job counts. Promotion clamps to the log envelope
+      // itself, scrubbing any fault floors applied above.
+      promote_to_log_service(s);
+    } else if (!mutated && options.large_every != 0 &&
+               i % options.large_every == 0) {
       // Large-topology family: promote every k-th GENERATED scenario (the
       // mutation envelope caps mutants at 24 nodes regardless, and fresh
       // generation keeps the family's other dimensions varied). Applied
@@ -698,8 +847,14 @@ ShardSoakResult run_soak_shard(const SoakOptions& options,
     // would dominate the soak. Skips are counted, never silent.
     const bool diff_too_large =
         options.differential_max_n != 0 && s.n > options.differential_max_n;
-    run_options.differential = diff_due && !diff_too_large;
-    if (diff_due && diff_too_large) ++result.differential_skipped;
+    // The frozen reference engine predates instance multiplexing, so the
+    // log-service family cannot replay there at all; count those skips
+    // with the size-based ones.
+    const bool diff_log = s.log_ops > 0;
+    run_options.differential = diff_due && !diff_too_large && !diff_log;
+    if (diff_due && (diff_too_large || diff_log)) {
+      ++result.differential_skipped;
+    }
     run_options.collect_protocol_stats = options.collect_protocol_stats;
     const RunReport report = run_scenario(s, run_options);
 
@@ -718,6 +873,9 @@ ShardSoakResult run_soak_shard(const SoakOptions& options,
     if (s.drop_rate_bp != 0 || s.dup_rate_bp != 0 || !s.faults.empty()) {
       ++result.faulted_scenarios;
     }
+    // Family membership, not promotion: mutants that entered via the
+    // kLogService op and pre-seeded log corpus entries count too.
+    if (s.log_ops > 0) ++result.log_scenarios;
     corpus_hash.mix_u64(report.fingerprint);
     out.fingerprints.push_back(report.fingerprint);
 
@@ -795,6 +953,7 @@ SoakResult merge_soak_shards(const SoakOptions& options,
     out.faulted_scenarios += loc.faulted_scenarios;
     out.mutated_runs += loc.mutated_runs;
     out.large_scenarios += loc.large_scenarios;
+    out.log_scenarios += loc.log_scenarios;
     out.differential_skipped += loc.differential_skipped;
     out.budget_skipped += loc.budget_skipped;
     // The merged digest folds EVERY run fingerprint in seed order — the
@@ -820,6 +979,7 @@ SoakResult merge_soak_shards(const SoakOptions& options,
   out.novel_runs = signatures.size();
   out.coverage.engine_distinct = engine_keys.size();
   out.coverage.protocol_distinct = protocol_keys.size();
+  out.engine_keys = std::move(engine_keys);
   out.protocol_keys = std::move(protocol_keys);
   for (const auto& [key, sig] : signatures) {
     note_signature(out.coverage, sig);

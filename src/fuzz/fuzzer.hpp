@@ -106,6 +106,27 @@
 // starting new runs once the deadline passes (budgeted soaks trade digest
 // reproducibility for a predictable CI footprint).
 //
+// The log-service family (signature-space v6): a scenario with `log=ops@
+// batch@window@lease` fields runs log::ReplicatedLog — a slot sequence with
+// elected leases, CommitFlood fast-path slots, stalled-slot recovery, and
+// post-crash re-election — instead of a one-shot instance. `--log-every K`
+// promotes every K-th generated scenario into the family
+// (fuzz::promote_to_log_service, knobs drawn from the scenario's seed), and
+// the kLogService/kPerturbLogKnobs mutation ops enter and explore it from
+// the corpus; the generator itself never draws it, so the pinned seed-only
+// corpus digest is untouched. Service runs are judged by the service's own
+// per-slot oracle PLUS a log-level one: verify::check_log_prefix folds each
+// live replica's contiguous decided prefix into a digest and demands
+// equality across replicas (replicated-state-machine consistency, not just
+// per-slot agreement). How many slots fell to recovery and how many lease
+// re-elections ran join the signature as two saturated log4 buckets, with
+// flag bits for "ran the service" and "lease broken at exit" — so a soak
+// that promotes into the family reaches engine-signature corners an
+// instance-only soak cannot, which CI asserts as a set difference over the
+// printed engine-key lists. Differential replay is skipped for the family
+// (the frozen ReferenceNetwork has no instance multiplexing), counted with
+// the other skips in the summary.
+//
 //   --corpus-out FILE   write the final corpus as spec lines (one per line)
 //   --corpus-in FILE    pre-seed the mutation corpus from such a file
 //                       (# and blank lines are skipped)
@@ -233,6 +254,15 @@ struct RunReport {
   std::uint64_t reference_fingerprint = 0;  ///< when differential_ran
   FailureKind failure = FailureKind::kNone;
   std::string detail;  ///< human-readable failure description
+  // Log-service observables (zero/false for the instance family). The
+  // verdict above is synthesized for service runs: agreement/validity fold
+  // the service's per-slot oracle plus the applied-prefix digest equality,
+  // termination is service completion.
+  bool log_service = false;  ///< the run drove a log::ReplicatedLog
+  std::size_t log_slots_recovered = 0;  ///< slots that fell to the slow path
+  std::size_t log_re_elections = 0;     ///< renewals that changed the leader
+  bool log_lease_broken = false;  ///< lease still broken when drive returned
+  std::uint64_t log_kv_digest = 0;  ///< applied state-machine digest
 };
 
 /// Builds, runs, and judges one scenario (deterministic: same scenario,
@@ -257,8 +287,11 @@ struct RunReport {
 /// 5 = + the stability quiet-reset bucket (how often late learning reset a
 /// node's quiet-phase counter), so runs that stress the stability
 /// algorithm's convergence detection are distinguishable from
-/// straight-line floods.
-inline constexpr std::uint32_t kSignatureSpaceVersion = 5;
+/// straight-line floods;
+/// 6 = + the log-service dimensions (recovered-slot and re-election
+/// buckets, plus the kLogService/kLeaseBroken flag bits) — the scenario
+/// family that runs the replicated log instead of a one-shot instance.
+inline constexpr std::uint32_t kSignatureSpaceVersion = 6;
 
 /// Quarter-log (log4) magnitude bucket: 0 -> 0, otherwise
 /// 1 + floor(log4(v)) — boundaries at exact powers of four. Exact counts
@@ -296,6 +329,10 @@ struct CoverageSignature {
   static constexpr std::uint8_t kLateHolds = 1u << 3;
   static constexpr std::uint8_t kTerminationExpected = 1u << 4;
   static constexpr std::uint8_t kConditionMet = 1u << 5;
+  // Log-service bits (signature-space v6); both zero for the instance
+  // family, so pre-v6 signatures survive unchanged there.
+  static constexpr std::uint8_t kLogService = 1u << 6;  ///< ran ReplicatedLog
+  static constexpr std::uint8_t kLeaseBroken = 1u << 7; ///< lease broken at exit
 
   std::uint8_t scheduler = 0;        ///< SchedulerKind
   /// Saturated log4 bucket of the scenario's n (signature-space v4). Size
@@ -328,6 +365,13 @@ struct CoverageSignature {
   /// learning pulled a node's quiet counter back to zero. Zero for every
   /// other algorithm, so pre-v5 signatures survive unchanged there.
   std::uint8_t quiet_bucket = 0;
+  // Log-service dimensions (signature-space v6), saturated log4 buckets of
+  // LogServiceStats: how much of the service's recovery and re-election
+  // machinery the run exercised. Zero for the instance family. Engine
+  // dimensions, not protocol ones — they describe which service code paths
+  // (relaunch, lease restore) the multiplexed engine drove.
+  std::uint8_t recover_bucket = 0;  ///< slots recovered to the slow path
+  std::uint8_t reelect_bucket = 0;  ///< lease re-elections
 
   /// The identity: equal keys <=> equal signatures (up to hash collision —
   /// since v3 the engine projection plus the protocol buckets no longer
@@ -502,6 +546,15 @@ struct SoakOptions {
   /// so the promoted set is identical across job counts.
   std::size_t large_every = 0;
   std::size_t large_n = 4096;
+  /// Every k-th GENERATED (never mutated) scenario is rewritten into the
+  /// log-service family via promote_to_log_service (--log-every). 0 (the
+  /// default) disables promotion — the pinned corpus digest depends on
+  /// this. Applied after the fault floors (the family clamp re-scrubs
+  /// faults anyway) and WINNING over large promotion when both trigger on
+  /// one index (a large-n service soak would dominate the shard); keyed off
+  /// the GLOBAL run index, so the promoted set is identical across job
+  /// counts.
+  std::size_t log_every = 0;
   /// Wall-clock budget in seconds (--max-seconds; 0 = unlimited). Each
   /// shard checks the deadline before every run and stops early once it
   /// passes, recording the skipped remainder in budget_skipped. A budgeted
@@ -552,6 +605,8 @@ struct CoverageSummary {
                                   ///< (nonzero drop or duplicate bucket)
   std::size_t large_sigs = 0;     ///< signatures from large scenarios
                                   ///< (size_bucket >= 6, i.e. n >= 1024)
+  std::size_t log_sigs = 0;       ///< signatures from log-service runs
+                                  ///< (kLogService flag set)
 };
 
 struct SoakResult {
@@ -578,6 +633,8 @@ struct SoakResult {
   std::size_t mutated_runs = 0;     ///< runs drawn from the mutation engine
   std::size_t novel_runs = 0;       ///< runs with a never-seen signature
   std::size_t large_scenarios = 0;  ///< runs promoted to the large family
+  std::size_t log_scenarios = 0;    ///< runs in the log-service family
+                                    ///< (promoted, mutated, or pre-seeded)
   /// Differential replays skipped because the scenario's n exceeded
   /// SoakOptions::differential_max_n (they still ran and were checked on
   /// the calendar engine — only the reference A/B was skipped).
@@ -593,6 +650,12 @@ struct SoakResult {
   /// lose a pure corner for every mutant corner gained, so strict
   /// count-widening flips on noise while the difference stays non-empty.)
   std::set<std::uint64_t> protocol_keys;
+  /// Every distinct engine projection (engine_key) the soak reached, as a
+  /// set — printed by the soak summary so the log-family CI assertion can
+  /// also be a set difference: a --log-every soak must reach engine
+  /// corners (recovered/re-election buckets, the service flag bits) an
+  /// instance-only soak cannot.
+  std::set<std::uint64_t> engine_keys;
   std::vector<Scenario> corpus;     ///< final mutation corpus (--corpus-out)
   std::uint64_t corpus_digest = 0;  ///< fold of every run fingerprint: the
                                     ///< one number that pins the corpus

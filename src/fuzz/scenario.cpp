@@ -25,6 +25,7 @@ constexpr std::uint64_t kIdSalt = 0x1DA551;
 constexpr std::uint64_t kSchedSalt = 0x5C4EDD1E;
 constexpr std::uint64_t kFaultSalt = 0xFA0175;
 constexpr std::uint64_t kLargeSalt = 0x1A26E701;
+constexpr std::uint64_t kLogSalt = 0x10654A17;
 
 [[nodiscard]] std::uint64_t sub_seed(std::uint64_t seed, std::uint64_t salt) {
   util::Hasher h;
@@ -180,6 +181,21 @@ bool termination_expected(const Scenario& s) {
 void normalize_scenario(Scenario& s) {
   s.n = std::max(s.n, min_nodes(s.topology));
   if (s.fack < 1) s.fack = 1;
+  // Log-service knobs: inert (reset to defaults, so format_spec stays
+  // canonical) outside the family, floored to well-formed values inside it.
+  // Service runs cap n well under the engine's 4096-instance-id/kLeaderBits
+  // ceilings — derived topology counts can overshoot s.n a little.
+  if (s.log_ops == 0) {
+    s.log_batch = 8;
+    s.log_window = 4;
+    s.log_lease = 64;
+  } else {
+    s.log_ops = std::min<std::uint32_t>(s.log_ops, 65536);
+    s.log_batch = std::clamp<std::uint32_t>(s.log_batch, 1, 4096);
+    s.log_window = std::clamp<std::uint32_t>(s.log_window, 1, 256);
+    s.log_lease = std::clamp<std::uint32_t>(s.log_lease, 1, 65536);
+    s.n = std::min<std::uint32_t>(s.n, 2048);
+  }
   if (s.scheduler != SchedulerKind::kHoldback) {
     s.holds.clear();
     s.late_holds = false;
@@ -273,6 +289,8 @@ const char* mutation_name(MutationOp op) {
     case MutationOp::kPerturbFaultRates: return "perturb-rates";
     case MutationOp::kScriptReceiverDelay: return "receiver-delay";
     case MutationOp::kSpliceFaultWindows: return "splice-windows";
+    case MutationOp::kLogService: return "log-service";
+    case MutationOp::kPerturbLogKnobs: return "perturb-log";
   }
   AMAC_ASSERT(false);
   return "?";
@@ -303,6 +321,15 @@ constexpr mac::Time kMaxScriptAck = 32;
 constexpr std::size_t kMaxFaultWindows = 4;
 constexpr mac::Time kMaxFaultTick = 4000;
 constexpr std::uint32_t kMaxFaultRateBp = 2000;
+// Log-service bounds: every slot is a full consensus instance, so ops stay
+// soak-sized; batch/window stay small enough that pipelining and stalls
+// interleave, and leases stay short so renewals — and re-elections after a
+// leader crash — happen several times per run.
+constexpr std::uint32_t kMinMutatedLogOps = 8;
+constexpr std::uint32_t kMaxMutatedLogOps = 256;
+constexpr std::uint32_t kMaxMutatedLogBatch = 16;
+constexpr std::uint32_t kMaxMutatedLogWindow = 8;
+constexpr std::uint32_t kMaxMutatedLogLease = 32;
 
 [[nodiscard]] mac::Time clamp_time(mac::Time t, mac::Time lo, mac::Time hi) {
   return t < lo ? lo : (t > hi ? hi : t);
@@ -345,7 +372,10 @@ constexpr std::uint32_t kMaxFaultRateBp = 2000;
 //     plus quorum intersection);
 //   * flooding and Ben-Or tolerate arbitrary loss and duplication.
 [[nodiscard]] bool faults_allowed(const Scenario& s) {
-  return !synchronous_only(s.algorithm);
+  // The log service owns its Network and exposes no LinkFaultPlan seam, so
+  // the log family carries no faults (clamp scrubs them; the gate here just
+  // keeps fault ops from producing no-op mutants).
+  return !synchronous_only(s.algorithm) && s.log_ops == 0;
 }
 
 [[nodiscard]] bool permanent_loss_allowed(const Scenario& s) {
@@ -445,8 +475,11 @@ bool apply_mutation(Scenario& s, MutationOp op, const Scenario* splice,
     case MutationOp::kScriptTimeline: {
       // Theorem 3.3/3.9 algorithms are only guaranteed under the
       // synchronous scheduler; a scripted timeline would be an expected
-      // counterexample, not a bug, so they never get one.
-      if (synchronous_only(s.algorithm)) return false;
+      // counterexample, not a bug, so they never get one. Log scenarios
+      // never get one either: scripts index a one-shot instance's
+      // broadcasts, which means nothing to a slot sequence (clamp would
+      // scrub it into a no-op mutant).
+      if (synchronous_only(s.algorithm) || s.log_ops > 0) return false;
       s.scheduler = SchedulerKind::kScripted;
       s.holds.clear();
       s.late_holds = false;
@@ -622,6 +655,41 @@ bool apply_mutation(Scenario& s, MutationOp op, const Scenario* splice,
       if (rng.chance(0.5)) s.dup_rate_bp = splice->dup_rate_bp;
       return true;
     }
+    case MutationOp::kLogService: {
+      // Enter the replicated-log family: the mutant runs a slot sequence
+      // with elected leases instead of a one-shot instance. Crashes (and
+      // the transport) carry over; clamp applies the family envelope.
+      if (s.log_ops > 0) return false;
+      s.log_ops = static_cast<std::uint32_t>(
+          rng.uniform(kMinMutatedLogOps, kMaxMutatedLogOps / 2));
+      s.log_batch = static_cast<std::uint32_t>(rng.uniform(1, 8));
+      s.log_window = static_cast<std::uint32_t>(rng.uniform(1, 4));
+      s.log_lease = static_cast<std::uint32_t>(rng.uniform(1, 16));
+      return true;
+    }
+    case MutationOp::kPerturbLogKnobs: {
+      if (s.log_ops == 0) return false;
+      const auto nudge = [&](std::uint32_t v, std::uint32_t lo,
+                             std::uint32_t hi) {
+        return static_cast<std::uint32_t>(
+            clamp_time(perturb_time(v, rng), lo, hi));
+      };
+      switch (rng.uniform(0, 3)) {
+        case 0:
+          s.log_ops = nudge(s.log_ops, kMinMutatedLogOps, kMaxMutatedLogOps);
+          break;
+        case 1:
+          s.log_batch = nudge(s.log_batch, 1, kMaxMutatedLogBatch);
+          break;
+        case 2:
+          s.log_window = nudge(s.log_window, 1, kMaxMutatedLogWindow);
+          break;
+        default:
+          s.log_lease = nudge(s.log_lease, 1, kMaxMutatedLogLease);
+          break;
+      }
+      return true;
+    }
   }
   AMAC_ASSERT(false);
   return false;
@@ -630,6 +698,37 @@ bool apply_mutation(Scenario& s, MutationOp op, const Scenario* splice,
 }  // namespace
 
 void clamp_to_envelope(Scenario& s) {
+  // Log-service family envelope (log_ops > 0): the service IS the wPAXOS
+  // renewal + leased CommitFlood stack, so the algorithm is pinned; it owns
+  // its Network, so per-broadcast scripts and LinkFaultPlans have no seam
+  // to thread through and are scrubbed. Crashes stay — a crash that takes
+  // the lease holder is exactly the re-election/recovery coverage this
+  // family exists for (the wPAXOS cap below still applies).
+  if (s.log_ops > 0) {
+    s.algorithm = Algorithm::kWPaxos;
+    if (s.scheduler == SchedulerKind::kScripted) {
+      s.scheduler = SchedulerKind::kUniformRandom;
+      s.script.clear();
+    }
+    // The contention scheduler's declared fack bound covers ONE instance's
+    // broadcast density; a pipelined slot sequence sustains arrivals above
+    // the 1-frame-per-tick decode rate, so the receiver backlog — and with
+    // it the worst delay — grows with the slot count and would trip the
+    // scheduler's bound contract by design. No static bound fits a
+    // service-length run; the family runs without that scheduler.
+    if (s.scheduler == SchedulerKind::kContention) {
+      s.scheduler = SchedulerKind::kUniformRandom;
+    }
+    s.drop_rate_bp = 0;
+    s.dup_rate_bp = 0;
+    s.faults.clear();
+    s.log_ops = std::clamp<std::uint32_t>(s.log_ops, kMinMutatedLogOps,
+                                          kMaxMutatedLogOps);
+    s.log_batch = std::clamp<std::uint32_t>(s.log_batch, 1, kMaxMutatedLogBatch);
+    s.log_window =
+        std::clamp<std::uint32_t>(s.log_window, 1, kMaxMutatedLogWindow);
+    s.log_lease = std::clamp<std::uint32_t>(s.log_lease, 1, kMaxMutatedLogLease);
+  }
   // Mirror generate_scenario's envelope: Theorem 3.3/3.9 algorithms are
   // synchronous-only and crash-free; single-hop algorithms live on the
   // clique; crashes only go where safety (or Ben-Or's f) covers them.
@@ -882,6 +981,20 @@ void promote_to_large(Scenario& s, std::uint32_t n) {
   s.horizon = termination_expected(s) ? 1'000'000 : 4'000;
 }
 
+void promote_to_log_service(Scenario& s) {
+  util::Rng rng(sub_seed(s.seed, kLogSalt));
+  // Ops counts stay soak-sized (every slot is a full consensus instance)
+  // and lease draws lean short, so renewals — and re-elections when the
+  // base scenario's crashes take the lease holder — happen several times
+  // per run. Everything else (seed, transport, crashes, holds) is
+  // inherited; clamp_to_envelope applies the family envelope.
+  s.log_ops = static_cast<std::uint32_t>(rng.uniform(16, 128));
+  s.log_batch = static_cast<std::uint32_t>(rng.uniform(1, 8));
+  s.log_window = static_cast<std::uint32_t>(rng.uniform(1, 4));
+  s.log_lease = static_cast<std::uint32_t>(rng.uniform(2, 16));
+  clamp_to_envelope(s);
+}
+
 // ---- spec round-trip ----------------------------------------------------
 
 std::string format_spec(const Scenario& s) {
@@ -894,6 +1007,10 @@ std::string format_spec(const Scenario& s) {
      << ":in=" << input_pattern_name(s.inputs)
      << ":ids=" << id_assignment_name(s.ids) << ":f=" << s.benor_f
      << ":hz=" << s.horizon;
+  if (s.log_ops != 0) {
+    os << ":log=" << s.log_ops << "@" << s.log_batch << "@" << s.log_window
+       << "@" << s.log_lease;
+  }
   if (!s.crashes.empty()) {
     os << ":crashes=";
     for (std::size_t i = 0; i < s.crashes.size(); ++i) {
@@ -1060,6 +1177,30 @@ template <typename Pair>
   return true;
 }
 
+/// Parses the `log=ops@batch@window@lease` service token: exactly four
+/// `@`-separated fields, all nonzero (a zero-op service is spelled by
+/// omitting the token entirely, which keeps the round-trip canonical).
+[[nodiscard]] bool parse_log_fields(std::string_view v, Scenario& s) {
+  std::array<std::uint64_t, 4> fields{};
+  for (std::size_t f = 0; f < 4; ++f) {
+    const std::size_t at = v.find('@');
+    if (f < 3) {
+      if (at == std::string_view::npos) return false;
+      if (!parse_u64(v.substr(0, at), fields[f])) return false;
+      v.remove_prefix(at + 1);
+    } else {
+      if (at != std::string_view::npos) return false;
+      if (!parse_u64(v, fields[f])) return false;
+    }
+    if (fields[f] == 0 || fields[f] > 1'000'000) return false;
+  }
+  s.log_ops = static_cast<std::uint32_t>(fields[0]);
+  s.log_batch = static_cast<std::uint32_t>(fields[1]);
+  s.log_window = static_cast<std::uint32_t>(fields[2]);
+  s.log_lease = static_cast<std::uint32_t>(fields[3]);
+  return true;
+}
+
 template <typename Enum>
 [[nodiscard]] bool parse_enum(std::string_view v, std::size_t count,
                               const char* (*name)(Enum), Enum& out) {
@@ -1182,6 +1323,8 @@ std::optional<Scenario> parse_spec(std::string_view spec) {
         return std::nullopt;
       }
       s.dup_rate_bp = static_cast<std::uint32_t>(u);
+    } else if (key == "log") {
+      if (!parse_log_fields(val, s)) return std::nullopt;
     } else if (key == "faults") {
       if (!parse_fault_windows(val, s.faults)) return std::nullopt;
     } else {

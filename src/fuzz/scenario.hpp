@@ -149,6 +149,20 @@ struct Scenario {
   std::uint32_t drop_rate_bp = 0;  ///< global drop rate, parts per 10000
   std::uint32_t dup_rate_bp = 0;   ///< global duplicate rate, parts per 10000
   std::vector<FaultSpec> faults;   ///< per-link drop windows
+  // Log-service family (log::ReplicatedLog): log_ops > 0 switches the run
+  // from a one-shot consensus instance to the replicated log — a slot
+  // sequence multiplexed over one Network, with elected leases, CommitFlood
+  // fast-path slots, stalled-slot recovery, and re-election after a leader
+  // crash. Like kScripted and faults, the generator never draws the family
+  // (pinned seed-only corpus digest unchanged); it enters via
+  // promote_to_log_service (SoakOptions::log_every), the kLogService
+  // mutation, and hand-written specs. Spec token: `log=ops@batch@window@
+  // lease`, emitted only when log_ops > 0. When log_ops == 0 the knobs
+  // below are inert and normalize resets them to these defaults.
+  std::uint32_t log_ops = 0;    ///< client ops; 0 = instance family
+  std::uint32_t log_batch = 8;  ///< ops per decided slot (LogConfig)
+  std::uint32_t log_window = 4; ///< pipelined slots in flight
+  std::uint32_t log_lease = 64; ///< slots per lease renewal
 };
 
 // ---- enum names (spec tokens) ------------------------------------------
@@ -193,6 +207,20 @@ void normalize_scenario(Scenario& s);
 /// SoakOptions::large_every, hand-written specs, and --replay.
 void promote_to_large(Scenario& s, std::uint32_t n);
 
+/// Rewrites a generated scenario into its log-service counterpart: the
+/// service knobs (ops/batch/window/lease) are drawn deterministically from
+/// the scenario's seed (own salt), then clamp_to_envelope applies the
+/// family's envelope — the algorithm becomes wPAXOS (the service IS wPAXOS
+/// renewals plus leased CommitFlood slots), scripted timelines and link
+/// faults are scrubbed (the service owns its Network; per-broadcast scripts
+/// index a one-shot instance's traffic, not a slot sequence), and crashes
+/// are kept — a crash that takes the lease holder is exactly the
+/// re-election/recovery coverage this family exists for. Deterministic in
+/// `s`; NOT called by generate_scenario (the pinned seed-only corpus digest
+/// never sees it). Log scenarios enter via SoakOptions::log_every, the
+/// kLogService mutation, hand-written specs, and --replay.
+void promote_to_log_service(Scenario& s);
+
 // ---- mutation -----------------------------------------------------------
 
 /// One mutation step applied to a corpus scenario by the coverage-steered
@@ -236,8 +264,13 @@ enum class MutationOp : std::uint8_t {
   /// kSpliceTransport, which copies the partner's whole plan along with
   /// its transport — this op explores fault timelines NEITHER parent ran.
   kSpliceFaultWindows = 22,
+  // Log-service ops: enter and explore the replicated-log family (the
+  // mutation-only entry mirrors kScriptTimeline — generated scenarios never
+  // carry log= fields, so the pinned corpus digest is unchanged).
+  kLogService = 23,      ///< convert into a log-service scenario
+  kPerturbLogKnobs = 24, ///< nudge ops/batch/window/lease (log family only)
 };
-inline constexpr std::size_t kMutationOpCount = 23;
+inline constexpr std::size_t kMutationOpCount = 25;
 
 [[nodiscard]] const char* mutation_name(MutationOp op);
 

@@ -57,4 +57,26 @@ struct ConsensusVerdict {
     const mac::ReferenceNetwork& net, mac::InstanceId instance,
     const std::vector<mac::Value>& inputs);
 
+/// Replica-consistency verdict for a replicated-log run: the per-slot
+/// oracle above proves each SLOT agreed, this one proves the LOG did — the
+/// replicated-state-machine property that every live replica applied the
+/// same command prefix in the same order.
+struct LogPrefixVerdict {
+  bool consistent = false;  ///< all live replicas' prefix digests equal
+  std::size_t common_prefix = 0;  ///< slots every live replica has decided
+  std::uint64_t digest = 0;  ///< the shared prefix digest (when consistent)
+  std::string detail;        ///< mismatch description (when inconsistent)
+};
+
+/// Folds each live (non-crashed) replica's contiguous decided slot prefix —
+/// (slot index, decided value) pairs in slot order — into a digest and
+/// compares them over the longest prefix EVERY live replica has decided.
+/// `slots[i]` is the instance that decided slot i; retired instances keep
+/// their decisions readable (see "Instance multiplexing" in mac/engine.hpp),
+/// so this is a pure post-run check needing no decide-time hooks. Crashed
+/// replicas are exempt: their prefixes froze mid-run, and the per-slot
+/// oracle already judges any decision they made before crashing.
+[[nodiscard]] LogPrefixVerdict check_log_prefix(
+    const mac::Network& net, const std::vector<mac::InstanceId>& slots);
+
 }  // namespace amac::verify

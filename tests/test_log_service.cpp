@@ -1,7 +1,9 @@
 // The replicated log (src/log): slotted consensus instances + deterministic
 // state machine = one linearized op stream, however the slots were batched,
-// leased, pipelined, or recovered.
+// leased, pipelined, recovered, or re-elected.
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "log/replicated_log.hpp"
 #include "mac/schedulers.hpp"
@@ -11,6 +13,14 @@ namespace amac::log {
 namespace {
 
 constexpr std::uint64_t kSeed = 0xFEED5EED;
+
+/// Nearest-rank percentile over a copy (the bench uses the same rule).
+mac::Time percentile(std::vector<mac::Time> v, double p) {
+  EXPECT_FALSE(v.empty());
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(v.size()));
+  return v[std::min(rank, v.size() - 1)];
+}
 
 LogServiceStats drive_service(const net::Graph& graph,
                               const Workload& workload,
@@ -168,6 +178,191 @@ TEST(LogService, RecoversWhenLeaseHolderCrashes) {
   const auto qs = drive_service(graph, workload, clean, &clean_kv);
   ASSERT_TRUE(qs.complete);
   EXPECT_EQ(crashed_kv.digest(), clean_kv.digest());
+}
+
+TEST(LogService, ReElectsLeaderAfterCrashAndResumesFastPath) {
+  const std::size_t n = 8;
+  const net::Graph graph = net::make_clique(n);
+  const Workload workload(kSeed, 64);
+
+  LogConfig config;
+  config.batch_size = 2;  // 32 slots, renewals at 0, 8, 16, 24
+  config.window = 2;
+  config.lease_slots = 8;
+  config.crashes.push_back(mac::CrashPlan{static_cast<NodeId>(n - 1), 3});
+  KvStateMachine crashed_kv;
+  const auto cs = drive_service(graph, workload, config, &crashed_kv);
+
+  EXPECT_TRUE(cs.complete);
+  EXPECT_EQ(cs.oracle_failures, 0u);
+  EXPECT_GT(cs.slots_recovered, 0u);
+
+  // The renewal slot after the crash elects a LIVE node (the max-id
+  // survivor, n-2, under identity ids) and the lease heals.
+  EXPECT_GE(cs.re_elections, 1u);
+  EXPECT_NE(cs.leader, static_cast<NodeId>(n - 1));
+  EXPECT_EQ(cs.leader, static_cast<NodeId>(n - 2));
+  EXPECT_TRUE(cs.lease_ok);
+
+  // The fast path RESUMES under the new lease: most of the ~28 non-renewal
+  // slots ride CommitFlood again. A terminal lease break would cap
+  // slots_leased at the couple of pre-crash window launches.
+  EXPECT_GE(cs.slots_leased, 10u);
+
+  // Same decided log as a crash-free run, slot paths notwithstanding.
+  LogConfig clean;
+  clean.batch_size = 1;
+  clean.lease_slots = 1;
+  KvStateMachine clean_kv;
+  const auto qs = drive_service(graph, workload, clean, &clean_kv);
+  ASSERT_TRUE(qs.complete);
+  EXPECT_EQ(crashed_kv.digest(), clean_kv.digest());
+}
+
+TEST(LogService, RecoveredSlotLatencyIncludesTheStall) {
+  const std::size_t n = 8;
+  const net::Graph graph = net::make_clique(n);
+  const Workload workload(kSeed, 64);
+
+  LogConfig config;
+  config.batch_size = 4;
+  config.window = 2;
+  config.lease_slots = 16;
+  LogConfig crashed = config;
+  crashed.crashes.push_back(mac::CrashPlan{static_cast<NodeId>(n - 1), 3});
+
+  const auto cs = drive_service(graph, workload, crashed, nullptr);
+  const auto ns = drive_service(graph, workload, config, nullptr);
+  ASSERT_TRUE(cs.complete);
+  ASSERT_TRUE(ns.complete);
+  ASSERT_GT(cs.slots_recovered, 0u);
+
+  // Recovered slots carry a relaunch diagnostic, and their decide latency
+  // is measured from the FIRST launch — so the crash run's p99 must
+  // exceed the clean run's (the old code reset launched_at at relaunch,
+  // hiding the entire stall from the latency distribution).
+  bool any_relaunched = false;
+  for (std::size_t slot = 0; slot < cs.slots_total; ++slot) {
+    if (cs.relaunched_at[slot] == 0) continue;
+    any_relaunched = true;
+    EXPECT_GT(cs.decide_latency[slot],
+              ns.decide_latency[slot]);  // stall included, same slot clean
+  }
+  EXPECT_TRUE(any_relaunched);
+  EXPECT_GT(percentile(cs.decide_latency, 0.99),
+            percentile(ns.decide_latency, 0.99));
+}
+
+TEST(LogService, MultiRoundRecoveryCountsEachSlotOnce) {
+  // Crash a MAJORITY so even relaunched wPAXOS slots stall: recovery then
+  // revisits the same in-flight slots every round. Each slot must be
+  // counted in slots_recovered exactly once, and an already-full-paxos
+  // slot is only relaunched when provably stalled (no traffic since the
+  // previous round's look) — so relaunches stays well under
+  // rounds * inflight.
+  const std::size_t n = 4;
+  const net::Graph graph = net::make_clique(n);
+  const Workload workload(kSeed, 8);
+
+  LogConfig config;
+  config.batch_size = 4;  // 2 slots, both in the initial window
+  config.window = 2;
+  config.lease_slots = 16;
+  config.max_recovery_rounds = 4;
+  config.crashes.push_back(mac::CrashPlan{static_cast<NodeId>(n - 1), 0});
+  config.crashes.push_back(mac::CrashPlan{static_cast<NodeId>(n - 2), 0});
+  const auto stats = drive_service(graph, workload, config, nullptr);
+
+  EXPECT_FALSE(stats.complete);  // no live majority: nothing can decide
+  EXPECT_EQ(stats.slots_recovered, 2u);  // once per slot, NOT once per round
+  EXPECT_GT(stats.relaunches, stats.slots_recovered);  // later rounds retried
+  EXPECT_LT(stats.relaunches,
+            config.max_recovery_rounds * 2u + 2u);  // but skipped live ones
+}
+
+TEST(LogService, QuiescenceExactlyAtHorizonStillRecovers) {
+  const std::size_t n = 8;
+  const net::Graph graph = net::make_clique(n);
+  const Workload workload(kSeed, 64);
+
+  LogConfig config;
+  config.batch_size = 4;
+  config.window = 2;
+  config.lease_slots = 16;
+  config.crashes.push_back(mac::CrashPlan{static_cast<NodeId>(n - 1), 3});
+
+  // Probe: with recovery disabled, the crashed-leader run drains its event
+  // queue and stops at the stall's quiescence tick.
+  LogConfig probe = config;
+  probe.max_recovery_rounds = 0;
+  const auto ps = drive_service(graph, workload, probe, nullptr);
+  ASSERT_FALSE(ps.complete);
+  ASSERT_EQ(ps.slots_recovered, 0u);
+  const mac::Time stall_tick = ps.end_time;
+
+  // Now set the horizon EXACTLY at that tick: the queue (not the budget)
+  // is the binding constraint, so recovery must still fire — the old
+  // `now >= horizon` check conflated the two and skipped it.
+  const auto bs = drive_service(graph, workload, config, nullptr,
+                                /*horizon=*/stall_tick);
+  EXPECT_GT(bs.slots_recovered, 0u);
+  // The relaunched instances' events then land beyond the budget, which
+  // IS horizon exhaustion — reported as such, not as a silent give-up.
+  EXPECT_FALSE(bs.complete);
+  EXPECT_TRUE(bs.horizon_exhausted);
+
+  // One tick of headroom short of the stall is genuine exhaustion: events
+  // were still pending, and recovery must NOT fire.
+  const auto es = drive_service(graph, workload, config, nullptr,
+                                /*horizon=*/stall_tick - 1);
+  EXPECT_EQ(es.slots_recovered, 0u);
+  EXPECT_TRUE(es.horizon_exhausted);
+}
+
+TEST(LogService, LeaderReadsHonorTheReadIndexBound) {
+  const net::Graph graph = net::make_clique(6);
+  const Workload workload(kSeed, 64);
+
+  LogConfig config;
+  config.batch_size = 4;  // 16 slots
+  config.window = 1;      // serial: decide order == slot order, so the
+  config.lease_slots = 4;  // read stream below is exactly one per slot
+  config.read_every = 1;
+  mac::SynchronousScheduler sched(1);
+  ReplicatedLog service(graph, sched, workload, config);
+  const auto& stats = service.drive(mac::Time{1} << 32);
+
+  ASSERT_TRUE(stats.complete);
+  EXPECT_EQ(stats.reads_issued, 16u);
+  EXPECT_EQ(stats.reads_served, 16u);
+  EXPECT_EQ(stats.read_latency.size(), 16u);
+
+  // Serial decides make the read stream deterministic: read i is issued at
+  // slot i's decide, keyed by the slot's last written key, bound to slot
+  // i — so its served value must equal the last write to that key within
+  // the first (i+1) batches. Replay the prefix to check freshness exactly.
+  const auto& reads = service.reads();
+  ASSERT_EQ(reads.size(), 16u);
+  KvStateMachine replay;
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const auto [first, last] = service.batch_range(i);
+    for (std::size_t j = first; j < last; ++j) replay.apply(j, workload.op(j));
+    applied = last;
+    const ReadRecord& r = reads[i];
+    EXPECT_TRUE(r.served);
+    EXPECT_EQ(r.bound, i + 1);
+    EXPECT_EQ(r.key, workload.op(applied - 1).key);
+    EXPECT_EQ(r.value, replay.get(r.key));
+    EXPECT_GE(r.served_at, r.issued_at);
+  }
+
+  // Post-drive reads serve immediately from the final applied prefix.
+  const std::size_t id = service.submit_read(workload.op(0).key);
+  EXPECT_TRUE(service.reads()[id].served);
+  EXPECT_EQ(service.reads()[id].value,
+            service.state_machine().get(workload.op(0).key));
+  EXPECT_EQ(service.reads()[id].bound, 16u);
 }
 
 TEST(LogService, HorizonExhaustionReportsIncomplete) {
